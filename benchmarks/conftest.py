@@ -1,0 +1,57 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table / figure /
+algorithm) and both *prints* the regenerated rows (visible with ``-s``)
+and writes them under ``benchmarks/out/`` so EXPERIMENTS.md can record
+paper-vs-measured without re-running.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(report_dir):
+    """emit(name, text): print a table and persist it for EXPERIMENTS.md."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_plant():
+    """The shared alg1/fig2 plant run: big enough for stable statistics."""
+    config = PlantConfig(
+        seed=2019,
+        n_lines=2,
+        machines_per_line=3,
+        jobs_per_machine=12,
+        faults=FaultConfig(
+            process_fault_rate=0.15,
+            sensor_fault_rate=0.15,
+            setup_anomaly_rate=0.06,
+        ),
+    )
+    return simulate_plant(config)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(2019)

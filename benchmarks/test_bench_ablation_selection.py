@@ -1,0 +1,100 @@
+"""Ablation ``abl-choose`` — the ChooseAlgorithm policy.
+
+Design choice under test: Algorithm 1 begins with
+``ChooseAlgorithm(startLevel)`` — a *per-level* detector choice "with
+respect to the resolution best fitting to a production layer".  The
+ablation compares the default resolution-aware policy against degenerate
+policies that force one detector everywhere.
+
+Measured on the shared plant: phase-level fault coverage (how many
+injected signal faults produce a candidate) and ranking AP for process
+faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    AlgorithmSelector,
+    HierarchicalDetectionPipeline,
+    ProductionLevel,
+)
+from repro.eval import average_precision
+from repro.plant import FaultKind
+
+L = ProductionLevel
+
+UNIFORM_POLICIES = ("zscore", "mad", "knn")
+
+
+def _selector_for(name: str | None) -> AlgorithmSelector:
+    if name is None:
+        return AlgorithmSelector()
+    return AlgorithmSelector({level: (name,) for level in L})
+
+
+def _evaluate(dataset):
+    signal_faults = [
+        f for f in dataset.faults
+        if f.kind in (FaultKind.PROCESS, FaultKind.SENSOR)
+    ]
+    process = {
+        (f.machine_id, f.job_index, f.phase_name)
+        for f in dataset.faults_of_kind(FaultKind.PROCESS)
+    }
+    rows = {}
+    for policy in (None,) + UNIFORM_POLICIES:
+        pipeline = HierarchicalDetectionPipeline(
+            dataset, selector=_selector_for(policy)
+        )
+        reports = pipeline.run()
+        found = {
+            (r.candidate.machine_id, r.candidate.job_index,
+             r.candidate.phase_name)
+            for r in reports
+        }
+        coverage = sum(
+            (f.machine_id, f.job_index, f.phase_name) in found
+            for f in signal_faults
+        ) / max(1, len(signal_faults))
+        labels = np.array(
+            [
+                (r.candidate.machine_id, r.candidate.job_index,
+                 r.candidate.phase_name) in process
+                for r in reports
+            ]
+        )
+        ranks = np.arange(len(reports), 0, -1, dtype=float)
+        ap = average_precision(labels, ranks) if len(reports) else 0.0
+        rows["per-level (default)" if policy is None else f"all-{policy}"] = (
+            coverage, ap, len(reports)
+        )
+    return rows
+
+
+def _format(rows) -> str:
+    lines = [
+        "ChooseAlgorithm ablation — per-level policy vs one detector everywhere",
+        "",
+        f"{'policy':22s} {'fault coverage':>15s} {'AP':>7s} {'candidates':>11s}",
+    ]
+    for name, (coverage, ap, n) in rows.items():
+        lines.append(f"{name:22s} {coverage:15.2f} {ap:7.3f} {n:11d}")
+    return "\n".join(lines)
+
+
+def test_bench_ablation_selection(benchmark, emit, bench_plant):
+    rows = benchmark.pedantic(lambda: _evaluate(bench_plant), rounds=1, iterations=1)
+    emit("ablation_selection", _format(rows))
+
+    default_cov, default_ap, __ = rows["per-level (default)"]
+    # the resolution-aware policy must not be dominated by any uniform policy
+    for name, (coverage, ap, __n) in rows.items():
+        if name == "per-level (default)":
+            continue
+        assert default_cov >= coverage - 0.05 or default_ap >= ap - 0.05, (
+            f"default policy dominated by {name}"
+        )
+    # and it must achieve solid absolute coverage of injected faults
+    assert default_cov >= 0.5

@@ -1,0 +1,26 @@
+"""Extension bench — detector calculation speed.
+
+"Another challenge for outlier detection is related to the calculation
+speed" (Section 5).  This bench times every PTS-capable Table-1 detector
+on one fixed point workload (fit + score, 630 items) so the cost of each
+technique is visible next to its quality in the ``tab1`` bench.
+pytest-benchmark prints the comparative table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import TABLE1_ROWS
+from repro.synthetic import make_point_dataset
+
+_PTS_ROWS = [e for e in TABLE1_ROWS if e.capabilities()[0]]
+_DATA = make_point_dataset(np.random.default_rng(99), n_inliers=600, n_outliers=30)
+
+
+@pytest.mark.parametrize("entry", _PTS_ROWS, ids=lambda e: e.name)
+def test_bench_detector_speed(benchmark, entry):
+    scores = benchmark(lambda: entry.factory().fit_score(_DATA.X))
+    assert scores.shape == (len(_DATA.labels),)
+    assert np.isfinite(scores).all()

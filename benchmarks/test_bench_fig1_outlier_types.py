@@ -1,0 +1,197 @@
+"""Experiment ``fig1`` — reproduce Figure 1: the four outlier types.
+
+The paper's Fig. 1 *depicts* additive outlier, innovative outlier,
+temporary change, and level shift.  The executable version: inject each
+type into AR base signals, verify each is (a) detectable by the
+phase-level detector and (b) identifiable by its intervention profile.
+Reported per type: detection rate (event recall), localization AUC, and
+the type-confusion matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import classify_outlier_type
+from repro.detectors import ARDetector
+from repro.eval import point_adjust, roc_auc
+from repro.synthetic import OutlierType, ar_process, inject
+
+TYPES = (
+    OutlierType.ADDITIVE,
+    OutlierType.INNOVATIVE,
+    OutlierType.TEMPORARY_CHANGE,
+    OutlierType.LEVEL_SHIFT,
+)
+N_TRIALS = 12
+N = 600
+ONSET_CHOICES = (200, 300, 400)
+DELTA = 10.0
+PHI = 0.6
+
+
+def _run_fig1():
+    detection = {t: [] for t in TYPES}
+    auc = {t: [] for t in TYPES}
+    confusion = {t: {u: 0 for u in TYPES} for t in TYPES}
+
+    trial = 0
+    for t_idx, otype in enumerate(TYPES):
+        for rep in range(N_TRIALS):
+            rng = np.random.default_rng(5000 + trial)
+            trial += 1
+            base = ar_process(N, rng, (PHI,), 1.0)
+            onset = ONSET_CHOICES[rep % len(ONSET_CHOICES)]
+            kwargs = {}
+            if otype is OutlierType.INNOVATIVE:
+                kwargs["ar_coefficients"] = (PHI,)
+            if otype is OutlierType.TEMPORARY_CHANGE:
+                kwargs["rho"] = 0.75
+            if otype is OutlierType.LEVEL_SHIFT:
+                kwargs["label_span"] = 25
+            series, inj = inject(base, otype, onset, DELTA, rng=rng, **kwargs)
+
+            scores = ARDetector(order=3).fit_score_series(series)
+            # localization = ranking the *onset* among all samples; the
+            # persistent tail of TC/LS/IO is explained by the dynamics once
+            # absorbed, so a residual detector rightly scores it low
+            onset_labels = np.zeros(N, dtype=bool)
+            onset_labels[inj.index] = True
+            auc[otype].append(roc_auc(onset_labels, scores))
+
+            span_labels = np.zeros(N, dtype=bool)
+            span_labels[inj.index : inj.end] = True
+            med = float(np.median(scores))
+            mad = float(np.median(np.abs(scores - med))) * 1.4826 or 1.0
+            flags = scores >= med + 6 * mad
+            adjusted = point_adjust(span_labels, flags)
+            detected = bool(adjusted[inj.index : inj.end].any())
+            detection[otype].append(detected)
+
+            if detected:
+                result = classify_outlier_type(series, onset)
+                confusion[otype][result.outlier_type] += 1
+
+    return detection, auc, confusion
+
+
+def _format(detection, auc, confusion) -> str:
+    lines = [
+        "Fig. 1 reproduction — four outlier types, AR(0.6) base, delta=10 sigma",
+        "",
+        f"{'type':18s} {'detect rate':>12s} {'loc AUC':>9s}",
+    ]
+    for t in TYPES:
+        lines.append(
+            f"{t.value:18s} {np.mean(detection[t]):12.2f} {np.mean(auc[t]):9.2f}"
+        )
+    lines.append("")
+    lines.append("type-confusion matrix (rows = injected, cols = classified):")
+    header = f"{'':18s}" + "".join(f"{u.value[:9]:>10s}" for u in TYPES)
+    lines.append(header)
+    for t in TYPES:
+        total = sum(confusion[t].values()) or 1
+        row = "".join(f"{confusion[t][u] / total:10.2f}" for u in TYPES)
+        lines.append(f"{t.value:18s}{row}")
+    lines.append("")
+    lines.append(
+        "note: innovative vs temporary change are mathematically adjacent for"
+    )
+    lines.append(
+        "AR(1) bases (the impulse response IS a geometric decay with rho=phi)."
+    )
+    return "\n".join(lines)
+
+
+def _detector_comparison():
+    """Detect-rate of three detector families per Fig.-1 type."""
+    from repro.detectors import DeviantsDetector, KNNDetector
+
+    factories = {
+        "ar (PM)": lambda: ARDetector(order=3),
+        "deviants (ITM)": lambda: DeviantsDetector(n_buckets=8),
+        "knn-window (DA)": lambda: KNNDetector(k=5),
+    }
+    rates = {name: {t: 0 for t in TYPES} for name in factories}
+    trials = 8
+    trial = 0
+    for otype in TYPES:
+        for rep in range(trials):
+            rng = np.random.default_rng(9000 + trial)
+            trial += 1
+            base = ar_process(N, rng, (PHI,), 1.0)
+            onset = ONSET_CHOICES[rep % len(ONSET_CHOICES)]
+            kwargs = {}
+            if otype is OutlierType.INNOVATIVE:
+                kwargs["ar_coefficients"] = (PHI,)
+            if otype is OutlierType.TEMPORARY_CHANGE:
+                kwargs["rho"] = 0.75
+            if otype is OutlierType.LEVEL_SHIFT:
+                kwargs["label_span"] = 25
+            series, inj = inject(base, otype, onset, DELTA, rng=rng, **kwargs)
+            span_labels = np.zeros(N, dtype=bool)
+            span_labels[inj.index : inj.end] = True
+            for name, factory in factories.items():
+                det = factory()
+                if name.startswith("knn"):
+                    scores = det.fit_score_series(series, width=8)
+                else:
+                    scores = det.fit_score_series(series)
+                med = float(np.median(scores))
+                mad = float(np.median(np.abs(scores - med))) * 1.4826 or 1.0
+                flags = scores >= med + 6 * mad
+                adjusted = point_adjust(span_labels, flags)
+                rates[name][otype] += int(adjusted[inj.index : inj.end].any())
+    return {
+        name: {t: hits / trials for t, hits in row.items()}
+        for name, row in rates.items()
+    }
+
+
+def _format_comparison(rates) -> str:
+    lines = [
+        "",
+        "detect rate per detector family (8 trials per cell):",
+        f"{'detector':18s}" + "".join(f"{t.value[:9]:>10s}" for t in TYPES),
+    ]
+    for name, row in rates.items():
+        lines.append(
+            f"{name:18s}" + "".join(f"{row[t]:10.2f}" for t in TYPES)
+        )
+    return "\n".join(lines)
+
+
+def test_bench_fig1_outlier_types(benchmark, emit):
+    detection, auc, confusion = benchmark.pedantic(
+        _run_fig1, rounds=1, iterations=1
+    )
+    rates = _detector_comparison()
+    emit(
+        "fig1_outlier_types",
+        _format(detection, auc, confusion) + "\n" + _format_comparison(rates),
+    )
+    # the prediction-model detector handles every type; the point-granular
+    # histogram deviants must at least catch the point-like types
+    assert all(rates["ar (PM)"][t] >= 0.75 for t in TYPES)
+    assert rates["deviants (ITM)"][OutlierType.ADDITIVE] >= 0.75
+
+    # shape assertions: every type detectable and localizable
+    for t in TYPES:
+        assert np.mean(detection[t]) >= 0.75, f"{t} detection too weak"
+        assert np.mean(auc[t]) > 0.8, f"{t} localization too weak"
+    # additive is the easiest type for a point detector
+    assert np.mean(auc[OutlierType.ADDITIVE]) >= max(
+        np.mean(auc[t]) for t in TYPES
+    ) - 1e-9
+    # classifier: strong diagonal for the unambiguous types
+    for t in (OutlierType.ADDITIVE, OutlierType.LEVEL_SHIFT):
+        total = sum(confusion[t].values()) or 1
+        assert confusion[t][t] / total >= 0.6, f"{t} confusion too high"
+    # the two decay-shaped types must at least land within {IO, TC}
+    for t in (OutlierType.INNOVATIVE, OutlierType.TEMPORARY_CHANGE):
+        total = sum(confusion[t].values()) or 1
+        decayish = (
+            confusion[t][OutlierType.INNOVATIVE]
+            + confusion[t][OutlierType.TEMPORARY_CHANGE]
+        )
+        assert decayish / total >= 0.6

@@ -1,0 +1,151 @@
+"""Experiment ``tab1`` — reproduce Table 1: categorization of techniques.
+
+The paper's Table 1 assigns each of 21 techniques a family and checkmarks
+for the granularities it handles (PTS / SSQ / TSS).  Here every checkmark
+is *verified operationally*: the implementation of the technique must beat
+the random baseline (AUC > 0.6) on a workload of that granularity.
+
+Workloads per column:
+* PTS — the Gaussian-cloud point dataset;
+* SSQ — anomalous label sequences in a collection, or (whichever the
+  technique handles better) injected subsequences localized inside a
+  numeric series;
+* TSS — anomalous whole series inside a collection.
+
+Supervised (SA) techniques are additionally given what the paper grants
+them — "labeled training data is available" — via a labeled fit on half
+the data.
+
+The extracted paper text preserves each row's checkmark *count* but not
+the column alignment; the reconstruction (documented in EXPERIMENTS.md)
+must therefore reproduce the counts exactly and earn each mark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors import TABLE1_ROWS, Family
+from repro.eval import roc_auc
+from repro.synthetic import (
+    inject_subsequence,
+    make_point_dataset,
+    make_sequence_dataset,
+    make_series_collection,
+    seasonal_signal,
+)
+
+AUC_FLOOR = 0.6
+
+#: checkmark counts per row, read off the paper's Table 1
+PAPER_CHECK_COUNTS = [1, 1, 2, 3, 1, 2, 3, 1, 3, 3, 2, 2, 2, 2, 3, 1, 1, 1, 2, 2, 1]
+
+
+def _ssq_series_workload(seed=77):
+    rng = np.random.default_rng(seed)
+    series = seasonal_signal(600, rng, period=25.0, amplitude=2.0, noise_sigma=0.2)
+    labels = np.zeros(600, dtype=bool)
+    for onset in (180, 420):
+        series, inj = inject_subsequence(series, onset, 30, rng, style="noise", delta=4.0)
+        labels[inj.index : inj.end] = True
+    return series, labels
+
+
+def _evaluate_all():
+    rng = np.random.default_rng(2019)
+    pts = make_point_dataset(rng)
+    ssq = make_sequence_dataset(rng)
+    tss_coll, tss_labels = make_series_collection(rng)
+    loc_series, loc_labels = _ssq_series_workload()
+
+    half = len(pts.labels) // 2
+    results = []
+    for entry in TABLE1_ROWS:
+        pts_ok, ssq_ok, tss_ok = entry.capabilities()
+        row = {"entry": entry, "pts": None, "ssq": None, "tss": None}
+
+        if pts_ok:
+            det = entry.factory()
+            if entry.family is Family.SUPERVISED:
+                det.fit_labeled(pts.X[:half], pts.labels[:half])
+                row["pts"] = roc_auc(pts.labels[half:], det.score(pts.X[half:]))
+            else:
+                row["pts"] = roc_auc(pts.labels, det.fit_score(pts.X))
+
+        if ssq_ok:
+            aucs = []
+            try:
+                det = entry.factory()
+                if entry.family is Family.SUPERVISED and hasattr(det, "fit_labeled"):
+                    seqs = list(ssq.sequences)
+                    cut = len(seqs) // 2
+                    det.fit_labeled(seqs[:cut], ssq.labels[:cut])
+                    aucs.append(roc_auc(ssq.labels[cut:], det.score(seqs[cut:])))
+                else:
+                    aucs.append(
+                        roc_auc(ssq.labels, det.fit_score(list(ssq.sequences)))
+                    )
+            except Exception:
+                pass
+            if not aucs or max(aucs) <= AUC_FLOOR:
+                try:
+                    det = entry.factory()
+                    scores = det.fit_score_series(loc_series, width=25)
+                    aucs.append(roc_auc(loc_labels, scores))
+                except Exception:
+                    pass
+            row["ssq"] = max(aucs) if aucs else 0.0
+
+        if tss_ok:
+            det = entry.factory()
+            row["tss"] = roc_auc(tss_labels, det.fit_score(list(tss_coll)))
+
+        results.append(row)
+    return results
+
+
+def _format(results) -> str:
+    lines = [
+        "Table 1 reproduction — categorization of literature on outliers",
+        "each claimed checkmark is verified operationally (AUC > 0.6 vs random)",
+        "",
+        f"{'technique':36s} {'family':6s} {'PTS':>8s} {'SSQ':>8s} {'TSS':>8s} {'paper #':>8s}",
+    ]
+    for row, count in zip(results, PAPER_CHECK_COUNTS):
+        entry = row["entry"]
+        cells = []
+        for col in ("pts", "ssq", "tss"):
+            v = row[col]
+            if v is None:
+                cells.append(f"{'—':^8s}")
+            else:
+                mark = "✓" if v > AUC_FLOOR else "✗"
+                cells.append(f"{mark} {v:4.2f}  ")
+        lines.append(
+            f"{entry.technique:36s} {entry.family.value:6s} "
+            f"{' '.join(cells)} {count:>7d}"
+        )
+    lines.append("")
+    lines.append("— : blank cell in Table 1 (shape refused by the implementation)")
+    return "\n".join(lines)
+
+
+def test_bench_table1_categorization(benchmark, emit):
+    results = benchmark.pedantic(_evaluate_all, rounds=1, iterations=1)
+    emit("table1_categorization", _format(results))
+
+    # checkmark counts must match the paper exactly
+    got_counts = [
+        sum(1 for col in ("pts", "ssq", "tss") if row[col] is not None)
+        for row in results
+    ]
+    assert got_counts == PAPER_CHECK_COUNTS
+
+    # every claimed checkmark is earned operationally
+    failures = []
+    for row in results:
+        for col in ("pts", "ssq", "tss"):
+            v = row[col]
+            if v is not None and v <= AUC_FLOOR:
+                failures.append(f"{row['entry'].name}:{col}={v:.2f}")
+    assert not failures, f"unearned checkmarks: {failures}"

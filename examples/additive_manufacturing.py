@@ -1,0 +1,68 @@
+"""End-to-end hierarchical detection on the simulated 3D-printing plant.
+
+Simulates the additive-manufacturing plant of the paper's motivating use
+case, runs the full five-level pipeline (Algorithm 1 from the phase level),
+and prints the ranked ⟨global score, outlierness, support⟩ reports next to
+the injected ground truth.
+
+Run:  python examples/additive_manufacturing.py
+"""
+
+from __future__ import annotations
+
+from repro.core import HierarchicalDetectionPipeline, ProductionLevel
+from repro.plant import FaultConfig, FaultKind, PlantConfig, simulate_plant
+
+
+def main() -> None:
+    config = PlantConfig(
+        seed=42,
+        n_lines=2,
+        machines_per_line=3,
+        jobs_per_machine=10,
+        faults=FaultConfig(
+            process_fault_rate=0.12,
+            sensor_fault_rate=0.12,
+            setup_anomaly_rate=0.06,
+        ),
+    )
+    dataset = simulate_plant(config)
+
+    print("=== simulated plant ===")
+    print(f"lines: {len(dataset.lines)}   machines: {sum(1 for _ in dataset.iter_machines())}"
+          f"   jobs: {sum(1 for _ in dataset.iter_jobs())}")
+    print("\n=== injected ground truth ===")
+    for fault in dataset.faults:
+        print(f"  {fault.describe()}")
+
+    pipeline = HierarchicalDetectionPipeline(dataset)
+    print("\n=== ChooseAlgorithm policy ===")
+    print(pipeline.context.selector.describe())
+
+    reports = pipeline.run(start_level=ProductionLevel.PHASE)
+    fault_keys = {
+        (f.machine_id, f.job_index, f.phase_name): f.kind.value
+        for f in dataset.faults
+        if f.kind in (FaultKind.PROCESS, FaultKind.SENSOR)
+    }
+
+    print(f"\n=== hierarchical reports (top 15 of {len(reports)}) ===")
+    print(f"{'truth':8s} {'report'}")
+    for report in reports[:15]:
+        c = report.candidate
+        truth = fault_keys.get((c.machine_id, c.job_index, c.phase_name), "-")
+        print(f"{truth:8s} {report.describe()}")
+
+    print("\n=== operator explanation of the top finding ===")
+    from repro.core import explain_report
+
+    print(explain_report(reports[0]))
+
+    print("\n=== job-level start: measurement-error warnings ===")
+    for report in pipeline.run(start_level=ProductionLevel.JOB):
+        if report.measurement_warning:
+            print(f"  {report.candidate.location:30s} {report.warning_reason}")
+
+
+if __name__ == "__main__":
+    main()

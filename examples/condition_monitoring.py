@@ -1,0 +1,79 @@
+"""Production-control applications: alerts, health, maintenance, drift.
+
+Section 1 of the paper motivates outlier detection with four applications
+— condition monitoring, alert generation, concept-shift discovery, and
+predictive maintenance.  This example runs all four on one simulated plant
+using the hierarchical reports as the common evidence source.
+
+Run:  python examples/condition_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HierarchicalDetectionPipeline
+from repro.monitor import (
+    AlertManager,
+    ConceptShiftDetector,
+    ConditionMonitor,
+    MaintenanceAdvisor,
+    Severity,
+)
+from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+
+def main() -> None:
+    dataset = simulate_plant(
+        PlantConfig(
+            seed=7,
+            n_lines=2,
+            machines_per_line=3,
+            jobs_per_machine=14,
+            faults=FaultConfig(
+                process_fault_rate=0.12, sensor_fault_rate=0.12,
+                setup_anomaly_rate=0.05,
+            ),
+        )
+    )
+    reports = HierarchicalDetectionPipeline(dataset).run()
+
+    print("=== alerts (from the Algorithm-1 triples) ===")
+    manager = AlertManager()
+    manager.ingest(reports)
+    counts = manager.counts_by_severity()
+    print(
+        f"open: {counts[Severity.CRITICAL]} critical, "
+        f"{counts[Severity.WARNING]} warning, {counts[Severity.INFO]} info"
+    )
+    for alert in manager.open_alerts(min_severity=Severity.WARNING)[:6]:
+        print(f"  {alert.describe()}")
+
+    print("\n=== condition monitoring (per-machine health) ===")
+    monitor = ConditionMonitor()
+    monitor.ingest(reports)
+    for condition in monitor.fleet():
+        print(f"  {condition.describe()}")
+
+    print("\n=== predictive maintenance (urgency from quality trends) ===")
+    advisor = MaintenanceAdvisor(dataset)
+    for indicator in advisor.ranking():
+        print(f"  {indicator.describe()}")
+
+    print("\n=== concept-shift discovery over jobs-over-time ===")
+    detector = ConceptShiftDetector(window=8)
+    for line in dataset.lines:
+        matrix, identity = dataset.jobs_over_time(line.line_id)
+        shifts = detector.detect(matrix)
+        if not shifts:
+            print(f"  {line.line_id}: no regime change")
+        for shift in shifts:
+            machine, job = identity[shift.index]
+            print(
+                f"  {line.line_id}: {shift.describe()} "
+                f"-> first job of new regime: {machine} job{job}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: the four Fig.-1 outlier types, detected and classified.
+
+Generates a clean AR sensor signal, injects one outlier of each type from
+the paper's Figure 1, localizes them with the prediction-model detector,
+and classifies each detection's *type* from its intervention profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import classify_outlier_type
+from repro.detectors import ARDetector
+from repro.eval import point_adjust, roc_auc
+from repro.synthetic import OutlierType, ar_process, inject
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    series = ar_process(1200, rng, (0.6,), 1.0, name="demo-sensor")
+
+    plan = [
+        (OutlierType.ADDITIVE, 200),
+        (OutlierType.INNOVATIVE, 500),
+        (OutlierType.TEMPORARY_CHANGE, 800),
+        (OutlierType.LEVEL_SHIFT, 1100),
+    ]
+    injections = []
+    for otype, onset in plan:
+        kwargs = {"ar_coefficients": (0.6,)} if otype is OutlierType.INNOVATIVE else {}
+        if otype is OutlierType.LEVEL_SHIFT:
+            kwargs["label_span"] = 30
+        series, inj = inject(series, otype, onset, 10.0, rng=rng, **kwargs)
+        injections.append(inj)
+
+    print("=== injected ground truth ===")
+    for inj in injections:
+        print(f"  t={inj.index:4d}  {inj.type.value:17s} delta={inj.delta:+.1f}")
+
+    detector = ARDetector(order=3)
+    scores = detector.fit_score_series(series)
+
+    labels = np.zeros(len(series), dtype=bool)
+    for inj in injections:
+        labels[inj.index : inj.end] = True
+    auc = roc_auc(labels, scores)
+
+    threshold = np.median(scores) + 8 * (np.median(np.abs(scores - np.median(scores))) * 1.4826)
+    flagged = np.where(scores >= threshold)[0]
+    # merge flagged runs into events
+    events = []
+    for idx in flagged:
+        if events and idx - events[-1][-1] <= 5:
+            events[-1].append(idx)
+        else:
+            events.append([idx])
+
+    print(f"\n=== detection (AR residual detector, AUC={auc:.3f}) ===")
+    for run in events:
+        onset = run[int(np.argmax(scores[run]))]
+        result = classify_outlier_type(series, onset)
+        print(
+            f"  detected onset t={onset:4d}  score={scores[onset]:6.1f}  "
+            f"classified as {result.outlier_type.value:17s} "
+            f"(confidence {result.confidence:.2f})"
+        )
+
+    adjusted = point_adjust(labels, scores >= threshold)
+    hit_events = sum(
+        1 for inj in injections if adjusted[inj.index : inj.end].any()
+    )
+    print(f"\nevents recovered: {hit_events}/{len(injections)}")
+
+
+if __name__ == "__main__":
+    main()

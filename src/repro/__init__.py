@@ -1,0 +1,63 @@
+"""repro — hierarchical outlier detection for industrial production settings.
+
+A full reproduction of Hoppenstedt et al., "Towards a Hierarchical Approach
+for Outlier Detection in Industrial Production Settings" (First Int.
+Workshop on Data Science for Industry 4.0 @ EDBT 2019), built as a
+standalone library:
+
+* :mod:`repro.core` — the paper's contribution: the five-level production
+  hierarchy, Algorithm 1 and its ⟨global score, outlierness, support⟩
+  triple, ChooseAlgorithm, cross-level fusion, and Fig.-1 outlier-type
+  classification;
+* :mod:`repro.detectors` — one from-scratch implementation per Table-1 row
+  plus baselines, behind a uniform fit/score/detect API;
+* :mod:`repro.timeseries` — series/sequence containers, windows, rolling
+  statistics, resampling across resolutions, SAX;
+* :mod:`repro.synthetic` — signal generators and the four Fig.-1 outlier
+  injectors with ground truth;
+* :mod:`repro.plant` — the simulated additive-manufacturing plant standing
+  in for the paper's unavailable company data;
+* :mod:`repro.corpus` — the synthetic bibliographic corpus + query engine
+  behind Fig. 3;
+* :mod:`repro.eval` — detection metrics and ranking comparison.
+
+Quickstart::
+
+    import numpy as np
+    from repro.plant import simulate_plant
+    from repro.core import HierarchicalDetectionPipeline
+
+    pipeline = HierarchicalDetectionPipeline(simulate_plant())
+    for report in pipeline.run()[:10]:
+        print(report.describe())
+"""
+
+from . import core, corpus, detectors, eval, monitor, plant, streaming, synthetic, timeseries
+from .core import (
+    HierarchicalDetectionPipeline,
+    HierarchicalOutlierReport,
+    ProductionLevel,
+    find_hierarchical_outliers,
+)
+from .plant import PlantConfig, simulate_plant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "detectors",
+    "timeseries",
+    "synthetic",
+    "plant",
+    "corpus",
+    "eval",
+    "monitor",
+    "streaming",
+    "ProductionLevel",
+    "HierarchicalOutlierReport",
+    "HierarchicalDetectionPipeline",
+    "find_hierarchical_outliers",
+    "simulate_plant",
+    "PlantConfig",
+    "__version__",
+]

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate   simulate a plant and save it as a ``.npz`` archive
+detect     run hierarchical detection over a saved (or fresh) plant
+monitor    condition monitoring / alerts / maintenance over a plant
+table1     print the executable Table-1 capability matrix
+fig3       run the Fig.-3 corpus queries
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser behind ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical outlier detection for industrial production settings",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a plant and save it")
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--lines", type=int, default=2)
+    sim.add_argument("--machines", type=int, default=3)
+    sim.add_argument("--jobs", type=int, default=10)
+    sim.add_argument("--process-fault-rate", type=float, default=0.08)
+    sim.add_argument("--sensor-fault-rate", type=float, default=0.08)
+    sim.add_argument("--setup-anomaly-rate", type=float, default=0.05)
+    sim.add_argument("--out", required=True, help="output .npz path")
+
+    det = sub.add_parser("detect", help="run hierarchical detection")
+    det.add_argument("--plant", help=".npz archive from `repro simulate`")
+    det.add_argument("--seed", type=int, default=7,
+                     help="simulate fresh with this seed when --plant is absent")
+    det.add_argument("--start-level", type=int, default=1, choices=range(1, 6))
+    det.add_argument("--fusion", default="weighted",
+                     choices=("max", "mean", "weighted", "fisher"))
+    det.add_argument("--top", type=int, default=15)
+    det.add_argument("--json", help="write full reports to this JSON file")
+    det.add_argument("--explain", type=int, default=0, metavar="N",
+                     help="print operator explanations for the top N reports")
+
+    mon = sub.add_parser("monitor", help="condition/maintenance summary")
+    mon.add_argument("--plant", help=".npz archive from `repro simulate`")
+    mon.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("table1", help="print the Table-1 capability matrix")
+
+    fig3 = sub.add_parser("fig3", help="run the Fig.-3 corpus queries")
+    fig3.add_argument("--records", type=int, default=60_000)
+    fig3.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _load_or_simulate(args) -> "object":
+    from .io import load_plant
+    from .plant import FaultConfig, PlantConfig, simulate_plant
+
+    if getattr(args, "plant", None):
+        return load_plant(args.plant)
+    return simulate_plant(PlantConfig(seed=args.seed))
+
+
+def _cmd_simulate(args) -> int:
+    from .io import save_plant
+    from .plant import FaultConfig, PlantConfig, simulate_plant
+
+    config = PlantConfig(
+        seed=args.seed,
+        n_lines=args.lines,
+        machines_per_line=args.machines,
+        jobs_per_machine=args.jobs,
+        faults=FaultConfig(
+            process_fault_rate=args.process_fault_rate,
+            sensor_fault_rate=args.sensor_fault_rate,
+            setup_anomaly_rate=args.setup_anomaly_rate,
+        ),
+    )
+    dataset = simulate_plant(config)
+    save_plant(dataset, args.out)
+    n_jobs = sum(1 for __ in dataset.iter_jobs())
+    print(
+        f"simulated plant: {args.lines} lines, "
+        f"{sum(1 for __ in dataset.iter_machines())} machines, {n_jobs} jobs, "
+        f"{len(dataset.faults)} injected faults -> {args.out}"
+    )
+    for fault in dataset.faults:
+        print(f"  {fault.describe()}")
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from .core import HierarchicalDetectionPipeline, ProductionLevel
+    from .io import reports_to_json
+
+    dataset = _load_or_simulate(args)
+    pipeline = HierarchicalDetectionPipeline(dataset)
+    reports = pipeline.run(
+        start_level=ProductionLevel(args.start_level),
+        fusion_strategy=args.fusion,
+    )
+    print(f"{len(reports)} hierarchical reports (start level {args.start_level}, "
+          f"fusion={args.fusion}); top {min(args.top, len(reports))}:")
+    for report in reports[: args.top]:
+        print(f"  {report.describe()}")
+    if args.explain > 0:
+        from .core import explain_report
+
+        for report in reports[: args.explain]:
+            print()
+            print(explain_report(report))
+    if args.json:
+        reports_to_json(reports, args.json)
+        print(f"full reports written to {args.json}")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from .core import HierarchicalDetectionPipeline
+    from .monitor import AlertManager, ConditionMonitor, MaintenanceAdvisor, Severity
+
+    dataset = _load_or_simulate(args)
+    reports = HierarchicalDetectionPipeline(dataset).run()
+
+    manager = AlertManager()
+    manager.ingest(reports)
+    counts = manager.counts_by_severity()
+    print(
+        f"alerts: {counts[Severity.CRITICAL]} critical / "
+        f"{counts[Severity.WARNING]} warning / {counts[Severity.INFO]} info"
+    )
+    for alert in manager.open_alerts(min_severity=Severity.WARNING):
+        print(f"  {alert.describe()}")
+
+    print("\nmachine health:")
+    monitor = ConditionMonitor()
+    monitor.ingest(reports)
+    for condition in monitor.fleet():
+        print(f"  {condition.describe()}")
+
+    print("\nmaintenance ranking:")
+    for indicator in MaintenanceAdvisor(dataset).ranking():
+        print(f"  {indicator.describe()}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .detectors import capability_table
+
+    print(f"{'technique':36s} {'family':6s} {'PTS':>4s} {'SSQ':>4s} {'TSS':>4s}  detector")
+    for row in capability_table():
+        marks = ["✓" if row[c] else "·" for c in ("pts", "ssq", "tss")]
+        print(
+            f"{row['technique']:36s} {row['family']:6s} "
+            f"{marks[0]:>4s} {marks[1]:>4s} {marks[2]:>4s}  {row['detector']}"
+        )
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from .corpus import generate_corpus, run_fig3_queries
+
+    index = generate_corpus(n_records=args.records, seed=args.seed)
+    print(f"{'field':26s} {'term+time series':>18s} {'+ACS':>8s}")
+    for row in run_fig3_queries(index):
+        print(f"{row.field:26s} {row.time_series_count:18d} {row.acs_count:8d}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "detect": _cmd_detect,
+    "monitor": _cmd_monitor,
+    "table1": _cmd_table1,
+    "fig3": _cmd_fig3,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Core library: the paper's hierarchical outlier model (Sections 2 and 4).
+
+Public surface:
+
+* :class:`ProductionLevel` — the five Fig.-2 levels;
+* :func:`find_hierarchical_outliers` / :func:`calc_global_score` —
+  Algorithm 1 over any :class:`HierarchyContext`;
+* :class:`HierarchicalDetectionPipeline` — the end-to-end plant pipeline;
+* :class:`AlgorithmSelector` — ChooseAlgorithm;
+* support, score unification, cross-level fusion, and Fig.-1 outlier-type
+  classification.
+"""
+
+from .algorithm import HierarchyContext, calc_global_score, find_hierarchical_outliers
+from .explain import explain_report
+from .fusion import (
+    DEFAULT_LEVEL_WEIGHTS,
+    FUSION_STRATEGIES,
+    fuse,
+    fuse_fisher,
+    fuse_max,
+    fuse_mean,
+    fuse_weighted,
+)
+from .levels import LEVEL_CONTRACTS, LevelContract, ProductionLevel, contract_for
+from .outlier import (
+    HierarchicalOutlierReport,
+    LevelConfirmation,
+    OutlierCandidate,
+    rank_reports,
+)
+from .pipeline import (
+    HierarchicalDetectionPipeline,
+    PipelineConfig,
+    PlantHierarchyContext,
+)
+from .scores import unify, unify_gaussian, unify_minmax, unify_rank
+from .selection import DEFAULT_PREFERENCES, AlgorithmSelector
+from .support import CorrespondenceGraph, SupportCalculator, SupportResult
+from .types import TypeClassification, classify_outlier_type, effect_profile
+
+__all__ = [
+    "ProductionLevel",
+    "LevelContract",
+    "LEVEL_CONTRACTS",
+    "contract_for",
+    "OutlierCandidate",
+    "LevelConfirmation",
+    "HierarchicalOutlierReport",
+    "rank_reports",
+    "HierarchyContext",
+    "calc_global_score",
+    "find_hierarchical_outliers",
+    "explain_report",
+    "AlgorithmSelector",
+    "DEFAULT_PREFERENCES",
+    "CorrespondenceGraph",
+    "SupportCalculator",
+    "SupportResult",
+    "unify",
+    "unify_rank",
+    "unify_gaussian",
+    "unify_minmax",
+    "fuse",
+    "fuse_max",
+    "fuse_mean",
+    "fuse_weighted",
+    "fuse_fisher",
+    "FUSION_STRATEGIES",
+    "DEFAULT_LEVEL_WEIGHTS",
+    "TypeClassification",
+    "classify_outlier_type",
+    "effect_profile",
+    "PipelineConfig",
+    "PlantHierarchyContext",
+    "HierarchicalDetectionPipeline",
+]

@@ -1,0 +1,114 @@
+"""The five production levels of Fig. 2.
+
+Level 1 (phase) is the most detailed view — multi-dimensional,
+high-resolution sensor series and discrete event sequences.  Level 2 (job)
+aggregates a whole production process: setup parameters plus the CAQ check,
+high-dimensional but not a time series.  Level 3 (environment) is a
+time series measured over the same period without belonging to the process.
+Level 4 (production line) turns jobs-over-time into a series of
+high-dimensional points.  Level 5 (production) spans machines — the most
+complex, most aggregated scenario.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..detectors import DataShape
+
+__all__ = ["ProductionLevel", "LevelContract", "LEVEL_CONTRACTS"]
+
+
+class ProductionLevel(enum.IntEnum):
+    """Fig. 2, circled 1-5.  Integer values ARE the paper's level numbers."""
+
+    PHASE = 1
+    JOB = 2
+    ENVIRONMENT = 3
+    PRODUCTION_LINE = 4
+    PRODUCTION = 5
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+    def up(self) -> "ProductionLevel | None":
+        """The next level toward production, or None at the top."""
+        return ProductionLevel(self + 1) if self < ProductionLevel.PRODUCTION else None
+
+    def down(self) -> "ProductionLevel | None":
+        """The next level toward phases, or None at the bottom."""
+        return ProductionLevel(self - 1) if self > ProductionLevel.PHASE else None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"L{int(self)}:{self.label}"
+
+
+_LABELS = {
+    ProductionLevel.PHASE: "phase",
+    ProductionLevel.JOB: "job",
+    ProductionLevel.ENVIRONMENT: "environment",
+    ProductionLevel.PRODUCTION_LINE: "production-line",
+    ProductionLevel.PRODUCTION: "production",
+}
+
+
+@dataclass(frozen=True)
+class LevelContract:
+    """What kind of data a level exposes and at which granularity outliers
+    should be reported there (Sections 2-3)."""
+
+    level: ProductionLevel
+    description: str
+    data_kind: str  # "series" | "vectors" | "vector-series"
+    outlier_granularity: DataShape
+    resolution: str  # qualitative, for reports
+
+
+LEVEL_CONTRACTS: Tuple[LevelContract, ...] = (
+    LevelContract(
+        ProductionLevel.PHASE,
+        "multi-dimensional high-resolution sensor series and discrete "
+        "event sequences per production phase",
+        data_kind="series",
+        outlier_granularity=DataShape.POINTS,
+        resolution="high (per sample)",
+    ),
+    LevelContract(
+        ProductionLevel.JOB,
+        "per-job high-dimensional setup parameters and CAQ quality vector",
+        data_kind="vectors",
+        outlier_granularity=DataShape.POINTS,
+        resolution="one row per job",
+    ),
+    LevelContract(
+        ProductionLevel.ENVIRONMENT,
+        "room-environment series measured over the same period, not part "
+        "of the production process",
+        data_kind="series",
+        outlier_granularity=DataShape.SUBSEQUENCES,
+        resolution="medium (coarser sampling)",
+    ),
+    LevelContract(
+        ProductionLevel.PRODUCTION_LINE,
+        "jobs over time: the high-dimensional setup+quality rows of a line "
+        "form a time-ordered sequence",
+        data_kind="vector-series",
+        outlier_granularity=DataShape.POINTS,
+        resolution="one row per job, line-wide",
+    ),
+    LevelContract(
+        ProductionLevel.PRODUCTION,
+        "cross-machine KPI panel over the whole production",
+        data_kind="vectors",
+        outlier_granularity=DataShape.POINTS,
+        resolution="one row per machine",
+    ),
+)
+
+
+def contract_for(level: ProductionLevel) -> LevelContract:
+    """The data contract of one level."""
+    return LEVEL_CONTRACTS[int(level) - 1]

@@ -1,0 +1,576 @@
+"""End-to-end hierarchical detection over a simulated plant run.
+
+:class:`HierarchicalDetectionPipeline` wires everything together: the
+per-level detectors chosen by :class:`~repro.core.selection.AlgorithmSelector`
+score every level of a :class:`~repro.plant.PlantDataset`, the
+correspondence graph feeds the support computation, and Algorithm 1 turns
+phase-level candidates into ranked ⟨global score, outlierness, support⟩
+reports.  A *flat* single-level baseline (outlierness only, no hierarchy)
+is exposed for the alg1 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..plant import PlantDataset
+from .algorithm import HierarchyContext, find_hierarchical_outliers
+from .levels import ProductionLevel
+from .outlier import (
+    HierarchicalOutlierReport,
+    LevelConfirmation,
+    OutlierCandidate,
+    rank_reports,
+)
+from .scores import unify_rank
+from .selection import AlgorithmSelector
+from .support import CorrespondenceGraph, SupportCalculator, SupportResult
+
+__all__ = ["PipelineConfig", "PlantHierarchyContext", "HierarchicalDetectionPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs of the plant pipeline (all robust-scale units)."""
+
+    phase_sigma: float = 6.0  # MAD multiplier flagging phase-trace samples
+    env_sigma: float = 5.0
+    vector_sigma: float = 2.0  # job / line / production flags
+    support_tolerance: float = 8.0
+    fusion_strategy: str = "weighted"
+    max_candidates_per_trace: int = 3
+    candidate_gap: int = 3  # samples merging consecutive flagged runs
+    line_history: int = 5  # jobs of temporal context at the line level
+
+
+@dataclass
+class _Trace:
+    """Outlierness trace of one channel over one contiguous time span."""
+
+    channel_id: str
+    start: float
+    step: float
+    scores: np.ndarray
+    threshold: float
+
+    @property
+    def end(self) -> float:
+        return self.start + len(self.scores) * self.step
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+def _robust_standardize(X: np.ndarray) -> np.ndarray:
+    """Per-column median/MAD scaling so no raw unit dominates distances."""
+    med = np.median(X, axis=0)
+    mad = np.median(np.abs(X - med), axis=0) * 1.4826
+    mad[mad <= 1e-12] = 1.0
+    return (X - med) / mad
+
+
+def _robust_threshold(scores: np.ndarray, sigma: float) -> float:
+    finite = scores[np.isfinite(scores)]
+    if finite.size == 0:
+        return math.inf
+    med = float(np.median(finite))
+    mad = float(np.median(np.abs(finite - med))) * 1.4826
+    if mad <= 1e-12:
+        mad = float(finite.std()) or 1.0
+    return med + sigma * mad
+
+
+def _peak_indices(scores: np.ndarray, threshold: float, gap: int,
+                  max_peaks: int) -> List[int]:
+    """Argmax of every flagged run (runs closer than ``gap`` merge)."""
+    above = np.where(scores >= threshold)[0]
+    if above.size == 0:
+        return []
+    peaks: List[Tuple[float, int]] = []
+    run_start = above[0]
+    prev = above[0]
+    for idx in above[1:]:
+        if idx - prev > gap:
+            segment = scores[run_start : prev + 1]
+            peaks.append((float(segment.max()), run_start + int(segment.argmax())))
+            run_start = idx
+        prev = idx
+    segment = scores[run_start : prev + 1]
+    peaks.append((float(segment.max()), run_start + int(segment.argmax())))
+    peaks.sort(reverse=True)
+    return [idx for __, idx in peaks[:max_peaks]]
+
+
+class PlantHierarchyContext(HierarchyContext):
+    """Hierarchy oracle over one plant dataset (see module docstring)."""
+
+    def __init__(
+        self,
+        dataset: PlantDataset,
+        selector: Optional[AlgorithmSelector] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.selector = selector or AlgorithmSelector()
+        self.config = config or PipelineConfig()
+        self._graph = CorrespondenceGraph.from_plant(dataset)
+        self._traces: Dict[str, List[_Trace]] = {}
+        self._phase_candidates: List[OutlierCandidate] = []
+        self._score_phase_level()
+        self._score_env_level()
+        self._score_job_level()
+        self._score_line_level()
+        self._score_production_level()
+        self._support_calc = SupportCalculator(
+            self._graph, self._lookup_trace, tolerance=self.config.support_tolerance
+        )
+
+    # ------------------------------------------------------------------
+    # per-level scoring
+    # ------------------------------------------------------------------
+    def _score_phase_level(self) -> None:
+        cfg = self.config
+        for machine in self.dataset.iter_machines():
+            for job in machine.jobs:
+                for phase in job.phases:
+                    for sensor_id, series in sorted(phase.series.items()):
+                        detector = self.selector.choose(ProductionLevel.PHASE)
+                        scores = detector.fit_score_series(series)
+                        trace = _Trace(
+                            channel_id=sensor_id,
+                            start=series.start,
+                            step=series.step,
+                            scores=scores,
+                            threshold=_robust_threshold(scores, cfg.phase_sigma),
+                        )
+                        self._traces.setdefault(sensor_id, []).append(trace)
+                        for idx in _peak_indices(
+                            scores, trace.threshold, cfg.candidate_gap,
+                            cfg.max_candidates_per_trace,
+                        ):
+                            self._phase_candidates.append(
+                                OutlierCandidate(
+                                    level=ProductionLevel.PHASE,
+                                    outlierness=float(scores[idx]),
+                                    machine_id=machine.machine_id,
+                                    job_index=job.job_index,
+                                    phase_name=phase.name,
+                                    sensor_id=sensor_id,
+                                    index=idx,
+                                    detector=detector.name,
+                                )
+                            )
+
+    def _score_env_level(self) -> None:
+        cfg = self.config
+        self._env_channels: Dict[str, List[str]] = {}
+        for line in self.dataset.lines:
+            ids = []
+            for kind, series in sorted(line.environment.items()):
+                channel_id = f"{line.line_id}/env/{kind}"
+                detector = self.selector.choose(ProductionLevel.ENVIRONMENT)
+                scores = detector.fit_score_series(series)
+                trace = _Trace(
+                    channel_id=channel_id,
+                    start=series.start,
+                    step=series.step,
+                    scores=scores,
+                    threshold=_robust_threshold(scores, cfg.env_sigma),
+                )
+                self._traces.setdefault(channel_id, []).append(trace)
+                ids.append(channel_id)
+            self._env_channels[line.line_id] = ids
+
+    def _score_job_level(self) -> None:
+        rows = []
+        keys: List[Tuple[str, int]] = []
+        for machine in self.dataset.iter_machines():
+            table = self.dataset.job_table(machine.machine_id)
+            for job, row in zip(machine.jobs, table):
+                rows.append(row)
+                keys.append((machine.machine_id, job.job_index))
+        X = _robust_standardize(np.vstack(rows))
+        detector = self.selector.choose(ProductionLevel.JOB)
+        scores = detector.fit_score(X)
+        threshold = _robust_threshold(scores, self.config.vector_sigma)
+        unified = unify_rank(scores)
+        self._job_scores = {k: float(s) for k, s in zip(keys, scores)}
+        self._job_unified = {k: float(u) for k, u in zip(keys, unified)}
+        self._job_flags = {k for k, s in zip(keys, scores) if s >= threshold}
+        self._job_detector = detector.name
+
+    def _score_line_level(self) -> None:
+        cfg = self.config
+        self._line_scores: Dict[Tuple[str, int], float] = {}
+        self._line_unified: Dict[Tuple[str, int], float] = {}
+        self._line_flags: set = set()
+        all_scores: List[Tuple[Tuple[str, int], float]] = []
+        for line in self.dataset.lines:
+            mat, identity = self.dataset.jobs_over_time(line.line_id)
+            if mat.shape[0] == 0:
+                continue
+            # jobs-over-time: augment each row with its deviation from the
+            # trailing robust baseline so the level sees temporal change,
+            # not just static position
+            history = cfg.line_history
+            deltas = np.zeros_like(mat)
+            for i in range(mat.shape[0]):
+                lo = max(0, i - history)
+                context = mat[lo:i]
+                if context.shape[0] >= 2:
+                    med = np.median(context, axis=0)
+                    mad = np.median(np.abs(context - med), axis=0) * 1.4826
+                    mad[mad <= 1e-12] = 1.0
+                    deltas[i] = (mat[i] - med) / mad
+            augmented = np.hstack([_robust_standardize(mat), deltas])
+            detector = self.selector.choose(ProductionLevel.PRODUCTION_LINE)
+            scores = detector.fit_score(augmented)
+            for key, s in zip(identity, scores):
+                all_scores.append((key, float(s)))
+        if not all_scores:
+            return
+        raw = np.array([s for __, s in all_scores])
+        threshold = _robust_threshold(raw, cfg.vector_sigma)
+        unified = unify_rank(raw)
+        for (key, s), u in zip(all_scores, unified):
+            self._line_scores[key] = s
+            self._line_unified[key] = float(u)
+            if s >= threshold:
+                self._line_flags.add(key)
+
+    def _score_production_level(self) -> None:
+        panel, machine_ids = self.dataset.production_panel()
+        panel = _robust_standardize(panel)
+        detector = self.selector.choose(ProductionLevel.PRODUCTION)
+        scores = detector.fit_score(panel)
+        threshold = _robust_threshold(scores, self.config.vector_sigma)
+        unified = unify_rank(scores)
+        self._machine_scores = {m: float(s) for m, s in zip(machine_ids, scores)}
+        self._machine_unified = {m: float(u) for m, u in zip(machine_ids, unified)}
+        self._machine_flags = {
+            m for m, s in zip(machine_ids, scores) if s >= threshold
+        }
+
+    # ------------------------------------------------------------------
+    # trace lookup (support + environment confirmation)
+    # ------------------------------------------------------------------
+    def _lookup_trace(
+        self, channel_id: str, time: float
+    ) -> Optional[Tuple[np.ndarray, float, float, float]]:
+        for trace in self._traces.get(channel_id, ()):
+            if trace.covers(time):
+                return trace.scores, trace.threshold, trace.start, trace.step
+        return None
+
+    def _candidate_time(self, candidate: OutlierCandidate) -> Optional[float]:
+        if candidate.index is not None and "/env/" in candidate.sensor_id:
+            # environment candidates live on the line-wide trace
+            for trace in self._traces.get(candidate.sensor_id, ()):
+                if candidate.index < len(trace.scores):
+                    return trace.start + candidate.index * trace.step
+            return None
+        if candidate.index is None or not candidate.sensor_id:
+            if candidate.job_index is None:
+                return None
+            try:
+                job = self.dataset.job(candidate.machine_id, candidate.job_index)
+            except KeyError:
+                return None
+            return (job.start + job.end) / 2.0
+        trace = self._traces.get(candidate.sensor_id)
+        if not trace:
+            return None
+        phase = self.dataset.phase_series(
+            candidate.machine_id, candidate.job_index, candidate.phase_name
+        )
+        any_series = phase.series[candidate.sensor_id]
+        return any_series.start + candidate.index * any_series.step
+
+    def _line_of_candidate(self, candidate: OutlierCandidate):
+        """The line a candidate belongs to (environment candidates carry the
+        line id in the machine_id field)."""
+        for line in self.dataset.lines:
+            if line.line_id == candidate.machine_id:
+                return line
+        try:
+            return self.dataset.line_of(candidate.machine_id)
+        except KeyError:
+            return None
+
+    # ------------------------------------------------------------------
+    # HierarchyContext interface
+    # ------------------------------------------------------------------
+    def find_candidates(self, level: ProductionLevel) -> List[OutlierCandidate]:
+        if level is ProductionLevel.PHASE:
+            return list(self._phase_candidates)
+        if level is ProductionLevel.JOB:
+            return [
+                OutlierCandidate(
+                    level=level,
+                    outlierness=self._job_scores[key],
+                    machine_id=key[0],
+                    job_index=key[1],
+                    detector=self._job_detector,
+                )
+                for key in sorted(self._job_flags)
+            ]
+        if level is ProductionLevel.ENVIRONMENT:
+            out = []
+            for line in self.dataset.lines:
+                for channel_id in self._env_channels[line.line_id]:
+                    for trace in self._traces[channel_id]:
+                        for idx in _peak_indices(
+                            trace.scores, trace.threshold,
+                            self.config.candidate_gap,
+                            self.config.max_candidates_per_trace,
+                        ):
+                            out.append(
+                                OutlierCandidate(
+                                    level=level,
+                                    outlierness=float(trace.scores[idx]),
+                                    machine_id=line.line_id,
+                                    sensor_id=channel_id,
+                                    index=idx,
+                                )
+                            )
+            return out
+        if level is ProductionLevel.PRODUCTION_LINE:
+            return [
+                OutlierCandidate(
+                    level=level,
+                    outlierness=self._line_scores[key],
+                    machine_id=key[0],
+                    job_index=key[1],
+                )
+                for key in sorted(self._line_flags)
+            ]
+        if level is ProductionLevel.PRODUCTION:
+            return [
+                OutlierCandidate(
+                    level=level,
+                    outlierness=self._machine_scores[m],
+                    machine_id=m,
+                )
+                for m in sorted(self._machine_flags)
+            ]
+        raise ValueError(f"unknown level {level!r}")
+
+    def _is_line_scoped(self, candidate: OutlierCandidate) -> bool:
+        return any(
+            line.line_id == candidate.machine_id for line in self.dataset.lines
+        )
+
+    def _jobs_in_window(self, candidate: OutlierCandidate):
+        """(machine, job) keys of the candidate line's jobs near its time."""
+        line = self._line_of_candidate(candidate)
+        if line is None:
+            return []
+        time = self._candidate_time(candidate)
+        keys = []
+        for machine in line.machines:
+            for job in machine.jobs:
+                if time is None or job.start - 1e-9 <= time <= job.end + 1e-9:
+                    keys.append((machine.machine_id, job.job_index))
+        return keys
+
+    def _confirm_line_scoped(self, candidate: OutlierCandidate,
+                             level: ProductionLevel) -> LevelConfirmation:
+        """Cross-level checks for environment (line-scoped) candidates."""
+        if level is ProductionLevel.JOB:
+            keys = self._jobs_in_window(candidate)
+            hits = [k for k in keys if k in self._job_flags]
+            best = max((self._job_unified.get(k, 0.0) for k in keys), default=0.0)
+            return LevelConfirmation(
+                level, bool(hits), best,
+                note=f"{len(hits)} concurrent job(s) flagged" if hits else "",
+            )
+        if level is ProductionLevel.PRODUCTION_LINE:
+            keys = self._jobs_in_window(candidate)
+            hits = [k for k in keys if k in self._line_flags]
+            best = max((self._line_unified.get(k, 0.0) for k in keys), default=0.0)
+            return LevelConfirmation(level, bool(hits), best)
+        if level is ProductionLevel.PRODUCTION:
+            line = self._line_of_candidate(candidate)
+            machines = [m.machine_id for m in line.machines] if line else []
+            hits = [m for m in machines if m in self._machine_flags]
+            best = max(
+                (self._machine_unified.get(m, 0.0) for m in machines), default=0.0
+            )
+            return LevelConfirmation(level, bool(hits), best)
+        raise ValueError(f"unexpected line-scoped level {level!r}")
+
+    def confirm(self, candidate: OutlierCandidate,
+                level: ProductionLevel) -> LevelConfirmation:
+        if (
+            self._is_line_scoped(candidate)
+            and level in (
+                ProductionLevel.JOB,
+                ProductionLevel.PRODUCTION_LINE,
+                ProductionLevel.PRODUCTION,
+            )
+        ):
+            return self._confirm_line_scoped(candidate, level)
+        key = (candidate.machine_id, candidate.job_index)
+        if level is ProductionLevel.JOB:
+            detected = key in self._job_flags
+            return LevelConfirmation(
+                level, detected, self._job_unified.get(key, 0.0),
+                note="CAQ+setup row flagged" if detected else "job row normal",
+            )
+        if level is ProductionLevel.ENVIRONMENT:
+            return self._confirm_environment(candidate)
+        if level is ProductionLevel.PRODUCTION_LINE:
+            detected = key in self._line_flags
+            return LevelConfirmation(
+                level, detected, self._line_unified.get(key, 0.0),
+                note="jobs-over-time row flagged" if detected else "",
+            )
+        if level is ProductionLevel.PRODUCTION:
+            detected = candidate.machine_id in self._machine_flags
+            return LevelConfirmation(
+                level, detected,
+                self._machine_unified.get(candidate.machine_id, 0.0),
+                note="machine KPI flagged" if detected else "",
+            )
+        if level is ProductionLevel.PHASE:
+            return self._confirm_phase(candidate)
+        raise ValueError(f"unknown level {level!r}")
+
+    def _confirm_environment(self, candidate: OutlierCandidate) -> LevelConfirmation:
+        time = self._candidate_time(candidate)
+        level = ProductionLevel.ENVIRONMENT
+        if time is None:
+            return LevelConfirmation(level, False, 0.0, note="no timestamp")
+        line = self._line_of_candidate(candidate)
+        if line is None:
+            return LevelConfirmation(level, False, 0.0, note="unknown line")
+        tol = max(self.config.support_tolerance, 4.0)
+        best = 0.0
+        detected = False
+        for channel_id in self._env_channels[line.line_id]:
+            entry = self._lookup_trace(channel_id, time)
+            if entry is None:
+                continue
+            scores, threshold, start, step = entry
+            lo = max(0, int((time - tol - start) / step))
+            hi = min(len(scores), int((time + tol - start) / step) + 1)
+            if hi <= lo:
+                continue
+            window = scores[lo:hi]
+            peak = float(window.max())
+            med = float(np.median(scores))
+            spread = float(np.median(np.abs(scores - med))) * 1.4826 or 1.0
+            best = max(best, min(1.0, max(0.0, (peak - med) / (spread * 10.0))))
+            if peak >= threshold:
+                detected = True
+        return LevelConfirmation(
+            level, detected, best,
+            note="environment anomaly in window" if detected else "",
+        )
+
+    def _confirm_phase(self, candidate: OutlierCandidate) -> LevelConfirmation:
+        level = ProductionLevel.PHASE
+        line = self._line_of_candidate(candidate)
+        line_machines = (
+            {m.machine_id for m in line.machines} if line is not None else set()
+        )
+        if candidate.machine_id in line_machines or line is None:
+            # machine-scoped candidate: match its machine (and job when known)
+            matches = [
+                c
+                for c in self._phase_candidates
+                if c.machine_id == candidate.machine_id
+                and (candidate.job_index is None or c.job_index == candidate.job_index)
+            ]
+        else:
+            # line-scoped candidate (environment level): any machine of the
+            # line with a phase-level sighting near the candidate's time
+            time = self._candidate_time(candidate)
+            tol = max(self.config.support_tolerance * 4, 32.0)
+            matches = []
+            for c in self._phase_candidates:
+                if c.machine_id not in line_machines:
+                    continue
+                c_time = self._candidate_time(c)
+                if time is None or c_time is None or abs(c_time - time) <= tol:
+                    matches.append(c)
+        if not matches:
+            return LevelConfirmation(level, False, 0.0, note="no phase anomaly")
+        best = max(c.outlierness for c in matches)
+        all_scores = np.array([c.outlierness for c in self._phase_candidates])
+        unified = float((all_scores <= best).mean())
+        return LevelConfirmation(
+            level, True, unified,
+            note=f"{len(matches)} phase-level candidate(s) in job",
+        )
+
+    def support(self, candidate: OutlierCandidate) -> SupportResult:
+        if not candidate.sensor_id:
+            return SupportResult(0.0, 0, ())
+        time = self._candidate_time(candidate)
+        if time is None:
+            return SupportResult(0.0, 0, ())
+        return self._support_calc.support_for(candidate.sensor_id, time)
+
+    # convenience accessors used by benches -----------------------------
+    @property
+    def phase_candidates(self) -> List[OutlierCandidate]:
+        return list(self._phase_candidates)
+
+    @property
+    def correspondence_graph(self) -> CorrespondenceGraph:
+        return self._graph
+
+
+class HierarchicalDetectionPipeline:
+    """Public facade: simulate-once, then query hierarchical reports."""
+
+    def __init__(
+        self,
+        dataset: PlantDataset,
+        selector: Optional[AlgorithmSelector] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or PipelineConfig()
+        self.context = PlantHierarchyContext(dataset, selector, self.config)
+
+    def run(
+        self,
+        start_level: ProductionLevel = ProductionLevel.PHASE,
+        fusion_strategy: Optional[str] = None,
+    ) -> List[HierarchicalOutlierReport]:
+        """Algorithm 1 from ``start_level``, reports ranked best-first."""
+        reports = find_hierarchical_outliers(
+            self.context,
+            start_level,
+            fusion_strategy=fusion_strategy or self.config.fusion_strategy,
+        )
+        return rank_reports(reports)
+
+    def flat_baseline(self) -> List[HierarchicalOutlierReport]:
+        """Single-level baseline: phase candidates ranked by outlierness only.
+
+        Reports carry global score 1 and neutral support, exactly what a
+        non-hierarchical detector could know.
+        """
+        candidates = self.context.find_candidates(ProductionLevel.PHASE)
+        if not candidates:
+            return []
+        unified = unify_rank([c.outlierness for c in candidates])
+        reports = [
+            HierarchicalOutlierReport(
+                candidate=c,
+                global_score=1,
+                outlierness=float(u),
+                support=0.0,
+                n_corresponding=0,
+                fused_score=float(u),
+            )
+            for c, u in zip(candidates, unified)
+        ]
+        return sorted(reports, key=lambda r: r.outlierness, reverse=True)

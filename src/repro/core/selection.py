@@ -1,0 +1,90 @@
+"""ChooseAlgorithm — the per-level detector selection policy.
+
+Algorithm 1 begins with ``algorithm := ChooseAlgorithm(startLevel)`` and
+the summary adds that "the algorithm should be selected with respect to the
+resolution best fitting to a production layer".  The policy here encodes
+that: each level has a preference-ordered list of detector names whose
+Table-1 capabilities match the level's data contract; the first applicable
+entry wins.  Callers can override any level's preferences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..detectors import BaseDetector, DataShape, make_detector, get_detector
+from .levels import ProductionLevel, contract_for
+
+__all__ = ["AlgorithmSelector", "DEFAULT_PREFERENCES"]
+
+#: Preference order per level, justified by the level's data shape:
+#: * PHASE — high-resolution numeric series: prediction residuals localize
+#:   point anomalies best, with the histogram deviants as fallback;
+#: * JOB — one high-dimensional row per job, few rows: the kNN distance
+#:   score stays reliable on small-n vector data where mixtures overfit;
+#: * ENVIRONMENT — a slow ambient series: prediction residuals again, but
+#:   tolerant variants first (the ambient cycle is strong);
+#: * PRODUCTION_LINE — jobs-over-time vectors: distance and cluster
+#:   structure across a whole line of jobs;
+#: * PRODUCTION — a tiny KPI panel (one row per machine): only robust
+#:   statistical scores remain meaningful.
+DEFAULT_PREFERENCES: Dict[ProductionLevel, Sequence[str]] = {
+    ProductionLevel.PHASE: ("ar", "deviants", "zscore"),
+    ProductionLevel.JOB: ("knn", "em-gmm", "mad"),
+    ProductionLevel.ENVIRONMENT: ("ar", "deviants", "mad"),
+    ProductionLevel.PRODUCTION_LINE: ("knn", "single-linkage", "em-gmm"),
+    ProductionLevel.PRODUCTION: ("mad", "knn", "zscore"),
+}
+
+
+class AlgorithmSelector:
+    """Resolution-aware detector choice (the paper's ``ChooseAlgorithm``)."""
+
+    def __init__(
+        self,
+        preferences: Optional[Dict[ProductionLevel, Sequence[str]]] = None,
+    ) -> None:
+        self._preferences: Dict[ProductionLevel, List[str]] = {
+            level: list(names)
+            for level, names in (preferences or DEFAULT_PREFERENCES).items()
+        }
+        for level in ProductionLevel:
+            if level not in self._preferences:
+                raise ValueError(f"no preferences configured for {level}")
+
+    def preferences_for(self, level: ProductionLevel) -> List[str]:
+        return list(self._preferences[level])
+
+    def override(self, level: ProductionLevel, names: Sequence[str]) -> None:
+        """Replace the preference list of one level."""
+        if not names:
+            raise ValueError("preference list must not be empty")
+        self._preferences[level] = list(names)
+
+    def choose(self, level: ProductionLevel) -> BaseDetector:
+        """ChooseAlgorithm(level): first preference whose capabilities fit."""
+        contract = contract_for(level)
+        required: DataShape = contract.outlier_granularity
+        for name in self._preferences[level]:
+            entry = get_detector(name)
+            pts, ssq, tss = entry.capabilities()
+            fits = (
+                (required is DataShape.POINTS and pts)
+                or (required is DataShape.SUBSEQUENCES and (ssq or pts))
+                or (required is DataShape.SERIES and tss)
+            )
+            if fits:
+                return make_detector(name)
+        raise LookupError(
+            f"no configured detector fits {level} "
+            f"(granularity {required}); preferences: {self._preferences[level]}"
+        )
+
+    def describe(self) -> str:
+        """A short table of the active policy, for reports."""
+        lines = []
+        for level in ProductionLevel:
+            chosen = self.choose(level)
+            prefs = ", ".join(self._preferences[level])
+            lines.append(f"{str(level):22s} -> {chosen.name:14s} (prefs: {prefs})")
+        return "\n".join(lines)

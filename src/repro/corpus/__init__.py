@@ -1,0 +1,28 @@
+"""Synthetic bibliographic corpus + query engine (the Fig.-3 substrate)."""
+
+from .fig3 import FIELD_TERMS, Fig3Row, counts_by_field, run_fig3_queries
+from .generator import (
+    ACS_CATEGORY,
+    FIELD_PROFILES,
+    TIME_SERIES_TOPIC,
+    FieldProfile,
+    expected_counts,
+    generate_corpus,
+)
+from .records import CorpusIndex, PaperRecord, Query
+
+__all__ = [
+    "PaperRecord",
+    "Query",
+    "CorpusIndex",
+    "FieldProfile",
+    "FIELD_PROFILES",
+    "TIME_SERIES_TOPIC",
+    "ACS_CATEGORY",
+    "generate_corpus",
+    "expected_counts",
+    "Fig3Row",
+    "run_fig3_queries",
+    "counts_by_field",
+    "FIELD_TERMS",
+]

@@ -1,0 +1,50 @@
+"""The Fig.-3 query workload: eight fields × two filter levels.
+
+"Each term was filtered with the word time series and afterwards limited to
+those items that are connected to the category automation control systems"
+(Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .generator import ACS_CATEGORY, TIME_SERIES_TOPIC, FIELD_PROFILES
+from .records import CorpusIndex, Query
+
+__all__ = ["Fig3Row", "run_fig3_queries", "FIELD_TERMS"]
+
+FIELD_TERMS = tuple(p.term for p in FIELD_PROFILES)
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One bar pair of Fig. 3."""
+
+    field: str
+    time_series_count: int
+    acs_count: int
+
+
+def run_fig3_queries(index: CorpusIndex) -> List[Fig3Row]:
+    """Run the paper's sixteen queries against a corpus index."""
+    rows: List[Fig3Row] = []
+    for term in FIELD_TERMS:
+        ts_query = Query(term=term, topics=(TIME_SERIES_TOPIC,))
+        acs_query = Query(
+            term=term, topics=(TIME_SERIES_TOPIC,), categories=(ACS_CATEGORY,)
+        )
+        rows.append(
+            Fig3Row(
+                field=term,
+                time_series_count=index.count(ts_query),
+                acs_count=index.count(acs_query),
+            )
+        )
+    return rows
+
+
+def counts_by_field(rows: List[Fig3Row]) -> Dict[str, int]:
+    """The time-series-filtered count per field (the main Fig.-3 bars)."""
+    return {r.field: r.time_series_count for r in rows}

@@ -1,0 +1,127 @@
+"""Detector library: one implementation per Table-1 row, plus baselines.
+
+Every detector exposes ``fit`` / ``score`` / ``detect`` over item
+collections (feature matrices, label sequences, or time series) and
+``fit_series`` / ``score_series`` for within-series localization.  Scores
+are graded outlierness values — higher is more outlying — matching the
+paper's Section-5 argument for rankable scores over binary flags.
+"""
+
+from .base import (
+    BaseDetector,
+    DataShape,
+    Detection,
+    Family,
+    SymbolDetector,
+    VectorDetector,
+    coerce_items,
+)
+from .baselines import (
+    KNNDetector,
+    LOFDetector,
+    MADDetector,
+    PCALeverageDetector,
+    RandomDetector,
+    ReverseKNNDetector,
+    ZScoreDetector,
+)
+from .discriminative import (
+    DynamicClusteringDetector,
+    EMDetector,
+    LCSDetector,
+    MatchCountDetector,
+    OneClassSVMDetector,
+    PCASpaceDetector,
+    PhasedKMeansDetector,
+    SingleLinkageDetector,
+    SOMDetector,
+    VibrationSignatureDetector,
+)
+from .encoders import NGramVectorizer, SeriesFeaturizer, SeriesSymbolizer
+from .errors import DetectorError, NotFittedError, ShapeUnsupportedError
+from .information import DeviantsDetector, v_optimal_boundaries
+from .olap import DataCube, OLAPCubeDetector
+from .parametric import FSADetector, HMMDetector
+from .pattern_db import AnomalyDictionaryDetector, NormalPatternDatabaseDetector
+from .predictive import ARDetector, VARDetector, fit_ar_coefficients
+from .profile import ProfileSimilarityDetector
+from .registry import (
+    BASELINE_ROWS,
+    TABLE1_ROWS,
+    RegistryEntry,
+    all_names,
+    capability_table,
+    get_detector,
+    make_detector,
+)
+from .subsequence import SAXDiscordDetector
+from .supervised import (
+    MLPDetector,
+    MotifRuleDetector,
+    RuleLearningDetector,
+    SupervisedVectorDetector,
+    pseudo_labels,
+)
+
+__all__ = [
+    # framework
+    "BaseDetector",
+    "VectorDetector",
+    "SymbolDetector",
+    "DataShape",
+    "Family",
+    "Detection",
+    "coerce_items",
+    "DetectorError",
+    "NotFittedError",
+    "ShapeUnsupportedError",
+    "NGramVectorizer",
+    "SeriesFeaturizer",
+    "SeriesSymbolizer",
+    # Table-1 detectors
+    "MatchCountDetector",
+    "LCSDetector",
+    "VibrationSignatureDetector",
+    "EMDetector",
+    "PhasedKMeansDetector",
+    "DynamicClusteringDetector",
+    "SingleLinkageDetector",
+    "PCASpaceDetector",
+    "OneClassSVMDetector",
+    "SOMDetector",
+    "FSADetector",
+    "HMMDetector",
+    "OLAPCubeDetector",
+    "DataCube",
+    "RuleLearningDetector",
+    "MLPDetector",
+    "MotifRuleDetector",
+    "NormalPatternDatabaseDetector",
+    "AnomalyDictionaryDetector",
+    "SAXDiscordDetector",
+    "ARDetector",
+    "VARDetector",
+    "fit_ar_coefficients",
+    "DeviantsDetector",
+    "v_optimal_boundaries",
+    "ProfileSimilarityDetector",
+    # supervised machinery
+    "SupervisedVectorDetector",
+    "pseudo_labels",
+    # baselines
+    "ZScoreDetector",
+    "MADDetector",
+    "KNNDetector",
+    "LOFDetector",
+    "ReverseKNNDetector",
+    "PCALeverageDetector",
+    "RandomDetector",
+    # registry
+    "RegistryEntry",
+    "TABLE1_ROWS",
+    "BASELINE_ROWS",
+    "get_detector",
+    "make_detector",
+    "all_names",
+    "capability_table",
+]

@@ -1,0 +1,110 @@
+"""Small numeric helpers shared across detector implementations."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["pairwise_sq_dists", "kth_neighbor_dists", "neighbor_indices", "kmeans"]
+
+
+def pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of ``A`` and ``B``.
+
+    Computed with the expansion ``|a|^2 - 2 a·b + |b|^2``; tiny negative
+    values from cancellation are clipped to zero.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    a2 = (A * A).sum(axis=1)[:, None]
+    b2 = (B * B).sum(axis=1)[None, :]
+    d2 = a2 - 2.0 * (A @ B.T) + b2
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def kth_neighbor_dists(
+    X: np.ndarray, ref: np.ndarray, k: int, exclude_self: bool
+) -> np.ndarray:
+    """Distance from each row of ``X`` to its ``k``-th nearest row of ``ref``.
+
+    ``exclude_self`` skips the zero-distance match when ``X is ref`` (each
+    point would otherwise be its own nearest neighbour).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    d2 = pairwise_sq_dists(X, ref)
+    if exclude_self:
+        np.fill_diagonal(d2, np.inf)
+    k_eff = min(k, d2.shape[1] - (1 if exclude_self else 0))
+    k_eff = max(k_eff, 1)
+    part = np.partition(d2, k_eff - 1, axis=1)[:, k_eff - 1]
+    part = np.where(np.isinf(part), 0.0, part)
+    return np.sqrt(part)
+
+
+def neighbor_indices(
+    X: np.ndarray, ref: np.ndarray, k: int, exclude_self: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and distances of the ``k`` nearest rows of ``ref`` per row of ``X``."""
+    d2 = pairwise_sq_dists(X, ref)
+    if exclude_self:
+        np.fill_diagonal(d2, np.inf)
+    k_eff = max(1, min(k, d2.shape[1] - (1 if exclude_self else 0)))
+    idx = np.argpartition(d2, k_eff - 1, axis=1)[:, :k_eff]
+    rows = np.arange(d2.shape[0])[:, None]
+    dists = np.sqrt(d2[rows, idx])
+    order = np.argsort(dists, axis=1)
+    return idx[rows, order], dists[rows, order]
+
+
+def kmeans(
+    X: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    n_iter: int = 50,
+    tol: float = 1e-6,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns ``(centroids, assignments)``.  Empty clusters are reseeded to
+    the currently worst-fit point, so exactly ``k`` centroids survive
+    (``k`` is clipped to the number of distinct rows available).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n = X.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty matrix")
+    k = max(1, min(k, n))
+    # k-means++ seeding
+    centroids = np.empty((k, X.shape[1]))
+    first = int(rng.integers(n))
+    centroids[0] = X[first]
+    closest = pairwise_sq_dists(X, centroids[:1]).ravel()
+    for j in range(1, k):
+        total = closest.sum()
+        if total <= 1e-12:
+            centroids[j] = X[int(rng.integers(n))]
+        else:
+            probs = closest / total
+            centroids[j] = X[int(rng.choice(n, p=probs))]
+        closest = np.minimum(closest, pairwise_sq_dists(X, centroids[j : j + 1]).ravel())
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(n_iter):
+        d2 = pairwise_sq_dists(X, centroids)
+        assignments = d2.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = X[assignments == j]
+            if members.shape[0] == 0:
+                worst = int(d2.min(axis=1).argmax())
+                new_centroids[j] = X[worst]
+            else:
+                new_centroids[j] = members.mean(axis=0)
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift < tol:
+            break
+    d2 = pairwise_sq_dists(X, centroids)
+    return centroids, d2.argmin(axis=1)

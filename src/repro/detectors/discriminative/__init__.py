@@ -1,0 +1,33 @@
+"""Discriminative-approach (DA) detectors — Table 1, rows 1-10.
+
+"A similarity function compares sequences and clusters, while the distance
+of a time series to the centroid of the nearest clusters denotes the
+anomaly score" (Section 3).
+"""
+
+from .dynamic_clustering import DynamicClusteringDetector
+from .em import EMDetector
+from .lcs import LCSDetector, lcs_length, lcs_similarity
+from .match_count import MatchCountDetector, match_count_similarity
+from .pca_space import PCASpaceDetector
+from .phased_kmeans import PhasedKMeansDetector
+from .single_linkage import SingleLinkageDetector
+from .som import SOMDetector
+from .svm import OneClassSVMDetector
+from .vibration import VibrationSignatureDetector
+
+__all__ = [
+    "MatchCountDetector",
+    "match_count_similarity",
+    "LCSDetector",
+    "lcs_length",
+    "lcs_similarity",
+    "VibrationSignatureDetector",
+    "EMDetector",
+    "PhasedKMeansDetector",
+    "DynamicClusteringDetector",
+    "SingleLinkageDetector",
+    "PCASpaceDetector",
+    "OneClassSVMDetector",
+    "SOMDetector",
+]

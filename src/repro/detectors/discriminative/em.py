@@ -1,0 +1,131 @@
+"""Expectation-maximization Gaussian mixture detector (after Pan et al.'s
+Ganesha black-box diagnosis) — Table 1, row 4.
+
+A diagonal-covariance Gaussian mixture is fitted with EM; the anomaly score
+of an item is its negative log-likelihood under the mixture.  Diagonal
+covariances keep the estimator well-conditioned in the moderate dimensions
+produced by the sequence / series encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._math import kmeans
+from ..base import DataShape, Family, VectorDetector
+
+__all__ = ["EMDetector"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class EMDetector(VectorDetector):
+    """Diagonal Gaussian mixture; score = negative log-likelihood."""
+
+    name = "em-gmm"
+    family = Family.DISCRIMINATIVE
+    supports = frozenset(
+        {DataShape.POINTS, DataShape.SUBSEQUENCES, DataShape.SERIES}
+    )
+    citation = "Pan et al. 2008 [30]"
+
+    def __init__(self, n_components: int = 3, n_iter: int = 50,
+                 reg: float = 1e-6, seed: int = 0,
+                 min_component_weight: float = 0.15) -> None:
+        super().__init__()
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        if not 0 <= min_component_weight < 1:
+            raise ValueError("min_component_weight must be in [0, 1)")
+        self.n_components = n_components
+        self.n_iter = n_iter
+        self.reg = reg
+        self.seed = seed
+        self.min_component_weight = min_component_weight
+
+    # ------------------------------------------------------------------
+    def _log_component_densities(self, X: np.ndarray) -> np.ndarray:
+        """(n, k) log N(x | mu_j, diag(var_j)) for every component j."""
+        n, d = X.shape
+        out = np.empty((n, self.k_))
+        for j in range(self.k_):
+            diff = X - self.means_[j]
+            maha = (diff * diff / self.vars_[j]).sum(axis=1)
+            log_det = np.log(self.vars_[j]).sum()
+            out[:, j] = -0.5 * (maha + log_det + d * _LOG_2PI)
+        return out
+
+    def _fit_matrix(self, X: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        # standardize so no single high-variance feature dominates the
+        # likelihood (series features mix energies with slopes)
+        self._shift = X.mean(axis=0)
+        self._scale = X.std(axis=0)
+        self._scale[self._scale <= 1e-12] = 1.0
+        X = (X - self._shift) / self._scale
+        # small-sample guard: diagonal covariances need several points per
+        # dimension, so project to the leading principal subspace first
+        n, d = X.shape
+        max_dims = max(2, n // 5)
+        if d > max_dims:
+            __, __, vt = np.linalg.svd(X - X.mean(axis=0), full_matrices=False)
+            self._projection = vt[:max_dims].T
+        else:
+            self._projection = None
+        if self._projection is not None:
+            X = X @ self._projection
+        n, d = X.shape
+        self.k_ = max(1, min(self.n_components, n))
+        centroids, assign = kmeans(X, self.k_, rng)
+        self.means_ = centroids.copy()
+        self.vars_ = np.empty((self.k_, d))
+        self.weights_ = np.empty(self.k_)
+        global_var = X.var(axis=0) + self.reg
+        for j in range(self.k_):
+            members = X[assign == j]
+            self.weights_[j] = max(1, members.shape[0]) / n
+            self.vars_[j] = members.var(axis=0) + self.reg if members.shape[0] > 1 else global_var
+        self.weights_ /= self.weights_.sum()
+
+        prev_ll = -np.inf
+        for _ in range(self.n_iter):
+            # E step
+            log_dens = self._log_component_densities(X) + np.log(self.weights_)
+            m = log_dens.max(axis=1, keepdims=True)
+            log_norm = m + np.log(np.exp(log_dens - m).sum(axis=1, keepdims=True))
+            resp = np.exp(log_dens - log_norm)
+            ll = float(log_norm.sum())
+            # M step
+            nk = resp.sum(axis=0) + 1e-12
+            self.weights_ = nk / n
+            self.means_ = (resp.T @ X) / nk[:, None]
+            for j in range(self.k_):
+                diff = X - self.means_[j]
+                self.vars_[j] = (resp[:, j] @ (diff * diff)) / nk[j] + self.reg
+            if abs(ll - prev_ll) < 1e-8 * max(1.0, abs(prev_ll)):
+                break
+            prev_ll = ll
+
+        # drop minority components: when fitting unsupervised on
+        # contaminated data, a small component that latched onto the
+        # anomalies would otherwise hand them high likelihood
+        keep = self.weights_ >= self.min_component_weight
+        if not keep.any():
+            keep[int(self.weights_.argmax())] = True
+        if not keep.all():
+            self.weights_ = self.weights_[keep]
+            self.weights_ /= self.weights_.sum()
+            self.means_ = self.means_[keep]
+            self.vars_ = self.vars_[keep]
+            self.k_ = int(keep.sum())
+
+    def _score_matrix(self, X: np.ndarray) -> np.ndarray:
+        X = (X - self._shift) / self._scale
+        if self._projection is not None:
+            X = X @ self._projection
+        log_dens = self._log_component_densities(X) + np.log(self.weights_)
+        m = log_dens.max(axis=1)
+        ll = m + np.log(np.exp(log_dens - m[:, None]).sum(axis=1))
+        return -ll

@@ -1,0 +1,132 @@
+"""Longest-common-subsequence anomaly detection (Budalakoti et al. 2006) —
+Table 1, row 2.
+
+Normal sequences are clustered by normalized LCS similarity around medoids;
+a test sequence's anomaly score is one minus its best medoid similarity.
+Within-sequence position scores come from the LCS alignment against the
+best medoid: symbols that do not participate in the common subsequence are
+the anomalous ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ...timeseries import DiscreteSequence
+from ..base import DataShape, Family, SymbolDetector
+
+__all__ = ["LCSDetector", "lcs_length", "lcs_similarity"]
+
+
+def lcs_length(a: Sequence, b: Sequence) -> int:
+    """Classic O(len(a)·len(b)) dynamic program, rolling rows."""
+    if len(a) < len(b):
+        a, b = b, a
+    if len(b) == 0:
+        return 0
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        cur = [0]
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                cur.append(prev[j - 1] + 1)
+            else:
+                cur.append(max(prev[j], cur[-1]))
+        prev = cur
+    return prev[-1]
+
+
+def lcs_similarity(a: Sequence, b: Sequence) -> float:
+    """LCS length normalized by the geometric mean of the lengths."""
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    return lcs_length(a, b) / float(np.sqrt(len(a) * len(b)))
+
+
+def _lcs_member_mask(seq: Sequence, ref: Sequence) -> np.ndarray:
+    """Boolean mask over ``seq``: True where the symbol joins the LCS with ``ref``."""
+    n, m = len(seq), len(ref)
+    table = np.zeros((n + 1, m + 1), dtype=np.int32)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if seq[i - 1] == ref[j - 1]:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    mask = np.zeros(n, dtype=bool)
+    i, j = n, m
+    while i > 0 and j > 0:
+        if seq[i - 1] == ref[j - 1] and table[i, j] == table[i - 1, j - 1] + 1:
+            mask[i - 1] = True
+            i -= 1
+            j -= 1
+        elif table[i - 1, j] >= table[i, j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return mask
+
+
+class LCSDetector(SymbolDetector):
+    """Medoid clustering by LCS similarity; anomaly = far from every medoid."""
+
+    name = "lcs"
+    family = Family.DISCRIMINATIVE
+    supports = frozenset({DataShape.SUBSEQUENCES})
+    citation = "Budalakoti et al. 2006 [2]"
+
+    def __init__(self, n_clusters: int = 4, seed: int = 0) -> None:
+        super().__init__()
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.seed = seed
+
+    def _fit_sequences(self, sequences: Sequence[DiscreteSequence]) -> None:
+        seqs = [s for s in sequences if len(s) > 0]
+        if not seqs:
+            raise ValueError("cannot fit LCS detector on empty sequences")
+        rng = np.random.default_rng(self.seed)
+        k = min(self.n_clusters, len(seqs))
+        n = len(seqs)
+        sim = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                sim[i, j] = sim[j, i] = lcs_similarity(seqs[i].symbols, seqs[j].symbols)
+        # facility-location greedy over *dense* candidates: each new medoid
+        # maximizes the total similarity gain over the whole collection, and
+        # only sequences with at least median centrality may become medoids
+        # — isolated (anomalous) sequences can neither win coverage nor
+        # sneak in late when gains become marginal.
+        centrality = sim.sum(axis=1)
+        eligible = centrality >= np.median(centrality)
+        medoids: List[int] = []
+        covered = np.zeros(n)
+        for _ in range(k):
+            gains = np.maximum(sim, covered[None, :])
+            total_gain = gains.sum(axis=1) - covered.sum()
+            total_gain[~eligible] = -np.inf
+            total_gain[medoids] = -np.inf
+            best = int(total_gain.argmax())
+            if medoids and total_gain[best] <= 1e-12:
+                break
+            medoids.append(best)
+            covered = np.maximum(covered, sim[best])
+        self._medoids: List[Tuple] = [seqs[m].symbols for m in medoids]
+
+    def _score_sequence(self, sequence: DiscreteSequence) -> float:
+        if len(sequence) == 0:
+            return 0.0
+        best = max(lcs_similarity(sequence.symbols, m) for m in self._medoids)
+        return 1.0 - best
+
+    def _score_positions(self, sequence: DiscreteSequence) -> np.ndarray:
+        n = len(sequence)
+        if n == 0:
+            return np.empty(0)
+        sims = [lcs_similarity(sequence.symbols, m) for m in self._medoids]
+        ref = self._medoids[int(np.argmax(sims))]
+        mask = _lcs_member_mask(sequence.symbols, ref)
+        return (~mask).astype(np.float64)

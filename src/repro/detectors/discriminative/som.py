@@ -1,0 +1,76 @@
+"""Self-organizing map detector (González & Dasgupta 2003) — Table 1, row 10.
+
+A rectangular SOM is trained on normal data with the classic online rule
+(decaying learning rate and Gaussian neighborhood).  The anomaly score of an
+item is its quantization error — the distance to its best-matching unit.
+Items the map never learned to represent land far from every codebook
+vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._math import pairwise_sq_dists
+from ..base import DataShape, Family, VectorDetector
+
+__all__ = ["SOMDetector"]
+
+
+class SOMDetector(VectorDetector):
+    """Rectangular SOM; score = distance to the best-matching unit."""
+
+    name = "som"
+    family = Family.DISCRIMINATIVE
+    supports = frozenset(
+        {DataShape.POINTS, DataShape.SUBSEQUENCES, DataShape.SERIES}
+    )
+    citation = "González & Dasgupta 2003 [11]"
+
+    def __init__(self, grid: tuple[int, int] = (5, 5), n_epochs: int = 10,
+                 learning_rate: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        rows, cols = grid
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.grid = (rows, cols)
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def _fit_matrix(self, X: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        rows, cols = self.grid
+        n_units = rows * cols
+        n, d = X.shape
+        # codebook initialized from random data points (plus jitter)
+        init_idx = rng.choice(n, size=n_units, replace=n < n_units)
+        codebook = X[init_idx].astype(np.float64) + rng.normal(
+            0, 1e-3, size=(n_units, d)
+        )
+        # unit coordinates on the grid, for the neighborhood kernel
+        coords = np.array([(r, c) for r in range(rows) for c in range(cols)],
+                          dtype=np.float64)
+        grid_d2 = pairwise_sq_dists(coords, coords)
+        sigma0 = max(rows, cols) / 2.0
+        total_steps = self.n_epochs * n
+        step = 0
+        for epoch in range(self.n_epochs):
+            order = rng.permutation(n)
+            for i in order:
+                frac = step / max(1, total_steps - 1)
+                lr = self.learning_rate * (1.0 - frac) + 0.01 * frac
+                sigma = sigma0 * (1.0 - frac) + 0.5 * frac
+                x = X[i]
+                bmu = int(((codebook - x) ** 2).sum(axis=1).argmin())
+                influence = np.exp(-grid_d2[bmu] / (2.0 * sigma * sigma))
+                codebook += lr * influence[:, None] * (x - codebook)
+                step += 1
+        self._codebook = codebook
+
+    def _score_matrix(self, X: np.ndarray) -> np.ndarray:
+        return np.sqrt(pairwise_sq_dists(X, self._codebook).min(axis=1))

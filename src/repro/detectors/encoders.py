@@ -1,0 +1,158 @@
+"""Cross-domain encoders between the three item kinds.
+
+A detector is natively either *vector*-valued (clustering, PCA, SVDD, …)
+or *symbol*-valued (FSA, HMM, pattern databases, …).  The Table-1 rows
+with several checkmarks reach the non-native granularities through the
+encoders here: sequences become n-gram count vectors, whole time series
+become fixed-length statistical/spectral feature vectors, and numeric
+series become SAX word streams.
+
+Encoders are *stateful*: vocabulary, alphabet, and segment counts are
+frozen at fit time so train and test items land in the same space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..timeseries import (
+    DiscreteSequence,
+    TimeSeries,
+    fft_band_energies,
+    paa,
+    sax_word,
+)
+
+__all__ = [
+    "NGramVectorizer",
+    "SeriesFeaturizer",
+    "SeriesSymbolizer",
+]
+
+
+@dataclass
+class NGramVectorizer:
+    """Map label sequences to L1-normalized n-gram count vectors.
+
+    The vocabulary is the union of all n-grams (for every ``n`` in
+    ``orders``) observed at fit time; unseen test n-grams fall into a
+    shared out-of-vocabulary bucket so their mass is not silently dropped.
+    """
+
+    orders: Tuple[int, ...] = (1, 2)
+    _vocabulary: Dict[tuple, int] = field(default_factory=dict)
+    _fitted: bool = False
+
+    def fit(self, sequences: Sequence[DiscreteSequence]) -> "NGramVectorizer":
+        vocab: Dict[tuple, int] = {}
+        for seq in sequences:
+            for n in self.orders:
+                for gram in seq.ngrams(n):
+                    if gram not in vocab:
+                        vocab[gram] = len(vocab)
+        if not vocab:
+            raise ValueError("cannot fit an n-gram vocabulary on empty sequences")
+        self._vocabulary = vocab
+        self._fitted = True
+        return self
+
+    @property
+    def dimension(self) -> int:
+        """Vocabulary size plus the out-of-vocabulary bucket."""
+        return len(self._vocabulary) + 1
+
+    def transform(self, sequences: Sequence[DiscreteSequence]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("NGramVectorizer used before fit")
+        oov = len(self._vocabulary)
+        out = np.zeros((len(sequences), self.dimension))
+        for row, seq in enumerate(sequences):
+            for n in self.orders:
+                for gram in seq.ngrams(n):
+                    out[row, self._vocabulary.get(gram, oov)] += 1.0
+            total = out[row].sum()
+            if total > 0:
+                out[row] /= total
+        return out
+
+    def fit_transform(self, sequences: Sequence[DiscreteSequence]) -> np.ndarray:
+        return self.fit(sequences).transform(sequences)
+
+
+@dataclass
+class SeriesFeaturizer:
+    """Map whole time series to fixed-length feature vectors.
+
+    Features: global statistics (mean, std, min, max, median, MAD, linear
+    slope), ``n_bands`` normalized FFT band energies, and a ``n_paa``-segment
+    PAA sketch of the z-normalized shape.  Series of any length map to the
+    same space, which is what whole-series (TSS) detectors need.
+    """
+
+    n_bands: int = 8
+    n_paa: int = 8
+
+    def transform(self, collection: Sequence[TimeSeries]) -> np.ndarray:
+        rows = [self._featurize(s) for s in collection]
+        return np.vstack(rows) if rows else np.empty((0, self.dimension))
+
+    # a featurizer is stateless; fit exists for API symmetry
+    def fit(self, collection: Sequence[TimeSeries]) -> "SeriesFeaturizer":
+        return self
+
+    def fit_transform(self, collection: Sequence[TimeSeries]) -> np.ndarray:
+        return self.transform(collection)
+
+    @property
+    def dimension(self) -> int:
+        return 7 + self.n_bands + self.n_paa
+
+    def _featurize(self, series: TimeSeries) -> np.ndarray:
+        x = series.values if isinstance(series, TimeSeries) else np.asarray(series, dtype=np.float64)
+        finite = x[~np.isnan(x)]
+        if finite.size == 0:
+            return np.zeros(self.dimension)
+        n = len(x)
+        t = np.arange(n, dtype=np.float64)
+        good = ~np.isnan(x)
+        slope = float(np.polyfit(t[good], x[good], 1)[0]) if good.sum() >= 2 else 0.0
+        med = float(np.median(finite))
+        stats = np.array(
+            [
+                finite.mean(),
+                finite.std(),
+                finite.min(),
+                finite.max(),
+                med,
+                float(np.median(np.abs(finite - med))),
+                slope,
+            ]
+        )
+        bands = fft_band_energies(x, self.n_bands)
+        sigma = finite.std()
+        z = (x - finite.mean()) / sigma if sigma > 1e-12 else np.zeros_like(x)
+        sketch = paa(np.nan_to_num(z, nan=0.0), self.n_paa)
+        return np.concatenate([stats, bands, np.nan_to_num(sketch, nan=0.0)])
+
+
+@dataclass
+class SeriesSymbolizer:
+    """Map whole numeric series to SAX words (one word per series).
+
+    Used by symbol-native detectors to consume TSS collections: each series
+    collapses to a single ``word_length``-symbol word, and the collection
+    becomes a collection of short label sequences.
+    """
+
+    word_length: int = 16
+    alphabet_size: int = 4
+
+    def transform(self, collection: Sequence[TimeSeries]) -> Tuple[DiscreteSequence, ...]:
+        out = []
+        for series in collection:
+            word = sax_word(series, self.word_length, self.alphabet_size)
+            out.append(DiscreteSequence(tuple(word)))
+        return tuple(out)

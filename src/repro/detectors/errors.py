@@ -1,0 +1,30 @@
+"""Detector-framework exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["DetectorError", "NotFittedError", "ShapeUnsupportedError"]
+
+
+class DetectorError(Exception):
+    """Base class for detector-framework errors."""
+
+
+class NotFittedError(DetectorError):
+    """Raised when ``score``/``detect`` is called before ``fit``."""
+
+    def __init__(self, detector_name: str) -> None:
+        super().__init__(f"detector {detector_name!r} must be fitted before scoring")
+
+
+class ShapeUnsupportedError(DetectorError):
+    """Raised when a detector receives a data shape it does not support.
+
+    Mirrors the blank cells of Table 1: a technique without the PTS/SSQ/TSS
+    checkmark refuses that granularity instead of silently degrading.
+    """
+
+    def __init__(self, detector_name: str, shape: str) -> None:
+        super().__init__(
+            f"detector {detector_name!r} does not support the {shape!r} granularity "
+            "(see the Table-1 capability matrix)"
+        )

@@ -1,0 +1,5 @@
+"""Information-theoretic-model (ITM) detector — Table 1, row 21."""
+
+from .deviants import DeviantsDetector, v_optimal_boundaries
+
+__all__ = ["DeviantsDetector", "v_optimal_boundaries"]

@@ -1,0 +1,148 @@
+"""Histogram-representation deviant detector (Muthukrishnan et al. 2004) —
+Table 1, row 21.
+
+"An information-theoretic model (ITM) detects outlier points by removing
+points from a sequel and measuring the improvement in a histogram-based
+representation.  In this context, outlier points are denoted as deviants"
+(Section 3).
+
+A B-bucket piecewise-constant histogram is fitted over the signal — the
+v-optimal dynamic program when the signal is short enough, contiguous
+equal-length buckets otherwise.  Each point's deviant score is the exact
+leave-one-out reduction of its bucket's squared error:
+``(n_b / (n_b - 1)) * (x_i - mean_b)^2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ...timeseries import TimeSeries
+from ..base import DataShape, Family, VectorDetector
+
+__all__ = ["DeviantsDetector", "v_optimal_boundaries"]
+
+
+def _prefix_sums(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    s = np.concatenate([[0.0], np.cumsum(x)])
+    sq = np.concatenate([[0.0], np.cumsum(x * x)])
+    return s, sq
+
+
+def _segment_sse(s: np.ndarray, sq: np.ndarray, i: int, j: np.ndarray) -> np.ndarray:
+    """SSE of segments x[i:j] (vectorized over an array of end indices j > i)."""
+    cnt = j - i
+    seg_sum = s[j] - s[i]
+    seg_sq = sq[j] - sq[i]
+    return seg_sq - seg_sum * seg_sum / np.maximum(cnt, 1)
+
+
+def v_optimal_boundaries(x: np.ndarray, n_buckets: int,
+                         min_segment: int = 1) -> List[int]:
+    """Boundaries (as end indices) of the SSE-optimal B-bucket histogram.
+
+    Classic O(n^2 B) dynamic program with numpy-vectorized inner loop.
+    Returns up to ``n_buckets`` end indices, the last one equal to
+    ``len(x)``.  ``min_segment`` forbids buckets shorter than that many
+    samples — without it the optimal histogram isolates single outliers in
+    their own buckets, which would hide them from leave-one-out scoring.
+    """
+    n = len(x)
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+    if min_segment < 1:
+        raise ValueError("min_segment must be >= 1")
+    n_buckets = min(n_buckets, max(1, n // min_segment))
+    s, sq = _prefix_sums(x)
+    # dp[b, j] = minimal SSE of x[0:j] using b+1 buckets
+    dp = np.full((n_buckets, n + 1), np.inf)
+    choice = np.zeros((n_buckets, n + 1), dtype=np.int64)
+    ends = np.arange(n + 1)
+    dp[0] = np.where(ends >= min_segment, _segment_sse(s, sq, 0, ends), np.inf)
+    for b in range(1, n_buckets):
+        for j in range((b + 1) * min_segment, n + 1):
+            starts = np.arange(b * min_segment, j - min_segment + 1)
+            # SSE of the final segment x[i:j] for all i in starts
+            cnt = j - starts
+            seg_sum = s[j] - s[starts]
+            seg_sq = sq[j] - sq[starts]
+            final = seg_sq - seg_sum * seg_sum / cnt
+            candidate = dp[b - 1, starts] + final
+            best = int(np.argmin(candidate))
+            dp[b, j] = candidate[best]
+            choice[b, j] = starts[best]
+    # backtrack
+    bounds: List[int] = []
+    j = n
+    for b in range(n_buckets - 1, -1, -1):
+        bounds.append(j)
+        j = int(choice[b, j]) if b > 0 else 0
+    return sorted(set(bounds))
+
+
+class DeviantsDetector(VectorDetector):
+    """Leave-one-out histogram-error improvement ("deviant") scoring."""
+
+    name = "deviants"
+    family = Family.INFORMATION_THEORETIC
+    supports = frozenset({DataShape.POINTS})
+    citation = "Muthukrishnan et al. 2004 [27]"
+
+    #: above this length the v-optimal DP is replaced by equal buckets
+    max_dp_length: int = 600
+
+    def __init__(self, n_buckets: int = 8) -> None:
+        super().__init__()
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        self.n_buckets = n_buckets
+
+    # ------------------------------------------------------------------
+    def _bucket_boundaries(self, x: np.ndarray) -> List[int]:
+        n = len(x)
+        if n <= self.max_dp_length:
+            min_segment = max(2, n // (self.n_buckets * 4))
+            return v_optimal_boundaries(x, self.n_buckets, min_segment)
+        edges = np.linspace(0, n, min(self.n_buckets, n) + 1).astype(int)[1:]
+        return sorted(set(int(e) for e in edges))
+
+    @staticmethod
+    def _loo_improvements(x: np.ndarray, boundaries: List[int]) -> np.ndarray:
+        out = np.zeros(len(x))
+        start = 0
+        for end in boundaries:
+            seg = x[start:end]
+            nb = len(seg)
+            if nb >= 2:
+                mean = seg.mean()
+                out[start:end] = (nb / (nb - 1)) * (seg - mean) ** 2
+            start = end
+        return out
+
+    def _score_signal(self, x: np.ndarray) -> np.ndarray:
+        x = np.nan_to_num(np.asarray(x, dtype=np.float64), nan=0.0)
+        boundaries = self._bucket_boundaries(x)
+        return self._loo_improvements(x, boundaries)
+
+    # -- matrix path: per-column deviants, max across columns ------------
+    def _fit_matrix(self, X: np.ndarray) -> None:
+        # deviant scoring is transductive (needs the full signal), so fit
+        # only records the column scale for normalization
+        self._col_scale = X.std(axis=0)
+        self._col_scale[self._col_scale <= 1e-12] = 1.0
+
+    def _score_matrix(self, X: np.ndarray) -> np.ndarray:
+        scores = np.zeros(X.shape[0])
+        for j in range(X.shape[1]):
+            col = X[:, j] / self._col_scale[j]
+            scores = np.maximum(scores, self._score_signal(col))
+        return scores
+
+    # -- native series path ----------------------------------------------
+    def _fit_series_impl(self, series: TimeSeries, width: int, stride: int) -> None:
+        self._col_scale = np.array([series.std() or 1.0])
+
+    def _score_series_impl(self, series: TimeSeries) -> np.ndarray:
+        return self._score_signal(series.values / self._col_scale[0])

@@ -1,0 +1,6 @@
+"""Unsupervised OLAP (UOA) detector and cube operations — Table 1, row 13."""
+
+from .cube import DataCube, OLAPCubeDetector
+from .operations import CellSummary, CubeExplorer
+
+__all__ = ["OLAPCubeDetector", "DataCube", "CubeExplorer", "CellSummary"]

@@ -1,0 +1,122 @@
+"""OLAP operations over the anomaly data cube.
+
+Li & Han's UOA approach ([20]) analyzes "an OLAP cube ... with each cell as
+a measure".  Beyond the detector in :mod:`repro.detectors.olap.cube`, this
+module gives the cube a small analytical surface — roll-up, slice, and
+top-k anomalous cells — so a user can *explore* where the rare mass sits,
+not just score records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cube import DataCube
+
+__all__ = ["CellSummary", "CubeExplorer"]
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """One group-by cell with its occupancy and rarity."""
+
+    dims: Tuple[int, ...]
+    bins: Tuple[int, ...]
+    count: int
+    rarity: float
+
+    def describe(self, names: Optional[Sequence[str]] = None) -> str:
+        parts = []
+        for d, b in zip(self.dims, self.bins):
+            label = names[d] if names and d < len(names) else f"f{d}"
+            parts.append(f"{label}=bin{b}")
+        return f"({', '.join(parts)}) count={self.count} rarity={self.rarity:.2f}"
+
+
+class CubeExplorer:
+    """Analytical queries over a built :class:`DataCube`.
+
+    Construct from binned integer data (same binning the detector uses).
+    """
+
+    def __init__(self, binned: np.ndarray, n_bins: int, max_order: int = 2) -> None:
+        binned = np.asarray(binned)
+        if binned.ndim != 2:
+            raise ValueError("binned data must be 2-D")
+        self._binned = binned.astype(np.int64)
+        self._cube = DataCube(n_bins, max_order)
+        self._cube.build(self._binned)
+        self.n_bins = n_bins
+        self.max_order = max_order
+
+    @property
+    def cube(self) -> DataCube:
+        return self._cube
+
+    # ------------------------------------------------------------------
+    def rollup(self, dims: Sequence[int]) -> Dict[Tuple[int, ...], int]:
+        """Counts of every observed cell of the given subspace (group-by)."""
+        dims = tuple(sorted(dims))
+        if dims not in self._cube.subspaces:
+            raise KeyError(
+                f"subspace {dims} not materialized (max order {self.max_order})"
+            )
+        counts: Dict[Tuple[int, ...], int] = {}
+        for row in self._binned[:, dims]:
+            key = tuple(int(v) for v in row)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def slice(self, dim: int, bin_index: int) -> np.ndarray:
+        """Row indices whose ``dim`` falls into ``bin_index`` (a dice op)."""
+        if not 0 <= dim < self._binned.shape[1]:
+            raise IndexError(f"dimension {dim} out of range")
+        return np.where(self._binned[:, dim] == bin_index)[0]
+
+    def drilldown(self, dims: Sequence[int],
+                  bins: Sequence[int]) -> np.ndarray:
+        """Row indices inside one specific cell of a subspace."""
+        dims = tuple(dims)
+        mask = np.ones(self._binned.shape[0], dtype=bool)
+        for d, b in zip(dims, bins):
+            mask &= self._binned[:, d] == b
+        return np.where(mask)[0]
+
+    # ------------------------------------------------------------------
+    def top_anomalous_cells(self, k: int = 10,
+                            min_count: int = 1) -> List[CellSummary]:
+        """The k rarest *occupied* cells across all materialized subspaces.
+
+        These are the "approximate top-k subspace anomalies" of the
+        original work: cells whose occupancy falls farthest below what
+        their subspace predicts.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        summaries: List[CellSummary] = []
+        seen_cells = set()
+        for dims in self._cube.subspaces:
+            for key, count in self.rollup(dims).items():
+                if count < min_count:
+                    continue
+                cell_id = (dims, key)
+                if cell_id in seen_cells:
+                    continue
+                seen_cells.add(cell_id)
+                summaries.append(
+                    CellSummary(
+                        dims=dims,
+                        bins=key,
+                        count=count,
+                        rarity=self._cube.rarity(dims, key),
+                    )
+                )
+        summaries.sort(key=lambda c: c.rarity, reverse=True)
+        return summaries[:k]
+
+    def records_of(self, cell: CellSummary) -> np.ndarray:
+        """Row indices belonging to a summarized cell."""
+        return self.drilldown(cell.dims, cell.bins)

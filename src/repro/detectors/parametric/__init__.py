@@ -1,0 +1,10 @@
+"""Unsupervised parametric (UPA) detectors — Table 1, rows 11-12.
+
+"An anomaly is discovered if a sequence is unlikely to be generated from a
+specified summary model" (Section 3).
+"""
+
+from .fsa import FSADetector
+from .hmm import HMMDetector
+
+__all__ = ["FSADetector", "HMMDetector"]

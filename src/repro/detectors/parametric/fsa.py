@@ -1,0 +1,84 @@
+"""Finite-state-automaton detector (Marceau 2005) — Table 1, row 11.
+
+"Characterizing the behavior of a program using multiple-length n-grams":
+normal sequences induce a suffix automaton of every n-gram up to a maximum
+order.  At scoring time each position consults the longest learned context
+ending there; the anomaly score is high when even short contexts are
+unknown, low when a long context is familiar (inverse-context-length
+scoring, as in the anomaly-detection FSA literature).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+from ...timeseries import DiscreteSequence
+from ..base import DataShape, Family, SymbolDetector
+
+__all__ = ["FSADetector"]
+
+
+class FSADetector(SymbolDetector):
+    """Multiple-length n-gram automaton with longest-context scoring."""
+
+    name = "fsa"
+    family = Family.UNSUPERVISED_PARAMETRIC
+    supports = frozenset({DataShape.SUBSEQUENCES, DataShape.SERIES})
+    citation = "Marceau 2005 [25]"
+
+    def __init__(self, max_order: int = 4, min_frequency: float = 0.01) -> None:
+        super().__init__()
+        if max_order < 1:
+            raise ValueError("max_order must be >= 1")
+        if not 0 <= min_frequency < 1:
+            raise ValueError("min_frequency must be in [0, 1)")
+        self.max_order = max_order
+        self.min_frequency = min_frequency
+
+    def _fit_sequences(self, sequences: Sequence[DiscreteSequence]) -> None:
+        from collections import Counter
+
+        grams: Set[Tuple] = set()
+        for n in range(1, self.max_order + 1):
+            counts: Counter = Counter()
+            for seq in sequences:
+                counts.update(seq.ngrams(n))
+            total = sum(counts.values())
+            if total == 0:
+                continue
+            # an n-gram joins the automaton only when it recurs often enough;
+            # one-off transitions are contamination or noise, not structure
+            floor = self.min_frequency * total
+            kept = {g for g, c in counts.items() if c >= max(1.0, floor)}
+            if not kept:  # degenerate: keep everything rather than nothing
+                kept = set(counts)
+            grams.update(kept)
+        if not grams:
+            raise ValueError("cannot fit an automaton on empty sequences")
+        self._grams = grams
+
+    def _longest_known_context(self, symbols: Tuple, position: int) -> int:
+        """Length of the longest learned n-gram ending at ``position``."""
+        best = 0
+        for n in range(1, self.max_order + 1):
+            lo = position - n + 1
+            if lo < 0:
+                break
+            if symbols[lo : position + 1] in self._grams:
+                best = n
+            else:
+                break  # a longer context containing an unknown prefix is unknown
+        return best
+
+    def _score_positions(self, sequence: DiscreteSequence) -> np.ndarray:
+        symbols = sequence.symbols
+        out = np.empty(len(symbols))
+        for i in range(len(symbols)):
+            known = self._longest_known_context(symbols, i)
+            max_here = min(self.max_order, i + 1)
+            # 0 when the longest possible context is known, 1 when even the
+            # unigram is novel
+            out[i] = 1.0 - known / max_here if max_here else 0.0
+        return out

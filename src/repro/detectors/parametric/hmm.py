@@ -1,0 +1,133 @@
+"""Discrete hidden Markov model detector (Florez-Larrahondo et al. 2005) —
+Table 1, row 12.
+
+A discrete-emission HMM is trained on normal sequences with Baum-Welch
+(scaled forward-backward, so long sequences do not underflow).  Scoring is
+the original paper's online criterion: the drop in one-step-ahead
+predictive log-probability at each symbol — an unlikely symbol given the
+current state belief scores high.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ...timeseries import DiscreteSequence
+from ..base import DataShape, Family, SymbolDetector
+
+__all__ = ["HMMDetector"]
+
+_EPS = 1e-12
+
+
+class HMMDetector(SymbolDetector):
+    """Baum-Welch trained discrete HMM; score = per-symbol surprisal."""
+
+    name = "hmm"
+    family = Family.UNSUPERVISED_PARAMETRIC
+    supports = frozenset({DataShape.SUBSEQUENCES, DataShape.SERIES})
+    citation = "Florez-Larrahondo et al. 2005 [7]"
+
+    def __init__(self, n_states: int = 4, n_iter: int = 20, seed: int = 0,
+                 smoothing: float = 1e-3) -> None:
+        super().__init__()
+        if n_states < 1:
+            raise ValueError("n_states must be >= 1")
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.n_states = n_states
+        self.n_iter = n_iter
+        self.seed = seed
+        self.smoothing = smoothing
+
+    # ------------------------------------------------------------------
+    def _encode(self, seq: DiscreteSequence) -> np.ndarray:
+        return np.array(
+            [self._symbol_index.get(s, self._n_symbols) for s in seq.symbols],
+            dtype=np.int64,
+        )
+
+    def _fit_sequences(self, sequences: Sequence[DiscreteSequence]) -> None:
+        alphabet: Dict[object, int] = {}
+        for seq in sequences:
+            for s in seq.symbols:
+                alphabet.setdefault(s, len(alphabet))
+        if not alphabet:
+            raise ValueError("cannot fit an HMM on empty sequences")
+        self._symbol_index = alphabet
+        self._n_symbols = len(alphabet)
+        m = self._n_symbols + 1  # extra column = unseen-symbol bucket
+        k = self.n_states
+        rng = np.random.default_rng(self.seed)
+        pi = rng.dirichlet(np.ones(k))
+        A = rng.dirichlet(np.ones(k), size=k)
+        B = rng.dirichlet(np.ones(m), size=k)
+        encoded = [self._encode(seq) for seq in sequences if len(seq) > 0]
+
+        for _ in range(self.n_iter):
+            pi_acc = np.zeros(k)
+            A_num = np.zeros((k, k))
+            B_num = np.zeros((k, m))
+            for obs in encoded:
+                alpha, scale = self._forward(obs, pi, A, B)
+                beta = self._backward(obs, A, B, scale)
+                gamma = alpha * beta
+                gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), _EPS)
+                pi_acc += gamma[0]
+                for t in range(len(obs) - 1):
+                    xi = (
+                        alpha[t][:, None]
+                        * A
+                        * B[:, obs[t + 1]][None, :]
+                        * beta[t + 1][None, :]
+                    )
+                    total = xi.sum()
+                    if total > _EPS:
+                        A_num += xi / total
+                for t, o in enumerate(obs):
+                    B_num[:, o] += gamma[t]
+            pi = pi_acc + self.smoothing
+            pi /= pi.sum()
+            A = A_num + self.smoothing
+            A /= A.sum(axis=1, keepdims=True)
+            B = B_num + self.smoothing
+            B /= B.sum(axis=1, keepdims=True)
+        self._pi, self._A, self._B = pi, A, B
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _forward(obs: np.ndarray, pi: np.ndarray, A: np.ndarray,
+                 B: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        T = len(obs)
+        k = len(pi)
+        alpha = np.empty((T, k))
+        scale = np.empty(T)
+        alpha[0] = pi * B[:, obs[0]]
+        scale[0] = max(alpha[0].sum(), _EPS)
+        alpha[0] /= scale[0]
+        for t in range(1, T):
+            alpha[t] = (alpha[t - 1] @ A) * B[:, obs[t]]
+            scale[t] = max(alpha[t].sum(), _EPS)
+            alpha[t] /= scale[t]
+        return alpha, scale
+
+    @staticmethod
+    def _backward(obs: np.ndarray, A: np.ndarray, B: np.ndarray,
+                  scale: np.ndarray) -> np.ndarray:
+        T = len(obs)
+        k = A.shape[0]
+        beta = np.empty((T, k))
+        beta[-1] = 1.0
+        for t in range(T - 2, -1, -1):
+            beta[t] = (A @ (B[:, obs[t + 1]] * beta[t + 1])) / scale[t + 1]
+        return beta
+
+    def _score_positions(self, sequence: DiscreteSequence) -> np.ndarray:
+        if len(sequence) == 0:
+            return np.empty(0)
+        obs = self._encode(sequence)
+        __, scale = self._forward(obs, self._pi, self._A, self._B)
+        # scale[t] is exactly P(o_t | o_1..t-1); surprisal = -log of it
+        return -np.log(np.maximum(scale, _EPS))

@@ -1,0 +1,6 @@
+"""Pattern-database detectors (NPD / NMD) — Table 1, rows 17-18."""
+
+from .nmd import AnomalyDictionaryDetector
+from .npd import NormalPatternDatabaseDetector
+
+__all__ = ["NormalPatternDatabaseDetector", "AnomalyDictionaryDetector"]

@@ -1,0 +1,146 @@
+"""Negative/mixed-pattern-database detector (Cabrera et al. 2001) —
+Table 1, row 18.
+
+"In contrast to a NPD approach, the negative and mixed pattern database
+(NMD) is based on anomaly dictionaries.  Here, test sequences are
+classified as anomalies if they match a sequence from the database"
+(Section 3).
+
+The anomaly dictionary holds windows characteristic of *anomalous*
+behaviour.  It can be supplied directly (:meth:`fit_anomalies`), learned
+from labeled data (windows of anomalous sequences absent from normal ones,
+:meth:`fit_labeled`), or bootstrapped unsupervised (the rarest windows of
+the training data form the dictionary — the "mixed" database variant).
+A position's score is its best (soft) match against the dictionary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+from ...timeseries import DiscreteSequence
+from ..base import DataShape, Family, SymbolDetector
+
+__all__ = ["AnomalyDictionaryDetector"]
+
+
+def _similarity(a: Tuple, b: Tuple) -> float:
+    n = min(len(a), len(b))
+    if n == 0:
+        return 0.0
+    matches = sum(1 for x, y in zip(a, b) if x == y)
+    return matches / n
+
+
+class AnomalyDictionaryDetector(SymbolDetector):
+    """Anomaly dictionary matcher; score = best dictionary similarity."""
+
+    name = "nmd"
+    family = Family.NEGATIVE_PATTERN_DB
+    supports = frozenset({DataShape.SUBSEQUENCES})
+    citation = "Cabrera et al. 2001 [3]"
+
+    #: fraction of rarest windows used by the unsupervised bootstrap
+    pseudo_contamination: float = 0.05
+
+    def __init__(self, window: int = 6, soft: bool = True,
+                 max_dictionary: int = 2000) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.soft = soft
+        self.max_dictionary = max_dictionary
+
+    # ------------------------------------------------------------------
+    # three ways to obtain the dictionary
+    # ------------------------------------------------------------------
+    def fit_anomalies(self, sequences: Sequence[DiscreteSequence]) -> "AnomalyDictionaryDetector":
+        """Register known-anomalous sequences directly as the dictionary."""
+        dictionary: Set[Tuple] = set()
+        for seq in sequences:
+            width = min(self.window, len(seq))
+            if width:
+                dictionary.update(seq.ngrams(width))
+        if not dictionary:
+            raise ValueError("anomaly dictionary would be empty")
+        self._dictionary = self._cap(dictionary)
+        self._fitted = True
+        self._fit_kind = "sequences"
+        return self
+
+    def fit_labeled(self, sequences: Sequence[DiscreteSequence],
+                    labels) -> "AnomalyDictionaryDetector":
+        """Dictionary = windows of anomalous sequences absent from normal ones."""
+        y = np.asarray(labels).astype(bool)
+        seqs = tuple(sequences)
+        if len(seqs) != y.shape[0]:
+            raise ValueError("labels length must match number of sequences")
+        if not y.any():
+            raise ValueError("labels contain no anomalous sequences")
+        normal_windows: Set[Tuple] = set()
+        anomal_windows: Set[Tuple] = set()
+        for seq, is_anom in zip(seqs, y):
+            width = min(self.window, len(seq))
+            if not width:
+                continue
+            target = anomal_windows if is_anom else normal_windows
+            target.update(seq.ngrams(width))
+        dictionary = anomal_windows - normal_windows
+        if not dictionary:  # fall back to all anomalous windows
+            dictionary = anomal_windows
+        self._dictionary = self._cap(dictionary)
+        self._fitted = True
+        self._fit_kind = "sequences"
+        return self
+
+    def _fit_sequences(self, sequences: Sequence[DiscreteSequence]) -> None:
+        # mixed-database bootstrap: the rarest observed windows are treated
+        # as negative patterns — but a rare window that is merely a near-miss
+        # of a common one (slack in the normal grammar) must not enter the
+        # dictionary, or soft matching would score normal behaviour high
+        counts: Counter = Counter()
+        for seq in sequences:
+            width = min(self.window, len(seq))
+            if width:
+                counts.update(seq.ngrams(width))
+        if not counts:
+            raise ValueError("cannot bootstrap a dictionary from empty sequences")
+        ranked = [gram for gram, __ in counts.most_common()]
+        n_rare = max(1, int(len(ranked) * self.pseudo_contamination))
+        common = ranked[: max(1, min(200, len(ranked) - n_rare))]
+        dictionary: Set[Tuple] = set()
+        for gram in ranked[-n_rare:]:
+            nearest = max(_similarity(gram, c) for c in common)
+            if nearest < 0.7:
+                dictionary.add(gram)
+        if not dictionary:  # grammar too tight: fall back to the rarest
+            dictionary = set(ranked[-n_rare:])
+        self._dictionary = self._cap(dictionary)
+
+    def _cap(self, dictionary: Set[Tuple]) -> Tuple[Tuple, ...]:
+        entries = sorted(dictionary, key=repr)
+        return tuple(entries[: self.max_dictionary])
+
+    # ------------------------------------------------------------------
+    def _window_score(self, window: Tuple) -> float:
+        if not self.soft:
+            return 1.0 if window in set(self._dictionary) else 0.0
+        return max(
+            (_similarity(window, entry) for entry in self._dictionary),
+            default=0.0,
+        )
+
+    def _score_positions(self, sequence: DiscreteSequence) -> np.ndarray:
+        n = len(sequence)
+        if n == 0:
+            return np.empty(0)
+        width = min(self.window, n)
+        out = np.zeros(n)
+        for i in range(n - width + 1):
+            s = self._window_score(sequence.symbols[i : i + width])
+            out[i : i + width] = np.maximum(out[i : i + width], s)
+        return out

@@ -1,0 +1,91 @@
+"""Normal-pattern-database detector (Lane & Brodley 1997) — Table 1, row 17.
+
+"The frequencies of overlapping windows are stored in a database.  If a new
+subsequence has many mismatches, it is considered as an anomaly.  This
+procedure can be extended by not including only exact matches, but rather
+compute soft mismatch scores" (Section 3).
+
+We store the frequency of every width-``w`` window observed in normal
+data.  A test window that matches exactly scores by (in)frequency; a window
+with no exact match receives a *soft mismatch* score — the normalized
+Hamming distance to the nearest stored window.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ...timeseries import DiscreteSequence
+from ..base import DataShape, Family, SymbolDetector
+
+__all__ = ["NormalPatternDatabaseDetector"]
+
+
+def _hamming_fraction(a: Tuple, b: Tuple) -> float:
+    n = min(len(a), len(b))
+    if n == 0:
+        return 1.0
+    mismatches = sum(1 for x, y in zip(a, b) if x != y)
+    return mismatches / n
+
+
+class NormalPatternDatabaseDetector(SymbolDetector):
+    """Window-frequency database with soft mismatch scoring."""
+
+    name = "npd"
+    family = Family.NORMAL_PATTERN_DB
+    supports = frozenset({DataShape.SUBSEQUENCES})
+    citation = "Lane & Brodley 1997 [17]"
+
+    def __init__(self, window: int = 6, rare_threshold: int = 1,
+                 max_soft_candidates: int = 2000) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.rare_threshold = rare_threshold
+        self.max_soft_candidates = max_soft_candidates
+
+    def _fit_sequences(self, sequences: Sequence[DiscreteSequence]) -> None:
+        db: Counter = Counter()
+        for seq in sequences:
+            width = min(self.window, len(seq))
+            if width == 0:
+                continue
+            db.update(seq.ngrams(width))
+        if not db:
+            raise ValueError("cannot build a pattern database from empty sequences")
+        self._db = db
+        self._total = sum(db.values())
+        # a bounded candidate list for soft matching (most frequent first)
+        self._soft_candidates = [
+            gram for gram, __ in db.most_common(self.max_soft_candidates)
+        ]
+
+    def _window_score(self, window: Tuple) -> float:
+        count = self._db.get(window, 0)
+        if count > self.rare_threshold:
+            # familiar window: score by rarity, bounded well below soft range
+            return 0.5 * (1.0 - count / self._total) * self.rare_threshold / count
+        if count > 0:
+            return 0.5  # seen, but rare
+        # unseen: soft mismatch to the nearest stored pattern, in [0.5, 1]
+        best = min(
+            (_hamming_fraction(window, cand) for cand in self._soft_candidates),
+            default=1.0,
+        )
+        return 0.5 + 0.5 * best
+
+    def _score_positions(self, sequence: DiscreteSequence) -> np.ndarray:
+        n = len(sequence)
+        if n == 0:
+            return np.empty(0)
+        width = min(self.window, n)
+        out = np.zeros(n)
+        for i in range(n - width + 1):
+            s = self._window_score(sequence.symbols[i : i + width])
+            out[i : i + width] = np.maximum(out[i : i + width], s)
+        return out

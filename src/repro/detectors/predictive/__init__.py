@@ -1,0 +1,6 @@
+"""Predictive-model (PM) detectors — Table 1, row 20, plus the VAR extension."""
+
+from .ar import ARDetector, fit_ar_coefficients
+from .var import VARDetector
+
+__all__ = ["ARDetector", "fit_ar_coefficients", "VARDetector"]

@@ -1,0 +1,81 @@
+"""Vector-autoregressive extension of the prediction-model family.
+
+Section 3: "prediction models are suitable for multi-variate time series".
+:class:`VARDetector` fits a VAR(p) by least squares over a channel-aligned
+sample matrix and scores every time step by the Mahalanobis-normalized
+one-step-ahead residual across all channels — the multivariate counterpart
+of :class:`~repro.detectors.predictive.ar.ARDetector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VARDetector"]
+
+
+class VARDetector:
+    """VAR(p) residual detector over an ordered ``(n_samples, n_channels)`` matrix.
+
+    This detector stands outside the generic item-collection framework
+    because its input rows are *ordered in time* rather than exchangeable
+    items; it is used by the phase level for multi-channel sensor groups.
+    """
+
+    name = "var"
+    citation = "Section 3 (multivariate prediction models)"
+
+    def __init__(self, order: int = 2, ridge: float = 1e-6) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.ridge = ridge
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "VARDetector":
+        """Fit on an ordered sample matrix (rows = time steps)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("VARDetector expects a 2-D (time, channels) matrix")
+        n, d = X.shape
+        p = min(self.order, max(1, (n - 1) // (d + 1)))
+        if n <= p + d:
+            raise ValueError(f"need more than {p + d} time steps to fit VAR({p})")
+        X = np.nan_to_num(X, nan=0.0)
+        lagged = np.column_stack(
+            [X[p - 1 - k : n - 1 - k, :] for k in range(p)]
+        )
+        design = np.column_stack([lagged, np.ones(lagged.shape[0])])
+        target = X[p:]
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._beta = np.linalg.solve(gram, design.T @ target)
+        residuals = target - design @ self._beta
+        cov = np.cov(residuals.T) if d > 1 else np.array([[residuals.var()]])
+        cov = np.atleast_2d(cov) + self.ridge * np.eye(d)
+        self._cov_inv = np.linalg.inv(cov)
+        self._p = p
+        self._d = d
+        self._fitted = True
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        """Per-time-step Mahalanobis residual magnitude (first p steps are 0)."""
+        if not self._fitted:
+            raise RuntimeError("VARDetector must be fitted before scoring")
+        X = np.nan_to_num(np.asarray(X, dtype=np.float64), nan=0.0)
+        if X.ndim != 2 or X.shape[1] != self._d:
+            raise ValueError(f"expected (time, {self._d}) matrix")
+        n = X.shape[0]
+        p = self._p
+        out = np.zeros(n)
+        if n <= p:
+            return out
+        lagged = np.column_stack([X[p - 1 - k : n - 1 - k, :] for k in range(p)])
+        design = np.column_stack([lagged, np.ones(lagged.shape[0])])
+        residuals = X[p:] - design @ self._beta
+        maha = np.einsum("ij,jk,ik->i", residuals, self._cov_inv, residuals)
+        out[p:] = np.sqrt(np.maximum(maha, 0.0))
+        return out
+
+    def fit_score(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).score(X)

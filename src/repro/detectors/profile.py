@@ -1,0 +1,101 @@
+"""Profile-similarity (PS) detector — Section 3's unnumbered technique class.
+
+"Another way to detect outliers is to compare a normal profile with new
+time points.  This procedure is denoted as profile similarity (PS)"
+(Section 3).  PS does not appear as a Table-1 row, but the text introduces
+it as its own class; it is included here for completeness.
+
+The normal profile is a per-position envelope (median ± scaled MAD) over a
+family of aligned recordings of the same procedure — e.g. every warmup
+phase a machine ever ran.  A new recording is compared point-by-point
+against the envelope; the outlierness of a position is its exceedance over
+the envelope in robust-scale units.  This is the natural detector for the
+plant's *repeating phases*, where every job replays the same profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries import TimeSeries, paa
+from .base import DataShape, Family, VectorDetector
+
+__all__ = ["ProfileSimilarityDetector"]
+
+
+class ProfileSimilarityDetector(VectorDetector):
+    """Median/MAD envelope over aligned recordings; score = exceedance.
+
+    Fit on a collection of equal-procedure recordings (rows of a matrix or
+    a TimeSeries collection — differing lengths are aligned to the profile
+    length by fractional PAA).  Scoring a recording returns one score per
+    recording (its worst exceedance); :meth:`score_positions` exposes the
+    per-position trace.
+    """
+
+    name = "profile-similarity"
+    family = Family.DISCRIMINATIVE
+    supports = frozenset({DataShape.SUBSEQUENCES, DataShape.SERIES})
+    citation = "Section 3 (PS class)"
+
+    def __init__(self, profile_length: int | None = None,
+                 min_scale_fraction: float = 0.05) -> None:
+        super().__init__()
+        if profile_length is not None and profile_length < 2:
+            raise ValueError("profile_length must be >= 2")
+        self.profile_length = profile_length
+        self.min_scale_fraction = min_scale_fraction
+
+    # recordings of any length are resampled onto the profile grid
+    def _encode(self, kind: str, items, fitting: bool) -> np.ndarray:
+        if kind == "vectors":
+            rows = [np.asarray(r, dtype=np.float64) for r in items]
+        elif kind == "series":
+            rows = [s.values for s in items]
+        elif kind == "sequences":
+            rows = [np.asarray(s.index_encode(), dtype=np.float64) for s in items]
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown item kind {kind!r}")
+        if fitting:
+            self._length = self.profile_length or int(
+                np.median([len(r) for r in rows])
+            )
+        out = np.empty((len(rows), self._length))
+        for i, row in enumerate(rows):
+            if len(row) == self._length:
+                out[i] = np.nan_to_num(row, nan=0.0)
+            else:
+                out[i] = np.nan_to_num(
+                    paa(np.nan_to_num(row, nan=0.0), self._length), nan=0.0
+                )
+        return out
+
+    def _fit_matrix(self, X: np.ndarray) -> None:
+        self._center = np.median(X, axis=0)
+        mad = np.median(np.abs(X - self._center), axis=0) * 1.4826
+        # positions with no natural variation still deserve a tolerance:
+        # use a fraction of the global scale as the floor
+        global_scale = float(np.median(mad[mad > 0])) if (mad > 0).any() else 1.0
+        floor = max(1e-9, self.min_scale_fraction * global_scale)
+        self._scale = np.maximum(mad, floor)
+
+    def score_positions(self, recording) -> np.ndarray:
+        """Per-position exceedance of one recording over the profile."""
+        self._require_fitted()
+        if isinstance(recording, TimeSeries):
+            values = recording.values
+        else:
+            values = np.asarray(recording, dtype=np.float64)
+        if len(values) != self._length:
+            values = paa(np.nan_to_num(values, nan=0.0), self._length)
+        return np.abs(np.nan_to_num(values, nan=0.0) - self._center) / self._scale
+
+    def _score_matrix(self, X: np.ndarray) -> np.ndarray:
+        z = np.abs(X - self._center) / self._scale
+        return z.max(axis=1)
+
+    @property
+    def profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """(center, scale) envelope of the fitted normal profile."""
+        self._require_fitted()
+        return self._center.copy(), self._scale.copy()

@@ -1,0 +1,5 @@
+"""Outlier-subsequence (OS) detector — Table 1, row 19."""
+
+from .sax_discord import SAXDiscordDetector
+
+__all__ = ["SAXDiscordDetector"]

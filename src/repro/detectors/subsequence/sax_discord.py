@@ -1,0 +1,123 @@
+"""Symbolic-representation discord detector (Lin et al. 2003) — Table 1,
+row 19.
+
+"To find outlier subsequences (OS), patterns are compared to their expected
+frequency in the database" (Section 3).  Patterns are *words*; a word's
+anomaly score is the shortfall of its observed frequency against the
+frequency its letter composition predicts under independence — rare words
+whose letters are individually common are the discords.  This is the
+HOT-SAX intuition with a closed-form surprise instead of a heuristic
+search order.
+
+Two input regimes:
+
+* **word mode** — the sequence symbols are already words (multi-letter
+  strings, e.g. SAX words from a symbolized numeric series); each symbol is
+  scored directly;
+* **gram mode** — the symbols are atomic labels (production-step codes and
+  the like); words are formed as sliding ``word_n``-grams over the labels.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ...timeseries import DiscreteSequence
+from ..base import DataShape, Family, SymbolDetector
+
+__all__ = ["SAXDiscordDetector"]
+
+
+def _is_word_symbol(symbol) -> bool:
+    return isinstance(symbol, str) and len(symbol) > 1
+
+
+class SAXDiscordDetector(SymbolDetector):
+    """Expected-vs-observed word frequency surprise over symbolic words."""
+
+    name = "sax-discord"
+    family = Family.OUTLIER_SUBSEQUENCE
+    supports = frozenset({DataShape.SUBSEQUENCES, DataShape.SERIES})
+    citation = "Lin et al. 2003 [22]"
+
+    #: SAX parameters used when numeric series are symbolized
+    sax_word_length = 6
+    sax_alphabet_size = 4
+
+    def __init__(self, smoothing: float = 0.5, word_n: int = 4) -> None:
+        super().__init__()
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        if word_n < 1:
+            raise ValueError("word_n must be >= 1")
+        self.smoothing = smoothing
+        self.word_n = word_n
+
+    # ------------------------------------------------------------------
+    def _letters_of(self, word) -> Tuple:
+        if self._word_mode:
+            return tuple(str(word))
+        return tuple(word)  # gram mode: the word is a tuple of labels
+
+    def _words_of(self, sequence: DiscreteSequence) -> Tuple[Tuple, list]:
+        """(words, start positions) under the fitted mode."""
+        if self._word_mode:
+            return tuple(sequence.symbols), list(range(len(sequence)))
+        n = min(self.word_n, max(1, len(sequence)))
+        words = tuple(sequence.ngrams(n))
+        return words, list(range(len(words)))
+
+    def _fit_sequences(self, sequences: Sequence[DiscreteSequence]) -> None:
+        sample = next(
+            (seq.symbols[0] for seq in sequences if len(seq) > 0), None
+        )
+        if sample is None:
+            raise ValueError("cannot fit on empty sequences")
+        self._word_mode = _is_word_symbol(sample)
+        word_counts: Counter = Counter()
+        letter_counts: Counter = Counter()
+        for seq in sequences:
+            words, __ = self._words_of(seq)
+            for word in words:
+                word_counts[word] += 1
+                letter_counts.update(self._letters_of(word))
+        if not word_counts:
+            raise ValueError("cannot fit on empty sequences")
+        self._word_counts = word_counts
+        self._total_words = sum(word_counts.values())
+        total_letters = sum(letter_counts.values())
+        self._letter_probs = {
+            letter: count / total_letters for letter, count in letter_counts.items()
+        }
+
+    def _word_surprise(self, word) -> float:
+        """log(expected / observed) — positive when the word is rarer than
+        its letter composition predicts."""
+        s = self.smoothing
+        observed = (self._word_counts.get(word, 0) + s) / (self._total_words + s)
+        expected = 1.0
+        for letter in self._letters_of(word):
+            expected *= self._letter_probs.get(letter, s / (self._total_words + s))
+        expected = max(expected, 1e-12)
+        return math.log(expected / observed)
+
+    def _score_positions(self, sequence: DiscreteSequence) -> np.ndarray:
+        n = len(sequence)
+        if n == 0:
+            return np.empty(0)
+        words, starts = self._words_of(sequence)
+        surprises = [self._word_surprise(w) for w in words]
+        if self._word_mode:
+            return np.asarray(surprises)
+        # gram mode: spread each word's surprise over the labels it covers
+        width = min(self.word_n, n)
+        out = np.full(n, -np.inf)
+        for start, s in zip(starts, surprises):
+            hi = min(start + width, n)
+            out[start:hi] = np.maximum(out[start:hi], s)
+        out[np.isinf(out)] = 0.0
+        return out

@@ -1,0 +1,20 @@
+"""Supervised-approach (SA) detectors — Table 1, rows 14-16.
+
+All three accept explicit labels via ``fit_labeled`` and self-train from a
+robust prefilter when ``fit`` is called without labels.
+"""
+
+from .base import SupervisedVectorDetector, pseudo_labels
+from .mlp import MLPDetector
+from .motif_rules import MotifRuleDetector
+from .rule_learning import Atom, Rule, RuleLearningDetector
+
+__all__ = [
+    "SupervisedVectorDetector",
+    "pseudo_labels",
+    "RuleLearningDetector",
+    "Rule",
+    "Atom",
+    "MLPDetector",
+    "MotifRuleDetector",
+]

@@ -1,0 +1,73 @@
+"""Shared machinery for the supervised (SA) family.
+
+Supervised approaches "can be applied when labeled training data is
+available" (Section 3).  When labels are *not* available, these detectors
+fall back to self-training: a robust unsupervised prefilter pseudo-labels
+the training data and the classifier is trained on those targets — the
+scheme of Pang et al. 2018 ([31] in the paper), where an outlier
+thresholding function's results become the target feature.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..base import VectorDetector
+
+__all__ = ["SupervisedVectorDetector", "pseudo_labels"]
+
+
+def pseudo_labels(X: np.ndarray, contamination: float) -> np.ndarray:
+    """Robust-MAD pseudo-labels: the ``contamination`` fraction with the
+    largest per-feature robust z-score is marked anomalous."""
+    median = np.median(X, axis=0)
+    mad = np.median(np.abs(X - median), axis=0) * 1.4826
+    mad[mad <= 1e-12] = 1.0
+    scores = (np.abs(X - median) / mad).max(axis=1)
+    cutoff = np.quantile(scores, 1.0 - contamination)
+    labels = scores > cutoff
+    if not labels.any():  # guarantee at least one positive example
+        labels[int(scores.argmax())] = True
+    return labels
+
+
+class SupervisedVectorDetector(VectorDetector):
+    """Vector detector trained from labels (explicit or pseudo).
+
+    Subclasses implement ``_fit_matrix_labeled(X, y)`` and
+    ``_score_matrix(X)``; ``fit_labeled`` is the supervised entry point
+    and plain ``fit`` self-trains via :func:`pseudo_labels`.
+    """
+
+    #: contamination assumed by the self-training fallback
+    pseudo_contamination: float = 0.05
+
+    @abc.abstractmethod
+    def _fit_matrix_labeled(self, X: np.ndarray, y: np.ndarray) -> None: ...
+
+    def fit_labeled(self, data, labels) -> "SupervisedVectorDetector":
+        """Fit from ground-truth anomaly labels (boolean, one per item)."""
+        from ..base import coerce_items
+
+        kind, items = coerce_items(data)
+        self._check_kind_supported(kind)
+        X = self._encode(kind, items, fitting=True)
+        y = np.asarray(labels).astype(bool)
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(
+                f"labels length {y.shape[0]} != number of items {X.shape[0]}"
+            )
+        if y.all() or not y.any():
+            raise ValueError("labels must contain both classes")
+        self._fit_matrix_labeled(X, y)
+        self._fit_kind = kind
+        self._fitted = True
+        return self
+
+    def _fit_matrix(self, X: np.ndarray) -> None:
+        y = pseudo_labels(X, self.pseudo_contamination)
+        if y.all():
+            y[0] = False
+        self._fit_matrix_labeled(X, y)

@@ -1,0 +1,97 @@
+"""Feed-forward neural-network detector (Ghosh et al. 1999) — Table 1,
+row 15.
+
+A small numpy multi-layer perceptron (one tanh hidden layer, sigmoid
+output) trained with minibatch gradient descent + momentum on binary
+cross-entropy, with inverse-frequency class weights so the rare anomaly
+class is not drowned out.  The anomaly score is the predicted anomaly
+probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import DataShape, Family
+from .base import SupervisedVectorDetector
+
+__all__ = ["MLPDetector"]
+
+
+class MLPDetector(SupervisedVectorDetector):
+    """One-hidden-layer perceptron; score = P(anomaly | x)."""
+
+    name = "mlp"
+    family = Family.SUPERVISED
+    supports = frozenset(
+        {DataShape.POINTS, DataShape.SUBSEQUENCES, DataShape.SERIES}
+    )
+    citation = "Ghosh et al. 1999 [10]"
+
+    def __init__(self, hidden: int = 16, n_epochs: int = 200,
+                 learning_rate: float = 0.05, momentum: float = 0.9,
+                 batch_size: int = 32, l2: float = 1e-4, seed: int = 0) -> None:
+        super().__init__()
+        if hidden < 1 or n_epochs < 1 or batch_size < 1:
+            raise ValueError("hidden, n_epochs, batch_size must be >= 1")
+        if not 0 < learning_rate:
+            raise ValueError("learning_rate must be positive")
+        self.hidden = hidden
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+
+    def _fit_matrix_labeled(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma <= 1e-12] = 1.0
+        Z = (X - self._mu) / self._sigma
+        t = y.astype(np.float64)
+        n, d = Z.shape
+        h = self.hidden
+        # He-style init
+        W1 = rng.normal(0, np.sqrt(2.0 / d), size=(d, h))
+        b1 = np.zeros(h)
+        W2 = rng.normal(0, np.sqrt(2.0 / h), size=(h, 1))
+        b2 = np.zeros(1)
+        vW1 = np.zeros_like(W1); vb1 = np.zeros_like(b1)
+        vW2 = np.zeros_like(W2); vb2 = np.zeros_like(b2)
+        pos = max(1.0, t.sum())
+        neg = max(1.0, (1 - t).sum())
+        w_pos = n / (2.0 * pos)
+        w_neg = n / (2.0 * neg)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                xb, tb = Z[idx], t[idx]
+                wb = np.where(tb > 0.5, w_pos, w_neg)
+                # forward
+                a1 = np.tanh(xb @ W1 + b1)
+                logits = (a1 @ W2 + b2).ravel()
+                prob = 1.0 / (1.0 + np.exp(-logits))
+                # backward (weighted BCE)
+                delta2 = (wb * (prob - tb))[:, None] / len(idx)
+                gW2 = a1.T @ delta2 + self.l2 * W2
+                gb2 = delta2.sum(axis=0)
+                delta1 = (delta2 @ W2.T) * (1.0 - a1 * a1)
+                gW1 = xb.T @ delta1 + self.l2 * W1
+                gb1 = delta1.sum(axis=0)
+                # momentum update
+                vW2 = self.momentum * vW2 - self.learning_rate * gW2
+                vb2 = self.momentum * vb2 - self.learning_rate * gb2
+                vW1 = self.momentum * vW1 - self.learning_rate * gW1
+                vb1 = self.momentum * vb1 - self.learning_rate * gb1
+                W2 += vW2; b2 += vb2; W1 += vW1; b1 += vb1
+        self._params = (W1, b1, W2, b2)
+
+    def _score_matrix(self, X: np.ndarray) -> np.ndarray:
+        W1, b1, W2, b2 = self._params
+        Z = (X - self._mu) / self._sigma
+        a1 = np.tanh(Z @ W1 + b1)
+        logits = (a1 @ W2 + b2).ravel()
+        return 1.0 / (1.0 + np.exp(-logits))

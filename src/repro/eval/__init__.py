@@ -1,0 +1,44 @@
+"""Evaluation substrate: detection metrics and ranking comparison."""
+
+from .metrics import (
+    ConfusionCounts,
+    average_precision,
+    best_f1,
+    confusion,
+    f1_score,
+    point_adjust,
+    precision,
+    precision_at_k,
+    recall,
+    roc_auc,
+)
+from .hierarchy_eval import Alg1Metrics, aggregate, evaluate_alg1, replicate_alg1
+from .ranking import (
+    kendall_tau,
+    rankdata,
+    reciprocal_rank,
+    spearman_correlation,
+    top_k_overlap,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "confusion",
+    "precision",
+    "recall",
+    "f1_score",
+    "roc_auc",
+    "average_precision",
+    "precision_at_k",
+    "best_f1",
+    "point_adjust",
+    "rankdata",
+    "spearman_correlation",
+    "kendall_tau",
+    "top_k_overlap",
+    "reciprocal_rank",
+    "Alg1Metrics",
+    "evaluate_alg1",
+    "replicate_alg1",
+    "aggregate",
+]

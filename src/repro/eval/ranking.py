@@ -1,0 +1,99 @@
+"""Ranking comparison utilities.
+
+Outlierness scores "allow for a ranking of outliers, which cannot be done
+using a binary outlier score" (Section 5 of the paper).  These helpers
+compare rankings produced by different detectors, levels, or fusion
+strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "rankdata",
+    "spearman_correlation",
+    "kendall_tau",
+    "top_k_overlap",
+    "reciprocal_rank",
+]
+
+
+def rankdata(scores) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing the mean rank."""
+    s = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty(len(s), dtype=np.float64)
+    i = 0
+    sorted_s = s[order]
+    while i < len(s):
+        j = i
+        while j + 1 < len(s) and sorted_s[j + 1] == sorted_s[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(a, b) -> float:
+    """Spearman rank correlation between two score vectors."""
+    ra = rankdata(a)
+    rb = rankdata(b)
+    if len(ra) != len(rb):
+        raise ValueError("score vectors must have equal length")
+    if len(ra) < 2:
+        return 0.0
+    ra = ra - ra.mean()
+    rb = rb - rb.mean()
+    denom = np.sqrt((ra * ra).sum() * (rb * rb).sum())
+    return float((ra * rb).sum() / denom) if denom > 0 else 0.0
+
+
+def kendall_tau(a, b) -> float:
+    """Kendall's tau-a over all item pairs (O(n^2), fine for our sizes)."""
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if len(x) != len(y):
+        raise ValueError("score vectors must have equal length")
+    n = len(x)
+    if n < 2:
+        return 0.0
+    concordant = discordant = 0
+    for i in range(n):
+        dx = x[i + 1 :] - x[i]
+        dy = y[i + 1 :] - y[i]
+        prod = dx * dy
+        concordant += int((prod > 0).sum())
+        discordant += int((prod < 0).sum())
+    total = n * (n - 1) / 2
+    return (concordant - discordant) / total
+
+
+def top_k_overlap(a, b, k: int) -> float:
+    """Jaccard overlap of the top-``k`` items of two rankings."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    sa = np.asarray(a, dtype=np.float64)
+    sb = np.asarray(b, dtype=np.float64)
+    if len(sa) != len(sb):
+        raise ValueError("score vectors must have equal length")
+    k = min(k, len(sa))
+    top_a = set(np.argsort(-sa, kind="mergesort")[:k].tolist())
+    top_b = set(np.argsort(-sb, kind="mergesort")[:k].tolist())
+    union = top_a | top_b
+    return len(top_a & top_b) / len(union) if union else 0.0
+
+
+def reciprocal_rank(labels: Sequence[bool], scores) -> float:
+    """1 / rank of the first true anomaly when sorted by decreasing score."""
+    y = np.asarray(labels).astype(bool)
+    s = np.asarray(scores, dtype=np.float64)
+    if y.shape != s.shape:
+        raise ValueError("labels and scores must have equal length")
+    order = np.argsort(-s, kind="mergesort")
+    for rank, idx in enumerate(order, start=1):
+        if y[idx]:
+            return 1.0 / rank
+    return 0.0

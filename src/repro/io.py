@@ -1,0 +1,261 @@
+"""Persistence: save and load plant datasets and report lists.
+
+A downstream user wants to simulate once and analyze many times, or ship a
+dataset to a colleague.  Plant datasets round-trip through a single
+``.npz`` archive (signal arrays) + embedded JSON manifest (structure,
+setup, CAQ, ground truth); reports export to JSON for dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List
+
+import numpy as np
+
+from .core import HierarchicalOutlierReport
+from .plant import (
+    CAQResult,
+    FaultEvent,
+    FaultKind,
+    JobRecord,
+    LineRecord,
+    MachineRecord,
+    PhaseRecord,
+    PlantDataset,
+    SensorChannel,
+    SensorSpec,
+)
+from .synthetic import OutlierType
+from .timeseries import DiscreteSequence, TimeSeries
+
+__all__ = ["save_plant", "load_plant", "reports_to_json", "reports_to_rows"]
+
+_FORMAT_VERSION = 1
+
+
+def _fault_to_dict(fault: FaultEvent) -> Dict:
+    return {
+        "kind": fault.kind.value,
+        "machine_id": fault.machine_id,
+        "job_index": fault.job_index,
+        "phase_name": fault.phase_name,
+        "redundancy_group": fault.redundancy_group,
+        "sensor_id": fault.sensor_id,
+        "onset": fault.onset,
+        "outlier_type": fault.outlier_type.value if fault.outlier_type else None,
+        "magnitude": fault.magnitude,
+    }
+
+
+def _fault_from_dict(d: Dict) -> FaultEvent:
+    return FaultEvent(
+        kind=FaultKind(d["kind"]),
+        machine_id=d["machine_id"],
+        job_index=d["job_index"],
+        phase_name=d["phase_name"],
+        redundancy_group=d["redundancy_group"],
+        sensor_id=d["sensor_id"],
+        onset=d["onset"],
+        outlier_type=OutlierType(d["outlier_type"]) if d["outlier_type"] else None,
+        magnitude=d["magnitude"],
+    )
+
+
+def save_plant(dataset: PlantDataset, path) -> pathlib.Path:
+    """Serialize a plant dataset to one ``.npz`` archive."""
+    path = pathlib.Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    manifest: Dict = {
+        "format_version": _FORMAT_VERSION,
+        "setup_keys": list(dataset.setup_keys),
+        "caq_keys": list(dataset.caq_keys),
+        "faults": [_fault_to_dict(f) for f in dataset.faults],
+        "lines": [],
+    }
+    for li, line in enumerate(dataset.lines):
+        line_entry: Dict = {"line_id": line.line_id, "machines": [], "environment": []}
+        for kind, series in sorted(line.environment.items()):
+            key = f"env/{li}/{kind}"
+            arrays[key] = series.values
+            line_entry["environment"].append(
+                {"kind": kind, "key": key, "start": series.start,
+                 "step": series.step, "name": series.name, "unit": series.unit}
+            )
+        for mi, machine in enumerate(line.machines):
+            machine_entry: Dict = {
+                "machine_id": machine.machine_id,
+                "channels": [
+                    {
+                        "sensor_id": ch.sensor_id,
+                        "kind": ch.spec.kind,
+                        "unit": ch.spec.unit,
+                        "redundancy_group": ch.spec.redundancy_group,
+                        "noise_sigma": ch.spec.noise_sigma,
+                        "step": ch.spec.step,
+                    }
+                    for ch in machine.channels
+                ],
+                "jobs": [],
+            }
+            for job in machine.jobs:
+                job_entry: Dict = {
+                    "job_index": job.job_index,
+                    "start": job.start,
+                    "setup": job.setup,
+                    "caq": {
+                        "measurements": job.caq.measurements,
+                        "passed": job.caq.passed,
+                    },
+                    "phases": [],
+                }
+                for pi, phase in enumerate(job.phases):
+                    phase_entry: Dict = {
+                        "name": phase.name,
+                        "start": phase.start,
+                        "events": list(phase.events.symbols),
+                        "event_alphabet": list(phase.events.alphabet),
+                        "series": [],
+                    }
+                    for sensor_id, series in sorted(phase.series.items()):
+                        key = f"s/{li}/{mi}/{job.job_index}/{pi}/{sensor_id.rsplit('/', 1)[-1]}"
+                        arrays[key] = series.values
+                        phase_entry["series"].append(
+                            {"sensor_id": sensor_id, "key": key,
+                             "start": series.start, "step": series.step,
+                             "unit": series.unit}
+                        )
+                    job_entry["phases"].append(phase_entry)
+                machine_entry["jobs"].append(job_entry)
+            line_entry["machines"].append(machine_entry)
+        manifest["lines"].append(line_entry)
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_plant(path) -> PlantDataset:
+    """Load a plant dataset saved with :func:`save_plant`."""
+    with np.load(pathlib.Path(path)) as archive:
+        manifest = json.loads(bytes(archive["__manifest__"]).decode("utf-8"))
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plant archive version {manifest.get('format_version')}"
+            )
+        lines: List[LineRecord] = []
+        for line_entry in manifest["lines"]:
+            environment = {}
+            for env in line_entry["environment"]:
+                environment[env["kind"]] = TimeSeries(
+                    archive[env["key"]], start=env["start"], step=env["step"],
+                    name=env["name"], unit=env["unit"],
+                )
+            machines: List[MachineRecord] = []
+            for machine_entry in line_entry["machines"]:
+                channels = [
+                    SensorChannel(
+                        sensor_id=c["sensor_id"],
+                        machine_id=machine_entry["machine_id"],
+                        spec=SensorSpec(
+                            kind=c["kind"], unit=c["unit"],
+                            redundancy_group=c["redundancy_group"],
+                            noise_sigma=c["noise_sigma"], step=c["step"],
+                        ),
+                    )
+                    for c in machine_entry["channels"]
+                ]
+                machine = MachineRecord(
+                    machine_id=machine_entry["machine_id"],
+                    line_id=line_entry["line_id"],
+                    channels=channels,
+                )
+                for job_entry in machine_entry["jobs"]:
+                    phases: List[PhaseRecord] = []
+                    for phase_entry in job_entry["phases"]:
+                        series = {
+                            s["sensor_id"]: TimeSeries(
+                                archive[s["key"]], start=s["start"],
+                                step=s["step"], name=s["sensor_id"],
+                                unit=s["unit"],
+                            )
+                            for s in phase_entry["series"]
+                        }
+                        phases.append(
+                            PhaseRecord(
+                                name=phase_entry["name"],
+                                job_index=job_entry["job_index"],
+                                machine_id=machine.machine_id,
+                                start=phase_entry["start"],
+                                series=series,
+                                events=DiscreteSequence(
+                                    tuple(phase_entry["events"]),
+                                    alphabet=tuple(phase_entry["event_alphabet"]),
+                                ),
+                            )
+                        )
+                    machine.jobs.append(
+                        JobRecord(
+                            job_index=job_entry["job_index"],
+                            machine_id=machine.machine_id,
+                            start=job_entry["start"],
+                            setup=dict(job_entry["setup"]),
+                            phases=phases,
+                            caq=CAQResult(
+                                measurements=dict(job_entry["caq"]["measurements"]),
+                                passed=job_entry["caq"]["passed"],
+                            ),
+                        )
+                    )
+                machines.append(machine)
+            lines.append(LineRecord(line_entry["line_id"], machines, environment))
+        return PlantDataset(
+            lines=lines,
+            faults=[_fault_from_dict(f) for f in manifest["faults"]],
+            setup_keys=tuple(manifest["setup_keys"]),
+            caq_keys=tuple(manifest["caq_keys"]),
+        )
+
+
+def reports_to_rows(reports: List[HierarchicalOutlierReport]) -> List[Dict]:
+    """Flatten reports into dashboard-friendly, JSON-safe dicts."""
+    rows = []
+    for r in reports:
+        c = r.candidate
+        rows.append(
+            {
+                "location": c.location,
+                "level": int(c.level),
+                "machine_id": c.machine_id,
+                "job_index": None if c.job_index is None else int(c.job_index),
+                "phase_name": c.phase_name,
+                "sensor_id": c.sensor_id,
+                "index": None if c.index is None else int(c.index),
+                "global_score": int(r.global_score),
+                "outlierness": float(r.outlierness),
+                "support": float(r.support),
+                "n_corresponding": int(r.n_corresponding),
+                "supporters": list(r.supporters),
+                "fused_score": float(r.fused_score),
+                "measurement_warning": bool(r.measurement_warning),
+                "confirmations": [
+                    {
+                        "level": int(conf.level),
+                        "detected": bool(conf.detected),
+                        "outlierness": float(conf.outlierness),
+                    }
+                    for conf in r.confirmations
+                ],
+            }
+        )
+    return rows
+
+
+def reports_to_json(reports: List[HierarchicalOutlierReport], path=None) -> str:
+    """Serialize reports to JSON (optionally writing to ``path``)."""
+    payload = json.dumps({"reports": reports_to_rows(reports)}, indent=2)
+    if path is not None:
+        pathlib.Path(path).write_text(payload)
+    return payload

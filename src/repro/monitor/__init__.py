@@ -1,0 +1,35 @@
+"""Production-control applications of the hierarchical outlier model.
+
+Section 1 of the paper names four uses of outlier detection in production
+control; this subpackage implements each on top of the Algorithm-1 triple:
+
+* **Alerts** — :class:`AlertManager` (severity from the triple, dedup,
+  lifecycle);
+* **Condition Monitoring** — :class:`ConditionMonitor` (per-machine health);
+* **Predictive Maintenance** — :class:`MaintenanceAdvisor` (urgency from
+  "the degree of deviation from an expected value");
+* **Concept Shifts** — :class:`ConceptShiftDetector` (two-window rank test
+  over job sequences).
+"""
+
+from .alerts import Alert, AlertManager, AlertState, Severity, triple_severity
+from .condition import ConditionMonitor, HealthStatus, MachineCondition
+from .drift import ConceptShiftDetector, ShiftPoint, rank_shift_statistic
+from .maintenance import MaintenanceAdvisor, MaintenanceIndicator, theil_sen_slope
+
+__all__ = [
+    "Severity",
+    "AlertState",
+    "Alert",
+    "AlertManager",
+    "triple_severity",
+    "HealthStatus",
+    "MachineCondition",
+    "ConditionMonitor",
+    "MaintenanceIndicator",
+    "MaintenanceAdvisor",
+    "theil_sen_slope",
+    "ShiftPoint",
+    "ConceptShiftDetector",
+    "rank_shift_statistic",
+]

@@ -1,0 +1,198 @@
+"""Alert management on top of hierarchical outlier reports.
+
+Section 1: outlier detection in production control is used to "provide
+Condition Monitoring, generate Alerts, discover Concept Shifts, or serve
+as an indicator for Predictive Maintenance".  This module is the *generate
+Alerts* part: it turns ⟨global score, outlierness, support⟩ reports into
+deduplicated, severity-graded alerts with an acknowledge/resolve
+lifecycle.  Severity comes from the triple itself — the paper's stated
+purpose for it ("this representation of outliers helps to represent the
+importance of an outlier").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core import HierarchicalOutlierReport
+
+__all__ = ["Severity", "AlertState", "Alert", "AlertManager", "triple_severity"]
+
+
+class Severity(enum.IntEnum):
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class AlertState(enum.Enum):
+    OPEN = "open"
+    ACKNOWLEDGED = "acknowledged"
+    RESOLVED = "resolved"
+
+
+def triple_severity(report: HierarchicalOutlierReport) -> Severity:
+    """Map the Algorithm-1 triple to an alert severity.
+
+    * CRITICAL — confirmed beyond its own level (global score ≥ 3) or a
+      fully supported, highly outlying finding: several independent pieces
+      of evidence agree that the process is off.
+    * WARNING — noticeable outlierness with at least weak corroboration.
+    * INFO — everything else, including unsupported candidates on
+      redundant sensors (likely measurement errors: worth logging, not
+      waking anyone up).
+    """
+    evidence = (
+        (report.global_score - 1) / 4.0
+        + report.outlierness
+        + report.effective_support
+    )  # in [0, 3]
+    unsupported = report.n_corresponding > 0 and report.support == 0.0
+    if unsupported or report.measurement_warning:
+        return Severity.INFO
+    if report.global_score >= 3 or evidence >= 2.2:
+        return Severity.CRITICAL
+    if evidence >= 1.4:
+        return Severity.WARNING
+    return Severity.INFO
+
+
+@dataclass
+class Alert:
+    """One alert with its lifecycle state."""
+
+    alert_id: int
+    key: str  # dedup key (machine/job/phase/sensor)
+    severity: Severity
+    report: HierarchicalOutlierReport
+    state: AlertState = AlertState.OPEN
+    occurrences: int = 1
+    note: str = ""
+
+    @property
+    def is_measurement_suspect(self) -> bool:
+        return (
+            self.report.measurement_warning
+            or (self.report.n_corresponding > 0 and self.report.support == 0.0)
+        )
+
+    def describe(self) -> str:
+        extra = " [suspect measurement]" if self.is_measurement_suspect else ""
+        return (
+            f"[{self.severity.name:8s}] x{self.occurrences} "
+            f"{self.key} (state={self.state.value}){extra}"
+        )
+
+
+def _dedup_key(report: HierarchicalOutlierReport) -> str:
+    c = report.candidate
+    parts = [c.machine_id]
+    if c.job_index is not None:
+        parts.append(f"job{c.job_index}")
+    if c.phase_name:
+        parts.append(c.phase_name)
+    if c.sensor_id:
+        parts.append(c.sensor_id.rsplit("/", 1)[-1])
+    return "/".join(parts)
+
+
+class AlertManager:
+    """Ingest reports, deduplicate, grade, and track alert lifecycle."""
+
+    def __init__(self, min_severity: Severity = Severity.INFO) -> None:
+        self.min_severity = min_severity
+        self._alerts: Dict[str, Alert] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def ingest(self, reports) -> List[Alert]:
+        """Process a batch of reports; returns alerts that are new or
+        escalated by this batch."""
+        touched: List[Alert] = []
+        for report in reports:
+            severity = triple_severity(report)
+            if severity < self.min_severity:
+                continue
+            key = _dedup_key(report)
+            existing = self._alerts.get(key)
+            if existing is None:
+                alert = Alert(
+                    alert_id=next(self._ids),
+                    key=key,
+                    severity=severity,
+                    report=report,
+                )
+                self._alerts[key] = alert
+                touched.append(alert)
+                continue
+            existing.occurrences += 1
+            if existing.state is AlertState.RESOLVED:
+                existing.state = AlertState.OPEN
+                touched.append(existing)
+            if severity > existing.severity:
+                existing.severity = severity
+                existing.report = report
+                touched.append(existing)
+        # an alert escalated twice in one batch is still one notification
+        unique: List[Alert] = []
+        seen = set()
+        for alert in touched:
+            if alert.alert_id not in seen:
+                seen.add(alert.alert_id)
+                unique.append(alert)
+        return unique
+
+    # ------------------------------------------------------------------
+    def acknowledge(self, alert_id: int, note: str = "") -> Alert:
+        alert = self._by_id(alert_id)
+        if alert.state is AlertState.RESOLVED:
+            raise ValueError(f"alert {alert_id} is already resolved")
+        alert.state = AlertState.ACKNOWLEDGED
+        if note:
+            alert.note = note
+        return alert
+
+    def resolve(self, alert_id: int, note: str = "") -> Alert:
+        alert = self._by_id(alert_id)
+        alert.state = AlertState.RESOLVED
+        if note:
+            alert.note = note
+        return alert
+
+    def _by_id(self, alert_id: int) -> Alert:
+        for alert in self._alerts.values():
+            if alert.alert_id == alert_id:
+                return alert
+        raise KeyError(f"no alert with id {alert_id}")
+
+    # ------------------------------------------------------------------
+    def open_alerts(self, min_severity: Optional[Severity] = None) -> List[Alert]:
+        """Open/acknowledged alerts, most severe first."""
+        floor = min_severity or Severity.INFO
+        active = [
+            a
+            for a in self._alerts.values()
+            if a.state is not AlertState.RESOLVED and a.severity >= floor
+        ]
+        return sorted(
+            active, key=lambda a: (a.severity, a.occurrences), reverse=True
+        )
+
+    def all_alerts(self) -> List[Alert]:
+        return sorted(self._alerts.values(), key=lambda a: a.alert_id)
+
+    def counts_by_severity(self) -> Dict[Severity, int]:
+        out = {s: 0 for s in Severity}
+        for alert in self._alerts.values():
+            if alert.state is not AlertState.RESOLVED:
+                out[alert.severity] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._alerts)

@@ -1,0 +1,139 @@
+"""Predictive-maintenance indicators from quality trends.
+
+Section 1: "the degree of deviation from an expected value represents the
+urgency to maintain a system".  Per machine, the CAQ quality measurements
+over its job sequence are trend-fitted (robust Theil-Sen slope); the
+urgency combines the current deviation from the healthy baseline with the
+trend direction, and — where the trend is credibly degrading — the number
+of jobs left until a CAQ limit is crossed is extrapolated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..plant import CAQ_LIMITS, PlantDataset
+
+__all__ = ["theil_sen_slope", "MaintenanceIndicator", "MaintenanceAdvisor"]
+
+#: measurements where larger is worse (tensile is the opposite)
+_HIGHER_IS_WORSE = {
+    "dimension_error_um": True,
+    "porosity_pct": True,
+    "surface_roughness_um": True,
+    "tensile_mpa": False,
+}
+
+
+def theil_sen_slope(y: np.ndarray) -> float:
+    """Median of pairwise slopes — a robust trend estimate."""
+    y = np.asarray(y, dtype=np.float64)
+    n = len(y)
+    if n < 2:
+        return 0.0
+    slopes = [
+        (y[j] - y[i]) / (j - i) for i in range(n) for j in range(i + 1, n)
+    ]
+    return float(np.median(slopes))
+
+
+@dataclass(frozen=True)
+class MaintenanceIndicator:
+    """Maintenance outlook of one machine."""
+
+    machine_id: str
+    urgency: float  # [0, 1]
+    worst_measure: str
+    deviation_sigmas: float  # current deviation from the fleet baseline
+    trend_per_job: float  # worst measure's slope, sign-normalized (positive = degrading)
+    jobs_to_limit: Optional[int]  # extrapolated; None if not degrading
+
+    def describe(self) -> str:
+        eta = f"{self.jobs_to_limit}" if self.jobs_to_limit is not None else "-"
+        return (
+            f"{self.machine_id:24s} urgency={self.urgency:.2f} "
+            f"measure={self.worst_measure:20s} deviation={self.deviation_sigmas:+.1f}s "
+            f"trend={self.trend_per_job:+.3f}/job jobs-to-limit={eta}"
+        )
+
+
+class MaintenanceAdvisor:
+    """Rank machines by maintenance urgency from a plant dataset."""
+
+    def __init__(self, dataset: PlantDataset, recent_window: int = 5) -> None:
+        if recent_window < 1:
+            raise ValueError("recent_window must be >= 1")
+        self.dataset = dataset
+        self.recent_window = recent_window
+        self._baseline = self._fleet_baseline()
+
+    def _fleet_baseline(self) -> Dict[str, tuple]:
+        """Per-measure robust center/scale over every job of the fleet."""
+        values: Dict[str, List[float]] = {k: [] for k in self.dataset.caq_keys}
+        for job in self.dataset.iter_jobs():
+            for key in self.dataset.caq_keys:
+                values[key].append(job.caq.measurements[key])
+        out = {}
+        for key, vals in values.items():
+            arr = np.asarray(vals)
+            med = float(np.median(arr))
+            mad = float(np.median(np.abs(arr - med))) * 1.4826
+            out[key] = (med, mad if mad > 1e-9 else (float(arr.std()) or 1.0))
+        return out
+
+    # ------------------------------------------------------------------
+    def indicator_for(self, machine_id: str) -> MaintenanceIndicator:
+        machine = self.dataset.machine(machine_id)
+        jobs = machine.jobs
+        worst = ("", 0.0, 0.0, None)  # measure, urgency, deviation, eta
+        worst_trend = 0.0
+        for key in self.dataset.caq_keys:
+            series = np.array([j.caq.measurements[key] for j in jobs])
+            med, scale = self._baseline[key]
+            sign = 1.0 if _HIGHER_IS_WORSE[key] else -1.0
+            recent = series[-self.recent_window :]
+            deviation = sign * (float(np.median(recent)) - med) / scale
+            slope = sign * theil_sen_slope(series)
+            # urgency: current deviation plus credible degradation momentum
+            urgency = 1.0 - math.exp(
+                -max(0.0, 0.35 * deviation + 6.0 * max(0.0, slope) / scale)
+            )
+            eta = self._jobs_to_limit(key, series, slope * sign)
+            if urgency > worst[1]:
+                worst = (key, urgency, deviation, eta)
+                worst_trend = slope
+        measure, urgency, deviation, eta = worst
+        return MaintenanceIndicator(
+            machine_id=machine_id,
+            urgency=urgency,
+            worst_measure=measure or self.dataset.caq_keys[0],
+            deviation_sigmas=deviation,
+            trend_per_job=worst_trend,
+            jobs_to_limit=eta,
+        )
+
+    def _jobs_to_limit(self, key: str, series: np.ndarray,
+                       raw_slope: float) -> Optional[int]:
+        """Extrapolate jobs until the CAQ limit is crossed (None if stable)."""
+        limit = CAQ_LIMITS[key]
+        current = float(np.median(series[-self.recent_window :]))
+        higher_worse = _HIGHER_IS_WORSE[key]
+        degrading = raw_slope > 1e-9 if higher_worse else raw_slope < -1e-9
+        if not degrading:
+            return None
+        remaining = (limit - current) / raw_slope
+        if remaining <= 0:
+            return 0
+        return int(math.ceil(remaining)) if remaining < 10_000 else None
+
+    def ranking(self) -> List[MaintenanceIndicator]:
+        """All machines, most urgent first."""
+        indicators = [
+            self.indicator_for(m.machine_id)
+            for m in self.dataset.iter_machines()
+        ]
+        return sorted(indicators, key=lambda i: i.urgency, reverse=True)

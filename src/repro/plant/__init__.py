@@ -1,0 +1,59 @@
+"""Simulated additive-manufacturing plant (the paper's evaluation substrate).
+
+The paper defers evaluation to "real-life data of a company that produces
+machines in an industrial large-scale production setting"; this subpackage
+replaces that unavailable data with a deterministic, seedable simulator
+that produces exactly the per-level data shapes of Fig. 2 plus injected
+ground truth (process faults, sensor measurement errors, setup anomalies).
+"""
+
+from .caq import CAQ_LIMITS, evaluate_caq
+from .config import (
+    DEFAULT_PHASES,
+    DEFAULT_SENSORS,
+    DEFAULT_SETUP_PARAMETERS,
+    EnvironmentSpec,
+    FaultConfig,
+    PhaseSpec,
+    PlantConfig,
+    SensorSpec,
+)
+from .faults import FaultEvent, FaultKind
+from .model import (
+    CAQResult,
+    JobRecord,
+    LineRecord,
+    MachineRecord,
+    PhaseRecord,
+    PlantDataset,
+    SensorChannel,
+)
+from .simulate import ENV_STEP, simulate_plant
+from .soft_sensor import SOFT_SUFFIX, SoftSensor, build_soft_sensors
+
+__all__ = [
+    "PlantConfig",
+    "SensorSpec",
+    "PhaseSpec",
+    "EnvironmentSpec",
+    "FaultConfig",
+    "DEFAULT_SENSORS",
+    "DEFAULT_PHASES",
+    "DEFAULT_SETUP_PARAMETERS",
+    "FaultEvent",
+    "FaultKind",
+    "SensorChannel",
+    "PhaseRecord",
+    "CAQResult",
+    "JobRecord",
+    "MachineRecord",
+    "LineRecord",
+    "PlantDataset",
+    "simulate_plant",
+    "ENV_STEP",
+    "evaluate_caq",
+    "CAQ_LIMITS",
+    "SoftSensor",
+    "build_soft_sensors",
+    "SOFT_SUFFIX",
+]

@@ -1,0 +1,118 @@
+"""Computer-aided quality assurance (CAQ) model.
+
+"A job ... starts with a setup and ends with a computer-aided quality (CAQ)
+check" (Section 2).  The paper's CAQ system is proprietary; this model
+derives the quality vector of a finished job deterministically from the
+physics the phase signals expose — temperature stability during printing,
+vibration energy, laser power regularity — plus the setup parameters.
+Process faults therefore degrade quality *through the signals*, while pure
+sensor (measurement) faults do not: exactly the separation Algorithm 1
+exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .model import CAQResult, PhaseRecord
+
+__all__ = ["evaluate_caq", "CAQ_LIMITS"]
+
+#: pass/fail limits per measurement (upper bounds except tensile: lower).
+CAQ_LIMITS: Dict[str, float] = {
+    "dimension_error_um": 80.0,
+    "porosity_pct": 2.5,
+    "surface_roughness_um": 16.0,
+    "tensile_mpa": 950.0,  # lower bound
+}
+
+
+def _stability(values: np.ndarray) -> float:
+    """Root-mean-square deviation from the channel's own median."""
+    finite = values[~np.isnan(values)]
+    if finite.size == 0:
+        return 0.0
+    med = np.median(finite)
+    return float(np.sqrt(np.mean((finite - med) ** 2)))
+
+
+def evaluate_caq(
+    printing: PhaseRecord,
+    setup: Dict[str, float],
+    process_signals: Dict[str, np.ndarray],
+    rng: np.random.Generator,
+    noise: float = 0.05,
+) -> CAQResult:
+    """Quality vector of one job from its printing-phase *process* signals.
+
+    ``process_signals`` maps redundancy-group kinds (``chamber_temp``,
+    ``bed_temp``, ``laser_power``, ``vibration``) to the fault-free-sensor
+    view of the underlying process (i.e. with process faults but without
+    per-sensor measurement errors) — quality depends on the physics, not on
+    what one broken gauge claims.
+    """
+    # plants without a channel kind contribute no instability through it
+    neutral = np.zeros(1)
+    chamber = process_signals.get("chamber_temp", neutral)
+    bed = process_signals.get("bed_temp", neutral)
+    laser = process_signals.get("laser_power", neutral)
+    vibration = process_signals.get("vibration", neutral)
+
+    chamber_instability = _stability(chamber)
+    bed_instability = _stability(bed)
+    laser_instability = _stability(laser)
+    vibration_rms = float(np.sqrt(np.nanmean(vibration**2)))
+
+    layer_height = setup.get("layer_height_um", 60.0)
+    scan_speed = setup.get("scan_speed_mm_s", 900.0)
+    oxygen = setup.get("oxygen_ppm", 400.0)
+    powder_age = setup.get("powder_batch_age_d", 10.0)
+
+    jitter = lambda scale: float(rng.normal(0.0, noise * scale))
+
+    dimension_error = (
+        18.0
+        + 6.0 * vibration_rms
+        + 0.9 * chamber_instability
+        + 0.05 * abs(layer_height - 60.0) * 10.0
+        + jitter(18.0)
+    )
+    porosity = (
+        0.8
+        + 0.05 * laser_instability
+        + 0.004 * abs(scan_speed - 900.0)
+        + 0.002 * max(0.0, oxygen - 400.0)
+        + 0.02 * powder_age / 10.0
+        + 0.03 * bed_instability
+        + jitter(0.8)
+    )
+    roughness = (
+        8.0
+        + 2.5 * vibration_rms
+        + 0.12 * laser_instability
+        + 0.02 * abs(layer_height - 60.0) * 10.0
+        + jitter(8.0)
+    )
+    tensile = (
+        1050.0
+        - 22.0 * porosity
+        - 1.2 * chamber_instability
+        - 0.5 * bed_instability
+        + jitter(30.0)
+    )
+
+    measurements = {
+        "dimension_error_um": dimension_error,
+        "porosity_pct": max(0.0, porosity),
+        "surface_roughness_um": max(0.0, roughness),
+        "tensile_mpa": tensile,
+    }
+    passed = (
+        measurements["dimension_error_um"] <= CAQ_LIMITS["dimension_error_um"]
+        and measurements["porosity_pct"] <= CAQ_LIMITS["porosity_pct"]
+        and measurements["surface_roughness_um"] <= CAQ_LIMITS["surface_roughness_um"]
+        and measurements["tensile_mpa"] >= CAQ_LIMITS["tensile_mpa"]
+    )
+    return CAQResult(measurements=measurements, passed=passed)

@@ -1,0 +1,206 @@
+"""Configuration dataclasses for the simulated additive-manufacturing plant.
+
+The paper's model "is basically inspired by a use case from the field of
+additive manufacturing, which is also known as industrial 3D-printing"
+(abstract).  The defaults here describe a small powder-bed-fusion plant:
+production lines of printers, each with redundant chamber-temperature
+sensors, a bed-temperature sensor, laser power and vibration channels, and
+per-line room-environment sensors.  All values are plain data — the
+simulator in :mod:`repro.plant.simulate` interprets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "SensorSpec",
+    "PhaseSpec",
+    "EnvironmentSpec",
+    "FaultConfig",
+    "PlantConfig",
+    "DEFAULT_SENSORS",
+    "DEFAULT_PHASES",
+    "DEFAULT_SETUP_PARAMETERS",
+]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One sensor channel on a machine.
+
+    ``redundancy_group`` identifies sensors measuring the same physical
+    quantity ("machines are often equipped with redundant sensors, e.g., to
+    measure the temperature of the same machine at different places" —
+    Section 1).  Sensors sharing a group are *corresponding sensors* for
+    the support computation.
+    """
+
+    kind: str
+    unit: str
+    redundancy_group: str
+    noise_sigma: float
+    step: float = 1.0
+
+    def sensor_id(self, machine_id: str, index: int) -> str:
+        return f"{machine_id}/{self.kind}-{index}"
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One production phase with its per-sensor-kind signal profile.
+
+    ``profiles`` maps sensor kind to ``(baseline, trend_per_sample,
+    season_amplitude, season_period)``; the simulator adds AR noise on top.
+    """
+
+    name: str
+    duration: int  # samples at the phase-level step
+    profiles: Dict[str, Tuple[float, float, float, float]]
+    event_codes: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Room-level environment channels measured per production line."""
+
+    kinds: Tuple[str, ...] = ("room_temp", "humidity")
+    baselines: Dict[str, float] = field(
+        default_factory=lambda: {"room_temp": 22.0, "humidity": 45.0}
+    )
+    day_period: int = 720  # samples of one slow ambient cycle
+    amplitudes: Dict[str, float] = field(
+        default_factory=lambda: {"room_temp": 1.5, "humidity": 4.0}
+    )
+    noise_sigma: float = 0.15
+    #: how strongly chamber temperature couples to room temperature
+    coupling: float = 0.25
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Ground-truth fault injection rates and magnitudes.
+
+    *Process faults* affect the physical process: every corresponding
+    sensor sees them and the job's CAQ quality degrades.  *Sensor faults*
+    (measurement errors) corrupt a single sensor's reading only — the case
+    Algorithm 1 flags via missing support and downward non-confirmation.
+    """
+
+    process_fault_rate: float = 0.08  # per job
+    sensor_fault_rate: float = 0.08  # per job
+    setup_anomaly_rate: float = 0.05  # per job (production-line level)
+    magnitude_sigmas: float = 6.0  # fault size in noise-sigma units
+    temporary_change_rho: float = 0.9
+    subsequence_length: int = 40
+
+
+@dataclass(frozen=True)
+class PlantConfig:
+    """Whole-plant simulation parameters."""
+
+    n_lines: int = 2
+    machines_per_line: int = 3
+    jobs_per_machine: int = 8
+    sensors: Tuple[SensorSpec, ...] = ()
+    phases: Tuple[PhaseSpec, ...] = ()
+    environment: EnvironmentSpec = field(default_factory=EnvironmentSpec)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_lines < 1 or self.machines_per_line < 1 or self.jobs_per_machine < 1:
+            raise ValueError("plant dimensions must be >= 1")
+        if not self.sensors:
+            object.__setattr__(self, "sensors", DEFAULT_SENSORS)
+        if not self.phases:
+            object.__setattr__(self, "phases", DEFAULT_PHASES)
+
+
+#: Sensor complement of one printer.  Two chamber-temperature sensors form
+#: the redundancy group the paper's support value is computed from.
+DEFAULT_SENSORS: Tuple[SensorSpec, ...] = (
+    SensorSpec("chamber_temp", "degC", "chamber_temp", noise_sigma=0.4),
+    SensorSpec("chamber_temp", "degC", "chamber_temp", noise_sigma=0.4),
+    SensorSpec("bed_temp", "degC", "bed_temp", noise_sigma=0.3),
+    SensorSpec("laser_power", "W", "laser_power", noise_sigma=1.5),
+    SensorSpec("vibration", "mm_s", "vibration", noise_sigma=0.05),
+)
+
+#: The five phases of one print job.  Profiles are
+#: (baseline, trend/sample, season amplitude, season period).
+DEFAULT_PHASES: Tuple[PhaseSpec, ...] = (
+    PhaseSpec(
+        "preparation",
+        duration=60,
+        profiles={
+            "chamber_temp": (25.0, 0.0, 0.0, 0.0),
+            "bed_temp": (25.0, 0.0, 0.0, 0.0),
+            "laser_power": (0.0, 0.0, 0.0, 0.0),
+            "vibration": (0.2, 0.0, 0.0, 0.0),
+        },
+        event_codes=("door_close", "powder_load", "recoat_home"),
+    ),
+    PhaseSpec(
+        "warmup",
+        duration=120,
+        profiles={
+            "chamber_temp": (25.0, 0.35, 0.0, 0.0),
+            "bed_temp": (25.0, 0.55, 0.0, 0.0),
+            "laser_power": (0.0, 0.0, 0.0, 0.0),
+            "vibration": (0.2, 0.0, 0.0, 0.0),
+        },
+        event_codes=("heater_on", "fan_low"),
+    ),
+    PhaseSpec(
+        "calibration",
+        duration=80,
+        profiles={
+            "chamber_temp": (67.0, 0.0, 0.5, 20.0),
+            "bed_temp": (91.0, 0.0, 0.0, 0.0),
+            "laser_power": (30.0, 0.0, 15.0, 16.0),
+            "vibration": (0.6, 0.0, 0.2, 16.0),
+        },
+        event_codes=("laser_test", "galvo_sweep", "focus_check"),
+    ),
+    PhaseSpec(
+        "printing",
+        duration=400,
+        profiles={
+            "chamber_temp": (68.0, 0.0, 0.8, 50.0),
+            "bed_temp": (92.0, 0.0, 0.3, 50.0),
+            "laser_power": (180.0, 0.0, 20.0, 50.0),
+            "vibration": (1.0, 0.0, 0.3, 50.0),
+        },
+        event_codes=("layer_start", "hatch", "contour", "recoat"),
+    ),
+    PhaseSpec(
+        "cooldown",
+        duration=140,
+        profiles={
+            "chamber_temp": (68.0, -0.28, 0.0, 0.0),
+            "bed_temp": (92.0, -0.42, 0.0, 0.0),
+            "laser_power": (0.0, 0.0, 0.0, 0.0),
+            "vibration": (0.3, 0.0, 0.0, 0.0),
+        },
+        event_codes=("heater_off", "fan_high", "door_open"),
+    ),
+)
+
+#: Nominal job setup parameters (name, nominal value, lot-to-lot sigma).
+#: The setup "provides nevertheless high-dimensional data" (Section 2).
+DEFAULT_SETUP_PARAMETERS: Tuple[Tuple[str, float, float], ...] = (
+    ("layer_height_um", 60.0, 2.0),
+    ("laser_power_w", 180.0, 4.0),
+    ("scan_speed_mm_s", 900.0, 20.0),
+    ("hatch_spacing_um", 120.0, 3.0),
+    ("bed_temp_target_c", 92.0, 1.0),
+    ("chamber_temp_target_c", 68.0, 1.0),
+    ("powder_batch_age_d", 10.0, 3.0),
+    ("oxygen_ppm", 400.0, 30.0),
+    ("recoater_speed_mm_s", 120.0, 5.0),
+    ("part_count", 12.0, 2.0),
+    ("support_density", 0.35, 0.04),
+    ("slice_count", 800.0, 40.0),
+)

@@ -1,0 +1,300 @@
+"""Data model of one simulated plant run.
+
+The containers here mirror Fig. 2 exactly: phases nest in jobs, jobs run on
+machines, machines sit on production lines, lines form the production, and
+every line carries environment channels measured over the same period.
+All signal payloads are :class:`~repro.timeseries.TimeSeries` /
+:class:`~repro.timeseries.DiscreteSequence` values from the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..timeseries import DiscreteSequence, TimeSeries
+from .config import SensorSpec
+from .faults import FaultEvent, FaultKind
+
+__all__ = [
+    "SensorChannel",
+    "PhaseRecord",
+    "CAQResult",
+    "JobRecord",
+    "MachineRecord",
+    "LineRecord",
+    "PlantDataset",
+]
+
+
+@dataclass(frozen=True)
+class SensorChannel:
+    """One physical sensor: identity plus its spec."""
+
+    sensor_id: str
+    machine_id: str
+    spec: SensorSpec
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def redundancy_group(self) -> str:
+        return f"{self.machine_id}/{self.spec.redundancy_group}"
+
+
+@dataclass
+class PhaseRecord:
+    """Phase level (Fig. 2, level 1): high-resolution multi-channel data."""
+
+    name: str
+    job_index: int
+    machine_id: str
+    start: float
+    series: Dict[str, TimeSeries]  # sensor_id -> signal during this phase
+    events: DiscreteSequence  # discrete value sequence (step codes)
+
+    @property
+    def duration(self) -> float:
+        any_series = next(iter(self.series.values()))
+        return any_series.duration
+
+    def channel_matrix(self, sensor_ids: Optional[List[str]] = None) -> np.ndarray:
+        """(time, channels) matrix over the given sensors (default: all)."""
+        ids = sensor_ids if sensor_ids is not None else sorted(self.series)
+        return np.column_stack([self.series[sid].values for sid in ids])
+
+
+@dataclass(frozen=True)
+class CAQResult:
+    """Computer-aided quality check of one finished job (Fig. 2: =CAQ)."""
+
+    measurements: Dict[str, float]
+    passed: bool
+
+    def vector(self, keys: Optional[Tuple[str, ...]] = None) -> np.ndarray:
+        names = keys if keys is not None else tuple(sorted(self.measurements))
+        return np.array([self.measurements[k] for k in names])
+
+    @staticmethod
+    def measurement_names() -> Tuple[str, ...]:
+        return ("dimension_error_um", "porosity_pct", "surface_roughness_um",
+                "tensile_mpa")
+
+
+@dataclass
+class JobRecord:
+    """Job level (Fig. 2, level 2): setup → phases → CAQ."""
+
+    job_index: int
+    machine_id: str
+    start: float
+    setup: Dict[str, float]
+    phases: List[PhaseRecord]
+    caq: CAQResult
+
+    @property
+    def end(self) -> float:
+        last = self.phases[-1]
+        return last.start + last.duration
+
+    def phase(self, name: str) -> PhaseRecord:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"job {self.job_index} on {self.machine_id} has no phase {name!r}")
+
+    def setup_vector(self, keys: Optional[Tuple[str, ...]] = None) -> np.ndarray:
+        names = keys if keys is not None else tuple(sorted(self.setup))
+        return np.array([self.setup[k] for k in names])
+
+
+@dataclass
+class MachineRecord:
+    """One machine with its sensor complement and job history."""
+
+    machine_id: str
+    line_id: str
+    channels: List[SensorChannel]
+    jobs: List[JobRecord] = field(default_factory=list)
+
+    def redundancy_groups(self) -> Dict[str, List[SensorChannel]]:
+        groups: Dict[str, List[SensorChannel]] = {}
+        for ch in self.channels:
+            groups.setdefault(ch.redundancy_group, []).append(ch)
+        return groups
+
+    def channel(self, sensor_id: str) -> SensorChannel:
+        for ch in self.channels:
+            if ch.sensor_id == sensor_id:
+                return ch
+        raise KeyError(f"machine {self.machine_id} has no sensor {sensor_id!r}")
+
+
+@dataclass
+class LineRecord:
+    """Production-line level: machines plus room-environment channels."""
+
+    line_id: str
+    machines: List[MachineRecord]
+    environment: Dict[str, TimeSeries]  # kind -> full-horizon series
+
+    def machine(self, machine_id: str) -> MachineRecord:
+        for m in self.machines:
+            if m.machine_id == machine_id:
+                return m
+        raise KeyError(f"line {self.line_id} has no machine {machine_id!r}")
+
+
+@dataclass
+class PlantDataset:
+    """One complete simulated production run, with ground truth.
+
+    Accessors return exactly the per-level data views of Fig. 2:
+
+    * :meth:`phase_series` — level 1, high-resolution signals;
+    * :meth:`job_table` / setup+CAQ vectors — level 2;
+    * :meth:`environment_series` — level 3;
+    * :meth:`jobs_over_time` — level 4 (production line);
+    * :meth:`production_panel` — level 5 (cross-machine).
+    """
+
+    lines: List[LineRecord]
+    faults: List[FaultEvent]
+    setup_keys: Tuple[str, ...]
+    caq_keys: Tuple[str, ...]
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    def iter_machines(self) -> Iterator[MachineRecord]:
+        for line in self.lines:
+            yield from line.machines
+
+    def iter_jobs(self) -> Iterator[JobRecord]:
+        for machine in self.iter_machines():
+            yield from machine.jobs
+
+    def line_of(self, machine_id: str) -> LineRecord:
+        for line in self.lines:
+            for m in line.machines:
+                if m.machine_id == machine_id:
+                    return line
+        raise KeyError(f"no line contains machine {machine_id!r}")
+
+    def machine(self, machine_id: str) -> MachineRecord:
+        return self.line_of(machine_id).machine(machine_id)
+
+    def job(self, machine_id: str, job_index: int) -> JobRecord:
+        for j in self.machine(machine_id).jobs:
+            if j.job_index == job_index:
+                return j
+        raise KeyError(f"machine {machine_id} has no job {job_index}")
+
+    # ------------------------------------------------------------------
+    # level views (Fig. 2)
+    # ------------------------------------------------------------------
+    def phase_series(self, machine_id: str, job_index: int,
+                     phase_name: str) -> PhaseRecord:
+        """Level 1: the multi-channel high-resolution view of one phase."""
+        return self.job(machine_id, job_index).phase(phase_name)
+
+    def job_table(self, machine_id: str) -> np.ndarray:
+        """Level 2: per-job high-dimensional rows (setup ++ CAQ)."""
+        rows = [
+            np.concatenate(
+                [j.setup_vector(self.setup_keys), j.caq.vector(self.caq_keys)]
+            )
+            for j in self.machine(machine_id).jobs
+        ]
+        return np.vstack(rows) if rows else np.empty((0, len(self.setup_keys) + len(self.caq_keys)))
+
+    def environment_series(self, line_id: str) -> Dict[str, TimeSeries]:
+        """Level 3: room-environment channels over the same period."""
+        for line in self.lines:
+            if line.line_id == line_id:
+                return dict(line.environment)
+        raise KeyError(f"no line {line_id!r}")
+
+    def jobs_over_time(self, line_id: str) -> Tuple[np.ndarray, List[Tuple[str, int]]]:
+        """Level 4: the line's jobs in start order as a multivariate series.
+
+        Returns the (n_jobs, n_features) matrix and the (machine, job)
+        identity of every row.
+        """
+        line = next(l for l in self.lines if l.line_id == line_id)
+        jobs: List[Tuple[float, JobRecord]] = []
+        for m in line.machines:
+            jobs.extend((j.start, j) for j in m.jobs)
+        jobs.sort(key=lambda pair: pair[0])
+        rows = [
+            np.concatenate(
+                [j.setup_vector(self.setup_keys), j.caq.vector(self.caq_keys)]
+            )
+            for __, j in jobs
+        ]
+        identity = [(j.machine_id, j.job_index) for __, j in jobs]
+        mat = np.vstack(rows) if rows else np.empty(
+            (0, len(self.setup_keys) + len(self.caq_keys))
+        )
+        return mat, identity
+
+    def production_panel(self) -> Tuple[np.ndarray, List[str]]:
+        """Level 5: one KPI row per machine across the whole production.
+
+        KPIs: mean/worst CAQ measurements, CAQ pass rate, and mean absolute
+        setup deviation — the aggregated, lowest-resolution view.
+        """
+        rows = []
+        ids = []
+        for machine in self.iter_machines():
+            caq = np.vstack([j.caq.vector(self.caq_keys) for j in machine.jobs])
+            setups = np.vstack([j.setup_vector(self.setup_keys) for j in machine.jobs])
+            setup_dev = np.abs(
+                (setups - setups.mean(axis=0)) / (setups.std(axis=0) + 1e-9)
+            ).mean()
+            pass_rate = float(np.mean([j.caq.passed for j in machine.jobs]))
+            rows.append(
+                np.concatenate(
+                    [caq.mean(axis=0), caq.max(axis=0), [pass_rate, setup_dev]]
+                )
+            )
+            ids.append(machine.machine_id)
+        return (np.vstack(rows) if rows else np.empty((0, 0))), ids
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    def faults_of_kind(self, kind: FaultKind) -> List[FaultEvent]:
+        return [f for f in self.faults if f.kind is kind]
+
+    def job_labels(self, machine_id: str) -> np.ndarray:
+        """Per-job boolean mask: True where a process/setup fault was injected."""
+        jobs = self.machine(machine_id).jobs
+        fault_jobs = {
+            (f.machine_id, f.job_index)
+            for f in self.faults
+            if f.kind in (FaultKind.PROCESS, FaultKind.SETUP)
+        }
+        return np.array(
+            [(machine_id, j.job_index) in fault_jobs for j in jobs], dtype=bool
+        )
+
+    def phase_labels(self, machine_id: str, job_index: int,
+                     phase_name: str) -> np.ndarray:
+        """Per-sample mask of process+sensor faults within one phase."""
+        phase = self.phase_series(machine_id, job_index, phase_name)
+        n = len(next(iter(phase.series.values())))
+        mask = np.zeros(n, dtype=bool)
+        for f in self.faults:
+            if (
+                f.machine_id == machine_id
+                and f.job_index == job_index
+                and f.phase_name == phase_name
+                and f.kind in (FaultKind.PROCESS, FaultKind.SENSOR)
+            ):
+                mask[f.onset : min(f.onset + 1, n)] = True
+        return mask

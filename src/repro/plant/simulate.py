@@ -1,0 +1,478 @@
+"""Simulator producing one :class:`~repro.plant.model.PlantDataset`.
+
+The run is fully deterministic given ``PlantConfig.seed``.  Per line, the
+room environment is generated first (its slow cycle couples into chamber
+temperatures); machines then run their jobs back to back, each job being
+setup → five phases → CAQ.  Ground-truth faults are injected at three
+levels:
+
+* **process faults** enter the shared *process signal* of a redundancy
+  group, so every corresponding sensor sees them, the event stream records
+  retries, and CAQ quality degrades;
+* **sensor faults** corrupt exactly one sensor's reading;
+* **setup anomalies** perturb the job's setup parameters.
+
+Chamber-temperature process faults of the persistent kinds additionally
+leave an attenuated trace in the room-temperature environment channel —
+the cross-level support path of Algorithm 1 ("the room temperature
+measurement supports another sensor measurement").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..synthetic import OutlierType, ar_process, inject
+from ..timeseries import DiscreteSequence, TimeSeries
+from .caq import evaluate_caq
+from .config import (
+    DEFAULT_SETUP_PARAMETERS,
+    PhaseSpec,
+    PlantConfig,
+)
+from .faults import FaultEvent, FaultKind
+from .model import (
+    CAQResult,
+    JobRecord,
+    LineRecord,
+    MachineRecord,
+    PhaseRecord,
+    PlantDataset,
+    SensorChannel,
+)
+
+__all__ = ["simulate_plant", "ENV_STEP"]
+
+#: environment channels record at a 4x coarser resolution than phase sensors
+ENV_STEP = 4.0
+
+_PROCESS_FAULT_TYPES = (
+    OutlierType.ADDITIVE,
+    OutlierType.INNOVATIVE,
+    OutlierType.TEMPORARY_CHANGE,
+    OutlierType.LEVEL_SHIFT,
+    OutlierType.SUBSEQUENCE,
+)
+_SENSOR_FAULT_TYPES = (
+    OutlierType.ADDITIVE,
+    OutlierType.TEMPORARY_CHANGE,
+    OutlierType.LEVEL_SHIFT,
+    OutlierType.SUBSEQUENCE,
+)
+#: persistent fault kinds that leave a trace in the room environment
+_ENV_COUPLED_TYPES = (OutlierType.TEMPORARY_CHANGE, OutlierType.LEVEL_SHIFT)
+
+#: quality-relevant setup parameters (see repro.plant.caq)
+_QUALITY_SETUP_KEYS = (
+    "layer_height_um",
+    "scan_speed_mm_s",
+    "oxygen_ppm",
+    "powder_batch_age_d",
+)
+
+
+def _job_duration(phases: Tuple[PhaseSpec, ...]) -> int:
+    return sum(p.duration for p in phases)
+
+
+def _base_environment(config: PlantConfig, horizon: float,
+                      rng: np.random.Generator) -> Dict[str, np.ndarray]:
+    env = config.environment
+    n = int(math.ceil(horizon / ENV_STEP)) + 1
+    out: Dict[str, np.ndarray] = {}
+    t = np.arange(n, dtype=np.float64)
+    for kind in env.kinds:
+        base = env.baselines.get(kind, 0.0)
+        amp = env.amplitudes.get(kind, 1.0)
+        cycle = amp * np.sin(2 * np.pi * t * ENV_STEP / (env.day_period * ENV_STEP))
+        noise = ar_process(n, rng, (0.7,), env.noise_sigma).values
+        out[kind] = base + cycle + noise
+    return out
+
+
+def _phase_events(spec: PhaseSpec, rng: np.random.Generator,
+                  retry_at: Optional[int]) -> DiscreteSequence:
+    """Event-code stream of one phase; process faults insert retry codes."""
+    codes = spec.event_codes or ("idle",)
+    n_events = max(4, spec.duration // 8)
+    symbols: List[str] = [codes[i % len(codes)] for i in range(n_events)]
+    if retry_at is not None:
+        pos = min(len(symbols) - 1, max(0, retry_at * n_events // max(spec.duration, 1)))
+        burst = ["error_retry"] * int(rng.integers(2, 5))
+        symbols[pos:pos] = burst
+    alphabet = tuple(dict.fromkeys(tuple(codes) + ("error_retry", "idle")))
+    return DiscreteSequence(tuple(symbols), alphabet=alphabet)
+
+
+def _choose_onset(duration: int, rng: np.random.Generator) -> int:
+    lo = max(1, duration // 8)
+    hi = max(lo + 1, duration - duration // 4)
+    return int(rng.integers(lo, hi))
+
+
+def _make_setup(rng: np.random.Generator) -> Dict[str, float]:
+    return {
+        name: float(rng.normal(nominal, sigma))
+        for name, nominal, sigma in DEFAULT_SETUP_PARAMETERS
+    }
+
+
+def _anomalize_setup(setup: Dict[str, float], rng: np.random.Generator,
+                     sigmas: float) -> Dict[str, float]:
+    """Perturb three parameters, at least one quality-relevant."""
+    perturbed = dict(setup)
+    nominal = {name: (nom, sig) for name, nom, sig in DEFAULT_SETUP_PARAMETERS}
+    keys = [str(k) for k in rng.choice(sorted(setup), size=2, replace=False)]
+    keys.append(str(rng.choice(_QUALITY_SETUP_KEYS)))
+    for key in set(keys):
+        nom, sig = nominal[key]
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        perturbed[key] = nom + sign * sigmas * sig
+    return perturbed
+
+
+def simulate_plant(config: Optional[PlantConfig] = None) -> PlantDataset:
+    """Run the full simulation and return the dataset with ground truth."""
+    config = config or PlantConfig()
+    rng = np.random.default_rng(config.seed)
+    job_len = _job_duration(config.phases)
+    horizon = config.jobs_per_machine * job_len
+    faults: List[FaultEvent] = []
+    lines: List[LineRecord] = []
+    group_kinds = sorted({s.redundancy_group for s in config.sensors})
+
+    for line_idx in range(config.n_lines):
+        line_id = f"line-{line_idx}"
+        env_arrays = _base_environment(config, horizon, rng)
+        env_extra: List[Tuple[str, float, OutlierType, float]] = []
+        machines: List[MachineRecord] = []
+
+        for machine_idx in range(config.machines_per_line):
+            machine_id = f"{line_id}/machine-{machine_idx}"
+            channels = [
+                SensorChannel(spec.sensor_id(machine_id, i), machine_id, spec)
+                for i, spec in enumerate(config.sensors)
+            ]
+            by_group: Dict[str, List[SensorChannel]] = {}
+            for ch in channels:
+                by_group.setdefault(ch.spec.redundancy_group, []).append(ch)
+            machine = MachineRecord(machine_id, line_id, channels)
+
+            for job_index in range(config.jobs_per_machine):
+                job_start = float(job_index * job_len)
+                setup = _make_setup(rng)
+                if rng.random() < config.faults.setup_anomaly_rate:
+                    setup = _anomalize_setup(
+                        setup, rng, config.faults.magnitude_sigmas
+                    )
+                    faults.append(
+                        FaultEvent(
+                            kind=FaultKind.SETUP,
+                            machine_id=machine_id,
+                            job_index=job_index,
+                        )
+                    )
+
+                process_fault = _plan_signal_fault(
+                    config, rng, group_kinds, FaultKind.PROCESS
+                )
+                sensor_fault = _plan_signal_fault(
+                    config, rng, group_kinds, FaultKind.SENSOR,
+                    by_group=by_group,
+                )
+
+                phases, printing_process, job_fault_events, env_requests = _simulate_job(
+                    config, rng, machine_id, job_index, job_start,
+                    by_group, env_arrays, line_idx,
+                    process_fault, sensor_fault,
+                )
+                faults.extend(job_fault_events)
+                env_extra.extend(env_requests)
+
+                caq = evaluate_caq(
+                    phases[-2], setup, printing_process, rng
+                )
+                caq = _apply_offphase_quality_penalty(
+                    caq, job_fault_events, config
+                )
+                machine.jobs.append(
+                    JobRecord(
+                        job_index=job_index,
+                        machine_id=machine_id,
+                        start=job_start,
+                        setup=setup,
+                        phases=phases,
+                        caq=caq,
+                    )
+                )
+            machines.append(machine)
+
+        environment = _finalize_environment(env_arrays, env_extra, config, rng)
+        lines.append(LineRecord(line_id, machines, environment))
+
+    setup_keys = tuple(name for name, __, __ in DEFAULT_SETUP_PARAMETERS)
+    return PlantDataset(
+        lines=lines,
+        faults=faults,
+        setup_keys=setup_keys,
+        caq_keys=CAQResult.measurement_names(),
+    )
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+def _plan_signal_fault(
+    config: PlantConfig,
+    rng: np.random.Generator,
+    group_kinds: List[str],
+    kind: FaultKind,
+    by_group: Optional[Dict[str, List[SensorChannel]]] = None,
+) -> Optional[dict]:
+    """Decide whether / where a process or sensor fault strikes this job."""
+    rate = (
+        config.faults.process_fault_rate
+        if kind is FaultKind.PROCESS
+        else config.faults.sensor_fault_rate
+    )
+    if rng.random() >= rate:
+        return None
+    phase = config.phases[int(rng.integers(len(config.phases)))]
+    types = _PROCESS_FAULT_TYPES if kind is FaultKind.PROCESS else _SENSOR_FAULT_TYPES
+    outlier_type = types[int(rng.integers(len(types)))]
+    if kind is FaultKind.SENSOR and by_group is not None:
+        # measurement errors mostly strike the redundant pair, where the
+        # support mechanism can expose them
+        multi = [g for g, chs in by_group.items() if len(chs) > 1]
+        if multi and rng.random() < 0.7:
+            group = str(rng.choice(multi))
+        else:
+            group = str(rng.choice(sorted(by_group)))
+        sensor = by_group[group][int(rng.integers(len(by_group[group])))]
+        sensor_id = sensor.sensor_id
+    else:
+        group = str(rng.choice(group_kinds))
+        sensor_id = None
+    sign = 1.0 if rng.random() < 0.5 else -1.0
+    return {
+        "phase_name": phase.name,
+        "group": group,
+        "sensor_id": sensor_id,
+        "outlier_type": outlier_type,
+        "onset": _choose_onset(phase.duration, rng),
+        "sign": sign,
+    }
+
+
+def _profile_signal(spec: PhaseSpec, group: str, noise_sigma: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    baseline, trend, amp, period = spec.profiles.get(group, (0.0, 0.0, 0.0, 0.0))
+    t = np.arange(spec.duration, dtype=np.float64)
+    signal = baseline + trend * t
+    if amp != 0.0 and period > 0:
+        signal = signal + amp * np.sin(2 * np.pi * t / period)
+    signal = signal + ar_process(spec.duration, rng, (0.5,), noise_sigma).values
+    return signal
+
+
+def _inject_fault(series: TimeSeries, plan: dict, magnitude: float,
+                  rng: np.random.Generator, config: PlantConfig) -> TimeSeries:
+    kwargs = {}
+    otype: OutlierType = plan["outlier_type"]
+    if otype is OutlierType.TEMPORARY_CHANGE:
+        kwargs["rho"] = config.faults.temporary_change_rho
+    if otype is OutlierType.SUBSEQUENCE:
+        kwargs["length"] = config.faults.subsequence_length
+        kwargs["style"] = "noise"
+    if otype is OutlierType.INNOVATIVE:
+        kwargs["ar_coefficients"] = (0.5,)
+    injected, __ = inject(
+        series, otype, plan["onset"], plan["sign"] * magnitude, rng=rng, **kwargs
+    )
+    return injected
+
+
+def _simulate_job(
+    config: PlantConfig,
+    rng: np.random.Generator,
+    machine_id: str,
+    job_index: int,
+    job_start: float,
+    by_group: Dict[str, List[SensorChannel]],
+    env_arrays: Dict[str, np.ndarray],
+    line_idx: int,
+    process_fault: Optional[dict],
+    sensor_fault: Optional[dict],
+):
+    """Simulate the five phases of one job; returns phases, the printing
+    process signals, the fault events, and environment injection requests."""
+    phases: List[PhaseRecord] = []
+    printing_process: Dict[str, np.ndarray] = {}
+    events: List[FaultEvent] = []
+    env_requests: List[Tuple[str, float, OutlierType, float]] = []
+    env = config.environment
+    offset = 0
+
+    for spec in config.phases:
+        phase_start = job_start + offset
+        series: Dict[str, TimeSeries] = {}
+        retry_at: Optional[int] = None
+
+        for group, group_channels in sorted(by_group.items()):
+            noise_sigma = group_channels[0].spec.noise_sigma
+            process = _profile_signal(spec, group, noise_sigma, rng)
+            # slow room-temperature coupling into the chamber
+            if group == "chamber_temp":
+                env_t = (
+                    (phase_start + np.arange(spec.duration)) / ENV_STEP
+                ).astype(int)
+                env_t = np.clip(env_t, 0, len(env_arrays["room_temp"]) - 1)
+                room = env_arrays["room_temp"][env_t]
+                process = process + env.coupling * (
+                    room - env.baselines.get("room_temp", 0.0)
+                )
+            process_ts = TimeSeries(
+                process, start=phase_start, step=group_channels[0].spec.step,
+                name=f"{machine_id}/{group}",
+            )
+
+            if (
+                process_fault is not None
+                and process_fault["phase_name"] == spec.name
+                and process_fault["group"] == group
+            ):
+                magnitude = config.faults.magnitude_sigmas * noise_sigma
+                process_ts = _inject_fault(
+                    process_ts, process_fault, magnitude, rng, config
+                )
+                retry_at = process_fault["onset"]
+                events.append(
+                    FaultEvent(
+                        kind=FaultKind.PROCESS,
+                        machine_id=machine_id,
+                        job_index=job_index,
+                        phase_name=spec.name,
+                        redundancy_group=group,
+                        onset=process_fault["onset"],
+                        outlier_type=process_fault["outlier_type"],
+                        magnitude=process_fault["sign"] * magnitude,
+                    )
+                )
+                if (
+                    group == "chamber_temp"
+                    and process_fault["outlier_type"] in _ENV_COUPLED_TYPES
+                ):
+                    env_requests.append(
+                        (
+                            "room_temp",
+                            phase_start + process_fault["onset"],
+                            process_fault["outlier_type"],
+                            0.5 * process_fault["sign"] * magnitude,
+                        )
+                    )
+
+            if spec.name == "printing":
+                printing_process[group] = process_ts.values.copy()
+
+            for channel in group_channels:
+                reading = process_ts.values + rng.normal(
+                    0.0, 0.3 * noise_sigma, size=spec.duration
+                )
+                reading_ts = TimeSeries(
+                    reading, start=phase_start, step=channel.spec.step,
+                    name=channel.sensor_id, unit=channel.spec.unit,
+                )
+                if (
+                    sensor_fault is not None
+                    and sensor_fault["phase_name"] == spec.name
+                    and sensor_fault["sensor_id"] == channel.sensor_id
+                ):
+                    magnitude = config.faults.magnitude_sigmas * noise_sigma
+                    reading_ts = _inject_fault(
+                        reading_ts, sensor_fault, magnitude, rng, config
+                    )
+                    events.append(
+                        FaultEvent(
+                            kind=FaultKind.SENSOR,
+                            machine_id=machine_id,
+                            job_index=job_index,
+                            phase_name=spec.name,
+                            redundancy_group=group,
+                            sensor_id=channel.sensor_id,
+                            onset=sensor_fault["onset"],
+                            outlier_type=sensor_fault["outlier_type"],
+                            magnitude=sensor_fault["sign"] * magnitude,
+                        )
+                    )
+                series[channel.sensor_id] = reading_ts
+
+        phases.append(
+            PhaseRecord(
+                name=spec.name,
+                job_index=job_index,
+                machine_id=machine_id,
+                start=phase_start,
+                series=series,
+                events=_phase_events(spec, rng, retry_at),
+            )
+        )
+        offset += spec.duration
+
+    return phases, printing_process, events, env_requests
+
+
+def _apply_offphase_quality_penalty(
+    caq: CAQResult, job_faults: List[FaultEvent], config: PlantConfig
+) -> CAQResult:
+    """Process faults outside the printing phase still damage the part.
+
+    CAQ physics only see the printing-phase signals; a disturbed warmup or
+    calibration leaves its mark directly on the part instead.
+    """
+    from .caq import CAQ_LIMITS
+
+    penalty = 0.0
+    for f in job_faults:
+        if f.kind is FaultKind.PROCESS and f.phase_name != "printing":
+            penalty += abs(f.magnitude)
+    if penalty == 0.0:
+        return caq
+    m = dict(caq.measurements)
+    m["dimension_error_um"] += 4.0 * penalty
+    m["porosity_pct"] += 0.15 * penalty
+    m["tensile_mpa"] -= 6.0 * penalty
+    passed = (
+        m["dimension_error_um"] <= CAQ_LIMITS["dimension_error_um"]
+        and m["porosity_pct"] <= CAQ_LIMITS["porosity_pct"]
+        and m["surface_roughness_um"] <= CAQ_LIMITS["surface_roughness_um"]
+        and m["tensile_mpa"] >= CAQ_LIMITS["tensile_mpa"]
+    )
+    return CAQResult(measurements=m, passed=passed)
+
+
+def _finalize_environment(
+    env_arrays: Dict[str, np.ndarray],
+    env_extra: List[Tuple[str, float, OutlierType, float]],
+    config: PlantConfig,
+    rng: np.random.Generator,
+) -> Dict[str, TimeSeries]:
+    out: Dict[str, TimeSeries] = {}
+    series = {
+        kind: TimeSeries(values, start=0.0, step=ENV_STEP, name=f"env/{kind}")
+        for kind, values in env_arrays.items()
+    }
+    for kind, abs_time, otype, magnitude in env_extra:
+        ts = series[kind]
+        idx = min(len(ts) - 1, max(0, int(abs_time / ENV_STEP)))
+        kwargs = {}
+        if otype is OutlierType.TEMPORARY_CHANGE:
+            # environment relaxes more slowly than the chamber
+            kwargs["rho"] = min(0.97, config.faults.temporary_change_rho + 0.05)
+        injected, __ = inject(ts, otype, idx, magnitude, rng=rng, **kwargs)
+        series[kind] = injected
+    out.update(series)
+    return out

@@ -1,0 +1,118 @@
+"""Soft sensors: software-simulated redundancy for singleton channels.
+
+Section 5: "sensors can be simulated using software, which is denoted as
+soft sensor modeling.  A fusion of outlier detection and soft sensor
+modeling, for example, is presented by [40]".  This module implements that
+fusion for the support mechanism: channels without a physical twin (bed
+temperature, laser power, vibration in the default plant) get a *virtual*
+corresponding sensor — a ridge-regression estimate of the channel from its
+sibling channels.  A real process fault moves both the channel and its
+physical drivers, so the soft estimate follows and supports the outlier; a
+broken gauge moves the channel alone and the soft sensor withholds
+support, exactly like a physical twin would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+
+__all__ = ["SoftSensor", "build_soft_sensors", "SOFT_SUFFIX"]
+
+SOFT_SUFFIX = "~soft"
+
+
+@dataclass
+class SoftSensor:
+    """Ridge-regression estimate of one channel from sibling channels."""
+
+    target_id: str
+    input_ids: Tuple[str, ...]
+    ridge: float = 1e-3
+
+    def fit(self, inputs: np.ndarray, target: np.ndarray) -> "SoftSensor":
+        """Fit on aligned (n_samples, n_inputs) inputs and the target."""
+        X = np.asarray(inputs, dtype=np.float64)
+        y = np.asarray(target, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("inputs must be (n, d) aligned with the target")
+        self._mu = X.mean(axis=0)
+        self._sd = X.std(axis=0)
+        self._sd[self._sd <= 1e-12] = 1.0
+        Z = (X - self._mu) / self._sd
+        design = np.column_stack([Z, np.ones(len(y))])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._beta = np.linalg.solve(gram, design.T @ y)
+        residuals = y - design @ self._beta
+        self._sigma = float(residuals.std()) or 1.0
+        self._fitted = True
+        return self
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        if not getattr(self, "_fitted", False):
+            raise RuntimeError("SoftSensor must be fitted before predicting")
+        X = np.asarray(inputs, dtype=np.float64)
+        Z = (X - self._mu) / self._sd
+        design = np.column_stack([Z, np.ones(X.shape[0])])
+        return design @ self._beta
+
+    @property
+    def residual_sigma(self) -> float:
+        return self._sigma
+
+    def virtual_series(self, inputs: np.ndarray, like: TimeSeries) -> TimeSeries:
+        """The soft estimate as a TimeSeries on the target's time axis."""
+        return like.replace(
+            values=self.predict(inputs), name=f"{self.target_id}{SOFT_SUFFIX}"
+        )
+
+    def quality(self, inputs: np.ndarray, target: np.ndarray) -> float:
+        """R² of the soft estimate on held data (1 = perfect model)."""
+        y = np.asarray(target, dtype=np.float64)
+        pred = self.predict(inputs)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+
+
+def build_soft_sensors(
+    dataset,
+    phase_name: str = "printing",
+    min_quality: float = 0.3,
+) -> Dict[str, SoftSensor]:
+    """One soft sensor per singleton-group channel of every machine.
+
+    Trained on the pooled ``phase_name`` data of all the machine's jobs;
+    models with hold-in R² below ``min_quality`` are discarded (a soft
+    sensor that cannot track its target would hand out random support).
+    Returns ``{target sensor id: fitted SoftSensor}``.
+    """
+    out: Dict[str, SoftSensor] = {}
+    for machine in dataset.iter_machines():
+        groups = machine.redundancy_groups()
+        singleton_targets: List[str] = []
+        for channels in groups.values():
+            if len(channels) == 1:
+                singleton_targets.append(channels[0].sensor_id)
+        if not singleton_targets:
+            continue
+        all_ids = sorted(ch.sensor_id for ch in machine.channels)
+        # pooled aligned matrix over every job's chosen phase
+        columns: Dict[str, List[np.ndarray]] = {sid: [] for sid in all_ids}
+        for job in machine.jobs:
+            phase = job.phase(phase_name)
+            for sid in all_ids:
+                columns[sid].append(phase.series[sid].values)
+        stacked = {sid: np.concatenate(vals) for sid, vals in columns.items()}
+        for target_id in singleton_targets:
+            input_ids = tuple(sid for sid in all_ids if sid != target_id)
+            X = np.column_stack([stacked[sid] for sid in input_ids])
+            y = stacked[target_id]
+            sensor = SoftSensor(target_id=target_id, input_ids=input_ids).fit(X, y)
+            if sensor.quality(X, y) >= min_quality:
+                out[target_id] = sensor
+    return out

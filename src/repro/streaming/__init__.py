@@ -1,0 +1,22 @@
+"""Streaming/online detection (the paper's calculation-speed challenge).
+
+Constant-memory accumulators, per-sample online detectors, and a
+multi-sensor streaming monitor that computes the Algorithm-1 support value
+as the data arrives.
+"""
+
+from .detectors import CusumDetector, OnlineARDetector, OnlineEWMA, OnlineZScore
+from .online_stats import EWStats, P2Quantile, RunningStats
+from .stream_monitor import StreamEvent, StreamingSensorMonitor
+
+__all__ = [
+    "RunningStats",
+    "EWStats",
+    "P2Quantile",
+    "OnlineZScore",
+    "OnlineEWMA",
+    "CusumDetector",
+    "OnlineARDetector",
+    "StreamEvent",
+    "StreamingSensorMonitor",
+]

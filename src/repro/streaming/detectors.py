@@ -1,0 +1,158 @@
+"""Online per-sample detectors (constant memory, one update per sample).
+
+Each detector implements ``update(x) -> score``: feed one sample, get its
+outlierness immediately.  These are the streaming counterparts of the
+batch phase-level detectors:
+
+* :class:`OnlineZScore` — Welford-standardized deviation (additive
+  outliers);
+* :class:`OnlineEWMA` — deviation from an exponentially weighted level
+  (drift-tolerant);
+* :class:`CusumDetector` — two-sided CUSUM (level shifts / temporary
+  changes);
+* :class:`OnlineARDetector` — AR(p) one-step residual with recursive
+  least squares (the streaming autoregressive model of Table-1 row 20).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque
+
+import numpy as np
+
+from .online_stats import EWStats, RunningStats
+
+__all__ = ["OnlineZScore", "OnlineEWMA", "CusumDetector", "OnlineARDetector"]
+
+
+class OnlineZScore:
+    """|z| of each sample against all history (Welford)."""
+
+    def __init__(self, warmup: int = 10) -> None:
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        self.warmup = warmup
+        self._stats = RunningStats()
+
+    def update(self, x: float) -> float:
+        score = 0.0
+        if self._stats.n >= self.warmup:
+            score = abs(self._stats.zscore(x))
+        self._stats.update(x)
+        return score
+
+
+class OnlineEWMA:
+    """|z| against an exponentially weighted level and scale."""
+
+    def __init__(self, alpha: float = 0.05, warmup: int = 10) -> None:
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        self.warmup = warmup
+        self._stats = EWStats(alpha)
+        self._seen = 0
+
+    def update(self, x: float) -> float:
+        score = 0.0
+        if self._seen >= self.warmup:
+            score = abs(self._stats.zscore(x))
+        self._stats.update(x)
+        self._seen += 1
+        return score
+
+
+class CusumDetector:
+    """Two-sided CUSUM on standardized residuals.
+
+    ``drift`` is the slack per sample (in sigma units) the statistic
+    forgives; the score is the larger of the positive/negative cumulative
+    sums, which crosses its decision threshold quickly after a level shift.
+    The default drift of 1.5 sigma is deliberately generous: production
+    sensor signals are autocorrelated, and an IID-tuned drift (the textbook
+    0.5) accumulates runs of same-signed residuals into false alarms.
+    """
+
+    def __init__(self, drift: float = 1.5, warmup: int = 20) -> None:
+        if drift < 0:
+            raise ValueError("drift must be >= 0")
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2")
+        self.drift = drift
+        self.warmup = warmup
+        self._stats = RunningStats()
+        self._pos = 0.0
+        self._neg = 0.0
+
+    def update(self, x: float) -> float:
+        if self._stats.n < self.warmup:
+            self._stats.update(x)
+            return 0.0
+        z = self._stats.zscore(x)
+        self._pos = max(0.0, self._pos + z - self.drift)
+        self._neg = max(0.0, self._neg - z - self.drift)
+        # baseline keeps learning only while the chart is quiet, so the
+        # post-shift samples do not get absorbed into "normal"
+        if max(self._pos, self._neg) < 1.0:
+            self._stats.update(x)
+        return max(self._pos, self._neg)
+
+    def reset(self) -> None:
+        """Restart the cumulative sums (after an acknowledged shift)."""
+        self._pos = 0.0
+        self._neg = 0.0
+
+
+class OnlineARDetector:
+    """AR(p) one-step-ahead residual, coefficients via recursive least squares.
+
+    RLS with forgetting factor ``lam`` adapts the AR model continuously;
+    the score is the absolute prediction residual in units of the running
+    residual scale — the streaming twin of
+    :class:`repro.detectors.predictive.ARDetector`.
+    """
+
+    def __init__(self, order: int = 3, lam: float = 0.995,
+                 warmup: int = 30, delta: float = 100.0) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if not 0.8 < lam <= 1.0:
+            raise ValueError("lam must be in (0.8, 1]")
+        if warmup < order + 2:
+            raise ValueError("warmup must exceed order + 2")
+        self.order = order
+        self.lam = lam
+        self.warmup = warmup
+        self._history: Deque[float] = deque(maxlen=order)
+        self._theta = np.zeros(order + 1)  # AR coefficients + intercept
+        self._P = np.eye(order + 1) * delta
+        self._residual_stats = EWStats(alpha=0.02)
+        self._seen = 0
+
+    def update(self, x: float) -> float:
+        if math.isnan(x):
+            return 0.0
+        score = 0.0
+        if len(self._history) == self.order:
+            phi = np.concatenate([np.asarray(self._history)[::-1], [1.0]])
+            prediction = float(self._theta @ phi)
+            residual = x - prediction
+            if self._seen >= self.warmup:
+                scale = self._residual_stats.std
+                floor = 1e-9 * max(1.0, abs(self._residual_stats.mean))
+                score = abs(residual) / scale if scale > floor else 0.0
+            # RLS update
+            Pphi = self._P @ phi
+            gain = Pphi / (self.lam + float(phi @ Pphi))
+            self._theta = self._theta + gain * residual
+            self._P = (self._P - np.outer(gain, Pphi)) / self.lam
+            # the scale estimator must see neither the pre-convergence
+            # transient (huge residuals while theta is still ~0) nor
+            # outliers — both would inflate it for a long time
+            converged = self._seen >= max(self.order + 5, self.warmup // 2)
+            if converged and score < 4.0:
+                self._residual_stats.update(residual)
+        self._history.append(x)
+        self._seen += 1
+        return score

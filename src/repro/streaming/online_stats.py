@@ -1,0 +1,168 @@
+"""Constant-memory online statistics.
+
+Section 5 flags "calculation speed" as a core challenge for production
+outlier detection.  These accumulators let detectors score each incoming
+sample in O(1) memory and time: Welford mean/variance, exponentially
+weighted moments, and a P²-style streaming quantile estimator.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["RunningStats", "EWStats", "P2Quantile"]
+
+
+class RunningStats:
+    """Welford's online mean / variance."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, x: float) -> None:
+        if math.isnan(x):
+            return
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.n if self.n else math.nan
+
+    @property
+    def std(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v and v >= 0 else math.nan  # v==v filters NaN
+
+    def zscore(self, x: float) -> float:
+        """Standard score of ``x`` against the history seen so far."""
+        if self.n < 2:
+            return 0.0
+        s = self.std
+        if not (s > 1e-9 * max(1.0, abs(self._mean))):
+            return 0.0
+        return (x - self._mean) / s
+
+
+class EWStats:
+    """Exponentially weighted mean / variance (forgetting factor ``alpha``)."""
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._mean: float | None = None
+        self._var = 0.0
+
+    def update(self, x: float) -> None:
+        if math.isnan(x):
+            return
+        if self._mean is None:
+            self._mean = x
+            return
+        delta = x - self._mean
+        self._mean += self.alpha * delta
+        self._var = (1 - self.alpha) * (self._var + self.alpha * delta * delta)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._mean is not None else math.nan
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._var)
+
+    def zscore(self, x: float) -> float:
+        if self._mean is None:
+            return 0.0
+        s = self.std
+        if not (s > 1e-9 * max(1.0, abs(self._mean))):
+            return 0.0
+        return (x - self._mean) / s
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² streaming quantile estimator (5 markers).
+
+    Tracks one quantile ``q`` with O(1) memory; after warm-up the estimate
+    converges to the true quantile for stationary inputs.
+    """
+
+    def __init__(self, q: float = 0.5) -> None:
+        if not 0 < q < 1:
+            raise ValueError("q must be in (0, 1)")
+        self.q = q
+        self._warmup: list = []
+        self._heights: list | None = None
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+        self.n = 0
+
+    def update(self, x: float) -> None:
+        if math.isnan(x):
+            return
+        self.n += 1
+        if self._heights is None:
+            self._warmup.append(x)
+            if len(self._warmup) == 5:
+                self._heights = sorted(self._warmup)
+            return
+        h = self._heights
+        # locate the cell and update extreme markers
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = next(i for i in range(4) if h[i] <= x < h[i + 1])
+        for i in range(k + 1, 5):
+            self._positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # adjust the middle markers with the parabolic formula
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            pos = self._positions
+            if (d >= 1 and pos[i + 1] - pos[i] > 1) or (
+                d <= -1 and pos[i - 1] - pos[i] < -1
+            ):
+                sign = 1.0 if d >= 0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:  # linear fallback
+                    j = i + int(sign)
+                    h[i] = h[i] + sign * (h[j] - h[i]) / (pos[j] - pos[i])
+                pos[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h = self._heights
+        pos = self._positions
+        num1 = (pos[i] - pos[i - 1] + sign) * (h[i + 1] - h[i]) / (
+            pos[i + 1] - pos[i]
+        )
+        num2 = (pos[i + 1] - pos[i] - sign) * (h[i] - h[i - 1]) / (
+            pos[i] - pos[i - 1]
+        )
+        return h[i] + sign * (num1 + num2) / (pos[i + 1] - pos[i - 1])
+
+    @property
+    def value(self) -> float:
+        if self._heights is not None:
+            return self._heights[2]
+        if self._warmup:
+            s = sorted(self._warmup)
+            idx = min(len(s) - 1, int(self.q * len(s)))
+            return s[idx]
+        return math.nan

@@ -1,0 +1,192 @@
+"""Streaming multi-sensor monitor with online support checking.
+
+The streaming counterpart of the batch pipeline's phase level: one online
+detector per channel, one shared clock, and the paper's support value
+computed *as the data arrives* — a flagged sample is supported by the
+fraction of corresponding channels that have themselves flagged within the
+tolerance window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
+
+from ..core.support import CorrespondenceGraph
+from .detectors import OnlineARDetector
+
+__all__ = ["StreamEvent", "StreamingSensorMonitor"]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One flagged sample in the stream."""
+
+    channel_id: str
+    time: float
+    value: float
+    score: float
+    support: float
+    n_corresponding: int
+
+    @property
+    def is_measurement_suspect(self) -> bool:
+        return self.n_corresponding > 0 and self.support == 0.0
+
+    def describe(self) -> str:
+        suspect = " [suspect]" if self.is_measurement_suspect else ""
+        return (
+            f"t={self.time:8.1f} {self.channel_id:32s} score={self.score:6.1f} "
+            f"support={self.support:.2f}/{self.n_corresponding}{suspect}"
+        )
+
+
+@dataclass
+class _Channel:
+    detector: object
+    threshold: float
+    recent_flags: Deque[float] = field(default_factory=deque)
+
+
+class StreamingSensorMonitor:
+    """Feed ``observe(channel, t, value)``; collect :class:`StreamEvent`.
+
+    Parameters
+    ----------
+    graph:
+        Correspondence graph over channel ids (redundant pairs plus
+        cross-level edges), as in the batch pipeline.
+    detector_factory:
+        Zero-argument callable building one online detector per channel
+        (default: :class:`OnlineARDetector`).
+    threshold:
+        Score at which a sample is flagged.
+    tolerance:
+        Time window within which a corresponding channel's flag counts as
+        support.
+    """
+
+    def __init__(
+        self,
+        graph: CorrespondenceGraph,
+        detector_factory: Optional[Callable[[], object]] = None,
+        threshold: float = 6.0,
+        tolerance: float = 8.0,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self._graph = graph
+        self._factory = detector_factory or OnlineARDetector
+        self.threshold = threshold
+        self.tolerance = tolerance
+        self._channels: Dict[str, _Channel] = {}
+        self._events: List[StreamEvent] = []
+
+    # ------------------------------------------------------------------
+    def _channel(self, channel_id: str) -> _Channel:
+        state = self._channels.get(channel_id)
+        if state is None:
+            state = _Channel(detector=self._factory(), threshold=self.threshold)
+            self._channels[channel_id] = state
+        return state
+
+    def observe(self, channel_id: str, time: float, value: float) -> Optional[StreamEvent]:
+        """Process one sample; returns the event if the sample is flagged."""
+        state = self._channel(channel_id)
+        score = state.detector.update(value)
+        flagged = score >= state.threshold
+        if flagged:
+            state.recent_flags.append(time)
+        self._trim(state, time)
+        if not flagged:
+            return None
+        support, n_corr = self._support(channel_id, time)
+        event = StreamEvent(
+            channel_id=channel_id,
+            time=time,
+            value=value,
+            score=score,
+            support=support,
+            n_corresponding=n_corr,
+        )
+        self._events.append(event)
+        return event
+
+    def observe_block(self, samples: Sequence[tuple]) -> List[StreamEvent]:
+        """Convenience: feed (channel, time, value) triples in order."""
+        events = []
+        for channel_id, time, value in samples:
+            event = self.observe(channel_id, time, value)
+            if event is not None:
+                events.append(event)
+        return events
+
+    # ------------------------------------------------------------------
+    def _trim(self, state: _Channel, now: float) -> None:
+        horizon = now - 2 * self.tolerance
+        while state.recent_flags and state.recent_flags[0] < horizon:
+            state.recent_flags.popleft()
+
+    def _support(self, channel_id: str, time: float) -> tuple:
+        corresponding = self._graph.corresponding(channel_id)
+        counted = 0
+        supporters = 0
+        for other in corresponding:
+            state = self._channels.get(other)
+            if state is None:
+                continue  # channel never reported; it cannot vote
+            counted += 1
+            if any(abs(t - time) <= self.tolerance for t in state.recent_flags):
+                supporters += 1
+        support = supporters / counted if counted else 0.0
+        return support, counted
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[StreamEvent]:
+        return list(self._events)
+
+    def events_for(self, channel_id: str) -> List[StreamEvent]:
+        return [e for e in self._events if e.channel_id == channel_id]
+
+    def reconsider_support(self) -> List[StreamEvent]:
+        """Re-evaluate support of all events post hoc.
+
+        Streaming support is causal — a supporter that flags *after* the
+        event is missed online.  This pass recomputes support with full
+        hindsight (both directions of the tolerance window), which the
+        batch pipeline gets for free.
+        """
+        flags: Mapping[str, List[float]] = {
+            cid: [e.time for e in self._events if e.channel_id == cid]
+            for cid in {e.channel_id for e in self._events}
+        }
+        revised: List[StreamEvent] = []
+        for event in self._events:
+            corresponding = self._graph.corresponding(event.channel_id)
+            counted = 0
+            supporters = 0
+            for other in corresponding:
+                if other not in self._channels:
+                    continue
+                counted += 1
+                if any(
+                    abs(t - event.time) <= self.tolerance
+                    for t in flags.get(other, ())
+                ):
+                    supporters += 1
+            support = supporters / counted if counted else 0.0
+            revised.append(
+                StreamEvent(
+                    channel_id=event.channel_id,
+                    time=event.time,
+                    value=event.value,
+                    score=event.score,
+                    support=support,
+                    n_corresponding=counted,
+                )
+            )
+        return revised

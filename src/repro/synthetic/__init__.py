@@ -1,0 +1,57 @@
+"""Synthetic data substrate: base signals, Fig.-1 injectors, labeled datasets."""
+
+from .generators import (
+    ar_process,
+    composite_sensor_signal,
+    constant,
+    linear_trend,
+    random_walk,
+    seasonal_signal,
+    sine,
+    white_noise,
+)
+from .injectors import (
+    Injection,
+    LabeledSeries,
+    OutlierType,
+    inject,
+    inject_additive,
+    inject_innovative,
+    inject_level_shift,
+    inject_subsequence,
+    inject_temporary_change,
+)
+from .datasets import (
+    PointDataset,
+    SequenceDataset,
+    make_labeled_series,
+    make_point_dataset,
+    make_sequence_dataset,
+    make_series_collection,
+)
+
+__all__ = [
+    "constant",
+    "linear_trend",
+    "sine",
+    "white_noise",
+    "ar_process",
+    "random_walk",
+    "seasonal_signal",
+    "composite_sensor_signal",
+    "OutlierType",
+    "Injection",
+    "LabeledSeries",
+    "inject",
+    "inject_additive",
+    "inject_innovative",
+    "inject_temporary_change",
+    "inject_level_shift",
+    "inject_subsequence",
+    "PointDataset",
+    "SequenceDataset",
+    "make_labeled_series",
+    "make_point_dataset",
+    "make_sequence_dataset",
+    "make_series_collection",
+]

@@ -1,0 +1,237 @@
+"""Labeled benchmark dataset builders.
+
+Convenience constructors used by the test suite and the benchmark harness:
+a clean base signal with a controlled number of injected anomalies, for
+each of the three Table-1 data shapes (points, sequences, time series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..timeseries import DiscreteSequence, TimeSeries
+from .generators import ar_process, composite_sensor_signal
+from .injectors import (
+    Injection,
+    LabeledSeries,
+    OutlierType,
+    inject,
+)
+
+__all__ = [
+    "make_labeled_series",
+    "make_point_dataset",
+    "make_sequence_dataset",
+    "make_series_collection",
+    "PointDataset",
+    "SequenceDataset",
+]
+
+_DEFAULT_AR = (0.6,)
+
+
+def _spread_positions(n: int, count: int, rng: np.random.Generator,
+                      margin: int, min_gap: int) -> List[int]:
+    """Random anomaly onsets, separated by ``min_gap`` and away from edges."""
+    candidates = list(range(margin, n - margin))
+    rng.shuffle(candidates)
+    chosen: List[int] = []
+    for pos in candidates:
+        if all(abs(pos - c) >= min_gap for c in chosen):
+            chosen.append(pos)
+        if len(chosen) == count:
+            break
+    if len(chosen) < count:
+        raise ValueError(
+            f"cannot place {count} anomalies with gap {min_gap} in {n} samples"
+        )
+    return sorted(chosen)
+
+
+def make_labeled_series(
+    rng: np.random.Generator,
+    n: int = 1000,
+    n_anomalies: int = 5,
+    outlier_types: Sequence[OutlierType] = (OutlierType.ADDITIVE,),
+    delta: float = 6.0,
+    ar_coefficients: Sequence[float] = _DEFAULT_AR,
+    noise_sigma: float = 1.0,
+    margin: int = 30,
+    min_gap: int = 50,
+) -> LabeledSeries:
+    """An AR base signal with ``n_anomalies`` injections cycled over the types.
+
+    ``delta`` is expressed in units of the innovation sigma, the standard
+    signal-to-noise convention for intervention analysis.
+    """
+    series = ar_process(n, rng, ar_coefficients, noise_sigma, name="synthetic")
+    positions = _spread_positions(n, n_anomalies, rng, margin, min_gap)
+    injections: List[Injection] = []
+    for k, pos in enumerate(positions):
+        otype = outlier_types[k % len(outlier_types)]
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        kwargs = {}
+        if otype is OutlierType.INNOVATIVE:
+            kwargs["ar_coefficients"] = ar_coefficients
+        if otype is OutlierType.LEVEL_SHIFT:
+            kwargs["label_span"] = min_gap // 2
+        series, inj = inject(
+            series, otype, pos, sign * delta * noise_sigma, rng=rng, **kwargs
+        )
+        injections.append(inj)
+    return LabeledSeries(series, injections)
+
+
+@dataclass(frozen=True)
+class PointDataset:
+    """Feature vectors with a per-row anomaly mask (the PTS workload)."""
+
+    X: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != self.labels.shape[0]:
+            raise ValueError("X and labels must have the same number of rows")
+
+    @property
+    def n_anomalies(self) -> int:
+        return int(self.labels.sum())
+
+
+def make_point_dataset(
+    rng: np.random.Generator,
+    n_inliers: int = 300,
+    n_outliers: int = 15,
+    n_features: int = 4,
+    separation: float = 6.0,
+) -> PointDataset:
+    """Gaussian inlier cloud plus displaced outliers (multi-dimensional PTS).
+
+    Outliers sit at ``separation`` standard deviations in a random direction
+    from the inlier center — the standard point-outlier benchmark geometry.
+    """
+    inliers = rng.normal(0.0, 1.0, size=(n_inliers, n_features))
+    directions = rng.normal(0.0, 1.0, size=(n_outliers, n_features))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    outliers = separation * directions / norms
+    outliers += rng.normal(0.0, 0.5, size=outliers.shape)
+    X = np.vstack([inliers, outliers])
+    labels = np.concatenate(
+        [np.zeros(n_inliers, dtype=bool), np.ones(n_outliers, dtype=bool)]
+    )
+    order = rng.permutation(len(labels))
+    return PointDataset(X[order], labels[order])
+
+
+@dataclass(frozen=True)
+class SequenceDataset:
+    """Label sequences with a per-sequence anomaly mask (the SSQ workload)."""
+
+    sequences: Tuple[DiscreteSequence, ...]
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.sequences) != self.labels.shape[0]:
+            raise ValueError("sequences and labels must have equal length")
+
+    @property
+    def n_anomalies(self) -> int:
+        return int(self.labels.sum())
+
+
+_NORMAL_GRAMMAR = ("A", "B", "C", "D")
+
+
+def _markov_sequence(rng: np.random.Generator, length: int,
+                     transition: np.ndarray, alphabet: Sequence[str]) -> DiscreteSequence:
+    state = int(rng.integers(len(alphabet)))
+    symbols = []
+    for _ in range(length):
+        symbols.append(alphabet[state])
+        state = int(rng.choice(len(alphabet), p=transition[state]))
+    return DiscreteSequence(tuple(symbols), alphabet=tuple(alphabet))
+
+
+def make_sequence_dataset(
+    rng: np.random.Generator,
+    n_normal: int = 60,
+    n_anomalous: int = 6,
+    length: int = 40,
+    alphabet: Sequence[str] = _NORMAL_GRAMMAR,
+) -> SequenceDataset:
+    """Markov-grammar normal sequences plus near-uniform anomalous ones.
+
+    Normal sequences follow a strongly structured cyclic transition matrix
+    (A→B→C→D→A with small slack); anomalies are drawn from an almost
+    uniform transition matrix, so their n-gram statistics differ while the
+    symbol marginals stay similar — the regime the sequence detectors
+    (FSA, HMM, NPD, NMD, LCS, match-count) are designed for.
+    """
+    k = len(alphabet)
+    normal_T = np.full((k, k), 0.05 / max(k - 1, 1))
+    for i in range(k):
+        normal_T[i, (i + 1) % k] = 0.95
+    normal_T /= normal_T.sum(axis=1, keepdims=True)
+    anomal_T = np.full((k, k), 1.0 / k)
+    seqs = [
+        _markov_sequence(rng, length, normal_T, alphabet) for _ in range(n_normal)
+    ]
+    seqs += [
+        _markov_sequence(rng, length, anomal_T, alphabet) for _ in range(n_anomalous)
+    ]
+    labels = np.concatenate(
+        [np.zeros(n_normal, dtype=bool), np.ones(n_anomalous, dtype=bool)]
+    )
+    order = rng.permutation(len(labels))
+    return SequenceDataset(tuple(seqs[i] for i in order), labels[order])
+
+
+def make_series_collection(
+    rng: np.random.Generator,
+    n_normal: int = 40,
+    n_anomalous: int = 5,
+    length: int = 120,
+    period: float = 24.0,
+) -> Tuple[Tuple[TimeSeries, ...], np.ndarray]:
+    """Whole-series (TSS) workload: periodic normals vs. distorted anomalies.
+
+    Normal series share a seasonal shape; anomalous series either lose the
+    seasonality, shift their level, or double their noise — whole-time-series
+    outliers in the sense of the TSS column of Table 1.
+    """
+    normals = [
+        composite_sensor_signal(
+            length, rng, baseline=10.0, period=period, amplitude=2.0,
+            ar_sigma=0.3, name=f"normal-{i}",
+        )
+        for i in range(n_normal)
+    ]
+    anomalies: List[TimeSeries] = []
+    for i in range(n_anomalous):
+        mode = i % 3
+        if mode == 0:  # seasonality lost
+            s = composite_sensor_signal(
+                length, rng, baseline=10.0, period=0.0, amplitude=0.0,
+                ar_sigma=0.8, name=f"anomaly-{i}",
+            )
+        elif mode == 1:  # level shifted
+            s = composite_sensor_signal(
+                length, rng, baseline=14.0, period=period, amplitude=2.0,
+                ar_sigma=0.3, name=f"anomaly-{i}",
+            )
+        else:  # noise doubled and phase broken
+            s = composite_sensor_signal(
+                length, rng, baseline=10.0, period=period * 0.43, amplitude=2.0,
+                ar_sigma=1.2, name=f"anomaly-{i}",
+            )
+        anomalies.append(s)
+    labels = np.concatenate(
+        [np.zeros(n_normal, dtype=bool), np.ones(n_anomalous, dtype=bool)]
+    )
+    collection = normals + anomalies
+    order = rng.permutation(len(labels))
+    return tuple(collection[i] for i in order), labels[order]

@@ -1,0 +1,71 @@
+"""Time-series substrate: containers, windows, rolling stats, resampling, SAX.
+
+The production hierarchy of the paper moves data between resolutions
+(Section 1: CAQ assigns data across hierarchy levels by resolution).  This
+subpackage provides the two data shapes of the phase level — numeric
+:class:`TimeSeries` and label :class:`DiscreteSequence` — plus the window,
+rolling-statistic, resampling, and symbolization machinery every detector
+family is built on.
+"""
+
+from .rolling import (
+    ewma,
+    rolling_mad,
+    rolling_mean,
+    rolling_median,
+    rolling_std,
+    rolling_zscore,
+)
+from .resample import AGGREGATIONS, align, downsample, upsample
+from .sax import gaussian_breakpoints, paa, sax_symbolize, sax_word
+from .sequence import DiscreteSequence
+from .series import TimeSeries
+from .transforms import (
+    autocorrelation,
+    detrend_linear,
+    estimate_period,
+    fft_band_energies,
+    split_train_test,
+    znormalize,
+)
+from .windows import (
+    FEATURE_NAMES,
+    Window,
+    sliding_window_matrix,
+    sliding_windows,
+    tumbling_windows,
+    window_features,
+    window_scores_to_point_scores,
+)
+
+__all__ = [
+    "TimeSeries",
+    "DiscreteSequence",
+    "Window",
+    "sliding_windows",
+    "sliding_window_matrix",
+    "tumbling_windows",
+    "window_features",
+    "window_scores_to_point_scores",
+    "FEATURE_NAMES",
+    "rolling_mean",
+    "rolling_std",
+    "rolling_median",
+    "rolling_mad",
+    "rolling_zscore",
+    "ewma",
+    "downsample",
+    "upsample",
+    "align",
+    "AGGREGATIONS",
+    "paa",
+    "sax_word",
+    "sax_symbolize",
+    "gaussian_breakpoints",
+    "znormalize",
+    "detrend_linear",
+    "fft_band_energies",
+    "autocorrelation",
+    "estimate_period",
+    "split_train_test",
+]

@@ -1,0 +1,128 @@
+"""Resolution changes between production levels.
+
+Section 1 of the paper: "data is assigned by a computer-aided quality
+assurance (CAQ) to a higher hierarchy level if it has a lower resolution and
+vice versa".  Downsampling (aggregation) moves a signal up the hierarchy;
+upsampling moves it down.  Aggregations are mass-conserving for ``sum`` and
+NaN-aware throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+from .series import TimeSeries
+
+__all__ = ["downsample", "upsample", "align", "AGGREGATIONS"]
+
+
+def _agg_last(chunk: np.ndarray) -> float:
+    finite = chunk[~np.isnan(chunk)]
+    return float(finite[-1]) if finite.size else math.nan
+
+
+def _agg_first(chunk: np.ndarray) -> float:
+    finite = chunk[~np.isnan(chunk)]
+    return float(finite[0]) if finite.size else math.nan
+
+
+AGGREGATIONS: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda c: float(np.nanmean(c)) if np.isfinite(c).any() else math.nan,
+    "sum": lambda c: float(np.nansum(c)) if np.isfinite(c).any() else math.nan,
+    "min": lambda c: float(np.nanmin(c)) if np.isfinite(c).any() else math.nan,
+    "max": lambda c: float(np.nanmax(c)) if np.isfinite(c).any() else math.nan,
+    "median": lambda c: float(np.nanmedian(c)) if np.isfinite(c).any() else math.nan,
+    "std": lambda c: float(np.nanstd(c)) if np.isfinite(c).any() else math.nan,
+    "first": _agg_first,
+    "last": _agg_last,
+}
+
+
+def downsample(series: TimeSeries, factor: int, agg: str = "mean") -> TimeSeries:
+    """Aggregate every ``factor`` consecutive samples into one.
+
+    A trailing partial bucket is aggregated as well (it covers fewer
+    samples).  ``factor == 1`` returns the series unchanged (idempotence).
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if agg not in AGGREGATIONS:
+        raise ValueError(f"unknown aggregation {agg!r}; choose from {sorted(AGGREGATIONS)}")
+    if factor == 1:
+        return series
+    fn = AGGREGATIONS[agg]
+    values = series.values
+    n_out = math.ceil(len(values) / factor)
+    out = np.empty(n_out)
+    for j in range(n_out):
+        out[j] = fn(values[j * factor : (j + 1) * factor])
+    return series.replace(values=out, step=series.step * factor)
+
+
+def upsample(series: TimeSeries, factor: int, method: str = "hold") -> TimeSeries:
+    """Expand each sample into ``factor`` samples at a finer resolution.
+
+    ``method`` is ``"hold"`` (zero-order hold — each value repeats) or
+    ``"linear"`` (linear interpolation between consecutive samples, holding
+    the final value flat).
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return series
+    values = series.values
+    n = len(values)
+    if n == 0:
+        return series.replace(step=series.step / factor)
+    if method == "hold":
+        out = np.repeat(values, factor)
+    elif method == "linear":
+        coarse_pos = np.arange(n, dtype=np.float64)
+        fine_pos = np.arange(n * factor, dtype=np.float64) / factor
+        fine_pos = np.minimum(fine_pos, coarse_pos[-1])
+        mask = np.isnan(values)
+        if mask.all():
+            out = np.full(n * factor, math.nan)
+        elif mask.any():
+            good = ~mask
+            out = np.interp(fine_pos, coarse_pos[good], values[good])
+        else:
+            out = np.interp(fine_pos, coarse_pos, values)
+    else:
+        raise ValueError(f"unknown upsample method {method!r}")
+    return series.replace(values=out, step=series.step / factor)
+
+
+def align(a: TimeSeries, b: TimeSeries, agg: str = "mean") -> tuple[TimeSeries, TimeSeries]:
+    """Bring two series to a common (coarser) resolution and overlapping span.
+
+    The finer series is downsampled to the coarser step (steps must be
+    integer multiples); both are then cut to the overlapping time window.
+    This is the primitive behind cross-sensor support checking when the
+    corresponding sensors record at different rates.
+    """
+    if a.step > b.step:
+        coarse, fine = a, b
+        swapped = False
+    else:
+        coarse, fine = b, a
+        swapped = True
+    ratio = coarse.step / fine.step
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ValueError(
+            f"steps {a.step} and {b.step} are not integer multiples; cannot align"
+        )
+    fine_ds = downsample(fine, int(round(ratio)), agg=agg)
+    t0 = max(coarse.start, fine_ds.start)
+    t1 = min(coarse.end, fine_ds.end)
+    if t1 <= t0:
+        raise ValueError("series do not overlap in time")
+    coarse_cut = coarse.slice_time(t0, t1)
+    fine_cut = fine_ds.slice_time(t0, t1)
+    n = min(len(coarse_cut), len(fine_cut))
+    coarse_cut = coarse_cut[:n]
+    fine_cut = fine_cut[:n]
+    return (fine_cut, coarse_cut) if swapped else (coarse_cut, fine_cut)

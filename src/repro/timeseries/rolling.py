@@ -1,0 +1,171 @@
+"""Rolling (moving) statistics over numeric arrays.
+
+Centered and trailing variants of mean / std / median / MAD plus an
+exponentially weighted moving average.  These are the building blocks for
+residual-based detectors (the prediction-model family) and for the
+level-shift / temporary-change classifiers in :mod:`repro.core.types`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .series import TimeSeries
+
+__all__ = [
+    "rolling_mean",
+    "rolling_std",
+    "rolling_median",
+    "rolling_mad",
+    "ewma",
+    "rolling_zscore",
+]
+
+
+def _values(series) -> np.ndarray:
+    if isinstance(series, TimeSeries):
+        return series.values
+    return np.asarray(series, dtype=np.float64)
+
+
+def _check_window(window: int, n: int) -> None:
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if n == 0:
+        return
+
+
+def rolling_mean(series, window: int, center: bool = False) -> np.ndarray:
+    """Trailing (or centered) moving average; edges use partial windows."""
+    x = _values(series)
+    n = len(x)
+    _check_window(window, n)
+    if n == 0:
+        return np.empty(0)
+    csum = np.cumsum(np.insert(np.nan_to_num(x, nan=0.0), 0, 0.0))
+    ccnt = np.cumsum(np.insert((~np.isnan(x)).astype(np.float64), 0, 0.0))
+    out = np.empty(n)
+    for i in range(n):
+        if center:
+            lo = max(0, i - window // 2)
+            hi = min(n, i + (window - window // 2))
+        else:
+            lo = max(0, i - window + 1)
+            hi = i + 1
+        cnt = ccnt[hi] - ccnt[lo]
+        out[i] = (csum[hi] - csum[lo]) / cnt if cnt > 0 else np.nan
+    return out
+
+
+def rolling_std(series, window: int, center: bool = False, ddof: int = 0) -> np.ndarray:
+    """Moving standard deviation via the two cumulative sums identity."""
+    x = _values(series)
+    n = len(x)
+    _check_window(window, n)
+    if n == 0:
+        return np.empty(0)
+    finite = ~np.isnan(x)
+    xz = np.nan_to_num(x, nan=0.0)
+    csum = np.cumsum(np.insert(xz, 0, 0.0))
+    csq = np.cumsum(np.insert(xz * xz, 0, 0.0))
+    ccnt = np.cumsum(np.insert(finite.astype(np.float64), 0, 0.0))
+    out = np.empty(n)
+    for i in range(n):
+        if center:
+            lo = max(0, i - window // 2)
+            hi = min(n, i + (window - window // 2))
+        else:
+            lo = max(0, i - window + 1)
+            hi = i + 1
+        cnt = ccnt[hi] - ccnt[lo]
+        if cnt <= ddof:
+            out[i] = np.nan
+            continue
+        s = csum[hi] - csum[lo]
+        sq = csq[hi] - csq[lo]
+        var = max(0.0, (sq - s * s / cnt) / (cnt - ddof))
+        out[i] = np.sqrt(var)
+    return out
+
+
+def _rolling_apply(x: np.ndarray, window: int, center: bool, fn) -> np.ndarray:
+    n = len(x)
+    out = np.empty(n)
+    for i in range(n):
+        if center:
+            lo = max(0, i - window // 2)
+            hi = min(n, i + (window - window // 2))
+        else:
+            lo = max(0, i - window + 1)
+            hi = i + 1
+        chunk = x[lo:hi]
+        chunk = chunk[~np.isnan(chunk)]
+        out[i] = fn(chunk) if chunk.size else np.nan
+    return out
+
+
+def rolling_median(series, window: int, center: bool = False) -> np.ndarray:
+    """Moving median (robust location estimate)."""
+    x = _values(series)
+    _check_window(window, len(x))
+    return _rolling_apply(x, window, center, np.median)
+
+
+def rolling_mad(series, window: int, center: bool = False) -> np.ndarray:
+    """Moving median absolute deviation (robust scale estimate)."""
+    x = _values(series)
+    _check_window(window, len(x))
+
+    def mad(chunk: np.ndarray) -> float:
+        med = np.median(chunk)
+        return float(np.median(np.abs(chunk - med)))
+
+    return _rolling_apply(x, window, center, mad)
+
+
+def ewma(series, alpha: float) -> np.ndarray:
+    """Exponentially weighted moving average with smoothing ``alpha``.
+
+    ``alpha`` in (0, 1]; NaN inputs carry the previous smoothed value
+    forward.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    x = _values(series)
+    out = np.empty(len(x))
+    level = np.nan
+    for i, v in enumerate(x):
+        if np.isnan(v):
+            out[i] = level
+            continue
+        level = v if np.isnan(level) else alpha * v + (1 - alpha) * level
+        out[i] = level
+    return out
+
+
+def rolling_zscore(series, window: int, robust: bool = False) -> np.ndarray:
+    """Per-sample deviation from the trailing window, in scale units.
+
+    The current sample is compared against the statistics of the *previous*
+    ``window`` samples (excluding itself), so an additive outlier cannot
+    inflate its own baseline.
+    """
+    x = _values(series)
+    n = len(x)
+    _check_window(window, n)
+    out = np.zeros(n)
+    for i in range(n):
+        lo = max(0, i - window)
+        chunk = x[lo:i]
+        chunk = chunk[~np.isnan(chunk)]
+        if chunk.size < 2 or np.isnan(x[i]):
+            out[i] = 0.0
+            continue
+        if robust:
+            center_v = np.median(chunk)
+            scale = np.median(np.abs(chunk - center_v)) * 1.4826
+        else:
+            center_v = chunk.mean()
+            scale = chunk.std()
+        out[i] = (x[i] - center_v) / scale if scale > 0 else 0.0
+    return out

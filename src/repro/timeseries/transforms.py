@@ -1,0 +1,140 @@
+"""Stationarizing and normalizing transforms.
+
+Detrending, z-normalization, and spectral helpers shared by the detector
+library (the vibration-signature detector works on band energies; the AR
+detector wants a detrended signal).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .series import TimeSeries
+
+__all__ = [
+    "znormalize",
+    "detrend_linear",
+    "fft_band_energies",
+    "autocorrelation",
+    "estimate_period",
+]
+
+
+def _values(series) -> np.ndarray:
+    if isinstance(series, TimeSeries):
+        return series.values
+    return np.asarray(series, dtype=np.float64)
+
+
+def znormalize(series, robust: bool = False) -> np.ndarray:
+    """Zero-center and unit-scale; robust variant uses median/MAD."""
+    x = _values(series)
+    finite = x[~np.isnan(x)]
+    if finite.size == 0:
+        return np.zeros_like(x)
+    if robust:
+        center = np.median(finite)
+        scale = np.median(np.abs(finite - center)) * 1.4826
+    else:
+        center = finite.mean()
+        scale = finite.std()
+    # relative threshold: float error on a large constant signal must not
+    # masquerade as genuine variation
+    if scale <= 1e-9 * max(1.0, abs(center)):
+        return x - center
+    return (x - center) / scale
+
+
+def detrend_linear(series) -> np.ndarray:
+    """Remove the least-squares straight line (NaN samples are ignored in the fit)."""
+    x = _values(series)
+    n = len(x)
+    if n < 2:
+        return np.zeros_like(x)
+    t = np.arange(n, dtype=np.float64)
+    good = ~np.isnan(x)
+    if good.sum() < 2:
+        return x.copy()
+    coeffs = np.polyfit(t[good], x[good], deg=1)
+    return x - np.polyval(coeffs, t)
+
+
+def fft_band_energies(series, n_bands: int = 8) -> np.ndarray:
+    """Normalized spectral energy in ``n_bands`` equal frequency bands.
+
+    This is the "vibration signature" feature of Nairac et al. 1999: the
+    shape of the power spectrum summarized as a fixed-length vector, robust
+    to phase and (after normalization) to amplitude.
+    """
+    x = _values(series)
+    x = np.nan_to_num(x - np.nanmean(x), nan=0.0)
+    if len(x) < 2 or n_bands < 1:
+        return np.zeros(max(n_bands, 1))
+    spectrum = np.abs(np.fft.rfft(x)) ** 2
+    spectrum = spectrum[1:]  # drop DC
+    if spectrum.size == 0:
+        return np.zeros(n_bands)
+    edges = np.linspace(0, spectrum.size, n_bands + 1).astype(int)
+    energies = np.array(
+        [spectrum[edges[i] : edges[i + 1]].sum() for i in range(n_bands)]
+    )
+    total = energies.sum()
+    return energies / total if total > 0 else energies
+
+
+def autocorrelation(series, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation for lags ``0..max_lag`` (biased estimator)."""
+    x = _values(series)
+    x = x[~np.isnan(x)]
+    n = len(x)
+    if n == 0:
+        return np.zeros(max_lag + 1)
+    x = x - x.mean()
+    denom = float((x * x).sum())
+    if denom <= 1e-12:
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+    out = np.empty(min(max_lag, n - 1) + 1)
+    for lag in range(len(out)):
+        out[lag] = float((x[: n - lag] * x[lag:]).sum()) / denom
+    if len(out) < max_lag + 1:
+        out = np.concatenate([out, np.zeros(max_lag + 1 - len(out))])
+    return out
+
+
+def estimate_period(series, min_period: int = 2, max_period: int | None = None,
+                    threshold: float = 0.2) -> int:
+    """Dominant period via the first strong autocorrelation *peak*.
+
+    A global argmax would be biased toward small lags (seasonal signals
+    have high short-lag autocorrelation too, and the biased estimator
+    shrinks long lags); a true period shows as a local maximum instead.
+    Returns 0 when no peak clears ``threshold``.
+    """
+    x = _values(series)
+    n = len(x)
+    if max_period is None:
+        max_period = n // 2
+    max_period = min(max_period, n - 2)
+    if max_period < min_period:
+        return 0
+    acf = autocorrelation(x, max_period + 1)
+    for lag in range(max(2, min_period), max_period + 1):
+        if (
+            acf[lag] > threshold
+            and acf[lag] >= acf[lag - 1]
+            and acf[lag] >= acf[lag + 1]
+        ):
+            return lag
+    return 0
+
+
+def split_train_test(series: TimeSeries, train_fraction: float = 0.5) -> Tuple[TimeSeries, TimeSeries]:
+    """Chronological split for semi-supervised detectors (fit on clean prefix)."""
+    if not 0 < train_fraction < 1:
+        raise ValueError("train_fraction must be in (0, 1)")
+    cut = int(len(series) * train_fraction)
+    return series[:cut], series[cut:]

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plant import FaultConfig, PlantConfig, simulate_plant
+from repro.synthetic import (
+    OutlierType,
+    make_labeled_series,
+    make_point_dataset,
+    make_sequence_dataset,
+    make_series_collection,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def point_dataset():
+    return make_point_dataset(np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def sequence_dataset():
+    return make_sequence_dataset(np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def series_collection():
+    return make_series_collection(np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def labeled_series():
+    return make_labeled_series(
+        np.random.default_rng(7),
+        n=800,
+        n_anomalies=4,
+        outlier_types=(OutlierType.ADDITIVE,),
+        delta=8.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_plant():
+    """A small but fully featured plant run shared across tests."""
+    config = PlantConfig(
+        seed=11,
+        n_lines=2,
+        machines_per_line=2,
+        jobs_per_machine=6,
+        faults=FaultConfig(
+            process_fault_rate=0.2,
+            sensor_fault_rate=0.2,
+            setup_anomaly_rate=0.1,
+        ),
+    )
+    return simulate_plant(config)

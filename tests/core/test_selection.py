@@ -1,0 +1,65 @@
+"""Unit tests for ChooseAlgorithm (the selection policy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AlgorithmSelector, ProductionLevel
+from repro.detectors import BaseDetector
+
+
+class TestDefaultPolicy:
+    def test_every_level_resolves(self):
+        selector = AlgorithmSelector()
+        for level in ProductionLevel:
+            det = selector.choose(level)
+            assert isinstance(det, BaseDetector)
+
+    def test_phase_gets_prediction_model(self):
+        det = AlgorithmSelector().choose(ProductionLevel.PHASE)
+        assert det.name == "ar"
+
+    def test_fresh_instance_each_call(self):
+        selector = AlgorithmSelector()
+        a = selector.choose(ProductionLevel.JOB)
+        b = selector.choose(ProductionLevel.JOB)
+        assert a is not b
+
+    def test_describe_lists_all_levels(self):
+        text = AlgorithmSelector().describe()
+        for level in ProductionLevel:
+            assert str(level) in text
+
+
+class TestOverrides:
+    def test_override_changes_choice(self):
+        selector = AlgorithmSelector()
+        selector.override(ProductionLevel.PHASE, ["deviants"])
+        assert selector.choose(ProductionLevel.PHASE).name == "deviants"
+
+    def test_override_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AlgorithmSelector().override(ProductionLevel.PHASE, [])
+
+    def test_capability_mismatch_skipped(self):
+        # phased-kmeans is TSS-only and cannot serve the JOB level (points);
+        # the selector must fall through to the next preference
+        selector = AlgorithmSelector()
+        selector.override(ProductionLevel.JOB, ["phased-kmeans", "knn"])
+        assert selector.choose(ProductionLevel.JOB).name == "knn"
+
+    def test_no_fitting_detector_raises(self):
+        selector = AlgorithmSelector()
+        selector.override(ProductionLevel.JOB, ["phased-kmeans"])
+        with pytest.raises(LookupError):
+            selector.choose(ProductionLevel.JOB)
+
+    def test_constructor_requires_all_levels(self):
+        with pytest.raises(ValueError):
+            AlgorithmSelector({ProductionLevel.PHASE: ["ar"]})
+
+    def test_preferences_for_returns_copy(self):
+        selector = AlgorithmSelector()
+        prefs = selector.preferences_for(ProductionLevel.PHASE)
+        prefs.append("bogus")
+        assert "bogus" not in selector.preferences_for(ProductionLevel.PHASE)

@@ -1,0 +1,158 @@
+"""Unit tests for the detector framework (coercion, capabilities, errors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    DataShape,
+    Family,
+    KNNDetector,
+    NotFittedError,
+    PCASpaceDetector,
+    PhasedKMeansDetector,
+    ShapeUnsupportedError,
+    ZScoreDetector,
+    coerce_items,
+)
+from repro.timeseries import DiscreteSequence, TimeSeries
+
+
+class TestCoerceItems:
+    def test_matrix(self):
+        kind, items = coerce_items(np.zeros((3, 2)))
+        assert kind == "vectors" and items.shape == (3, 2)
+
+    def test_1d_array_rejected_with_hint(self):
+        with pytest.raises(ValueError, match="score_series"):
+            coerce_items(np.zeros(5))
+
+    def test_sequence_collection(self):
+        seqs = [DiscreteSequence(("a", "b"))]
+        kind, items = coerce_items(seqs)
+        assert kind == "sequences" and len(items) == 1
+
+    def test_single_sequence_wrapped(self):
+        kind, items = coerce_items(DiscreteSequence(("a",)))
+        assert kind == "sequences" and len(items) == 1
+
+    def test_series_collection(self):
+        kind, items = coerce_items([TimeSeries(np.zeros(4))])
+        assert kind == "series" and len(items) == 1
+
+    def test_single_series_wrapped(self):
+        kind, items = coerce_items(TimeSeries(np.zeros(4)))
+        assert kind == "series" and len(items) == 1
+
+    def test_mixed_collection_rejected(self):
+        with pytest.raises(TypeError, match="mixed"):
+            coerce_items([DiscreteSequence(("a",)), TimeSeries(np.zeros(2))])
+
+    def test_list_of_rows(self):
+        kind, items = coerce_items([[1.0, 2.0], [3.0, 4.0]])
+        assert kind == "vectors" and items.shape == (2, 2)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            coerce_items([])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_items("nope")
+
+
+class TestLifecycle:
+    def test_score_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            ZScoreDetector().score(np.zeros((2, 2)))
+
+    def test_detect_flags_top_fraction(self, point_dataset):
+        det = ZScoreDetector().fit(point_dataset.X)
+        result = det.detect(point_dataset.X, contamination=0.1)
+        n = len(point_dataset.labels)
+        assert 0 < result.n_flagged <= int(n * 0.1) + 1
+        assert result.indices.shape[0] == result.n_flagged
+
+    def test_detect_fixed_threshold(self):
+        X = np.array([[0.0], [0.0], [10.0]])
+        det = ZScoreDetector().fit(X)
+        result = det.detect(X, threshold=1.0)
+        assert result.flags.tolist() == [False, False, True]
+
+    def test_detect_rejects_bad_contamination(self, point_dataset):
+        det = ZScoreDetector().fit(point_dataset.X)
+        with pytest.raises(ValueError):
+            det.detect(point_dataset.X, contamination=0.0)
+
+    def test_fit_score_shortcut(self, point_dataset):
+        a = ZScoreDetector().fit(point_dataset.X).score(point_dataset.X)
+        b = ZScoreDetector().fit_score(point_dataset.X)
+        assert np.allclose(a, b)
+
+    def test_scores_always_finite(self):
+        X = np.array([[1.0, 1.0], [1.0, 1.0]])  # zero variance
+        scores = ZScoreDetector().fit_score(X)
+        assert np.isfinite(scores).all()
+
+
+class TestShapeEnforcement:
+    def test_pts_only_detector_rejects_sequences(self):
+        det = PCASpaceDetector()
+        with pytest.raises(ShapeUnsupportedError, match="ssq"):
+            det.fit([DiscreteSequence(("a", "b"))])
+
+    def test_pts_only_detector_rejects_series_collection(self):
+        det = PCASpaceDetector()
+        with pytest.raises(ShapeUnsupportedError, match="tss"):
+            det.fit([TimeSeries(np.zeros(8))])
+
+    def test_tss_only_detector_rejects_localization(self):
+        det = PhasedKMeansDetector()
+        with pytest.raises(ShapeUnsupportedError):
+            det.fit_series(TimeSeries(np.zeros(64)))
+
+    def test_capabilities_tuple(self):
+        assert PCASpaceDetector.capabilities() == (True, False, False)
+        assert PhasedKMeansDetector.capabilities() == (False, False, True)
+        assert KNNDetector.capabilities() == (True, True, True)
+
+
+class TestSeriesLocalization:
+    def test_score_series_requires_fit_series(self, labeled_series):
+        det = KNNDetector().fit(np.zeros((4, 2)))
+        with pytest.raises(NotFittedError):
+            det.score_series(labeled_series.series)
+
+    def test_localization_scores_per_sample(self, labeled_series):
+        det = KNNDetector()
+        scores = det.fit_score_series(labeled_series.series, width=8)
+        assert scores.shape[0] == len(labeled_series.series)
+        assert np.isfinite(scores).all()
+
+    def test_localization_finds_additive_outliers(self, labeled_series):
+        from repro.eval import roc_auc
+
+        scores = KNNDetector().fit_score_series(labeled_series.series, width=8)
+        assert roc_auc(labeled_series.labels(), scores) > 0.8
+
+    def test_too_short_series_raises(self):
+        det = KNNDetector()
+        with pytest.raises(ValueError, match="window"):
+            det.fit_series(TimeSeries(np.zeros(4)), width=16)
+
+
+class TestEnumerations:
+    def test_family_values_match_paper(self):
+        assert Family.DISCRIMINATIVE.value == "DA"
+        assert Family.UNSUPERVISED_PARAMETRIC.value == "UPA"
+        assert Family.UNSUPERVISED_OLAP.value == "UOA"
+        assert Family.SUPERVISED.value == "SA"
+        assert Family.NORMAL_PATTERN_DB.value == "NPD"
+        assert Family.NEGATIVE_PATTERN_DB.value == "NMD"
+        assert Family.OUTLIER_SUBSEQUENCE.value == "OS"
+        assert Family.PREDICTIVE.value == "PM"
+        assert Family.INFORMATION_THEORETIC.value == "ITM"
+
+    def test_datashape_values(self):
+        assert {s.value for s in DataShape} == {"pts", "ssq", "tss"}

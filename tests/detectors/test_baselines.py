@@ -1,0 +1,118 @@
+"""Unit tests for baseline / related-work detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    KNNDetector,
+    LOFDetector,
+    MADDetector,
+    PCALeverageDetector,
+    RandomDetector,
+    ReverseKNNDetector,
+    ZScoreDetector,
+)
+from repro.eval import roc_auc
+
+
+class TestZScore:
+    def test_outlier_scores_highest(self):
+        X = np.vstack([np.zeros((20, 2)), [[8.0, 0.0]]])
+        scores = ZScoreDetector().fit_score(X)
+        assert scores.argmax() == 20
+
+    def test_score_is_max_abs_z(self):
+        X = np.array([[0.0, 0.0], [0.0, 2.0], [4.0, 0.0], [0.0, -2.0]])
+        det = ZScoreDetector().fit(X)
+        scores = det.score(np.array([[4.0, 2.0]]))
+        z0 = (4.0 - X[:, 0].mean()) / X[:, 0].std()
+        z1 = (2.0 - X[:, 1].mean()) / X[:, 1].std()
+        assert scores[0] == pytest.approx(max(abs(z0), abs(z1)))
+
+
+class TestMAD:
+    def test_scale_resists_contamination(self, rng):
+        X = rng.normal(0, 1, size=(200, 1))
+        X[:20] = 50.0  # heavy contamination
+        det = MADDetector().fit(X)
+        clean_score = det.score(np.array([[0.0]]))[0]
+        outlier_score = det.score(np.array([[50.0]]))[0]
+        assert outlier_score > 10 * max(clean_score, 0.1)
+
+    def test_auc_on_point_dataset(self, point_dataset):
+        assert roc_auc(point_dataset.labels, MADDetector().fit_score(point_dataset.X)) > 0.9
+
+
+class TestKNN:
+    def test_isolated_point_scores_high(self):
+        X = np.vstack([np.random.default_rng(0).normal(size=(50, 2)), [[20.0, 20.0]]])
+        scores = KNNDetector(k=3).fit_score(X)
+        assert scores.argmax() == 50
+
+    def test_excludes_self_when_scoring_train(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        scores = KNNDetector(k=1).fit_score(X)
+        assert np.all(scores > 0)  # self-distance would be 0
+
+    def test_novel_points_scored_against_train(self):
+        X = np.zeros((10, 1))
+        det = KNNDetector(k=2).fit(X)
+        assert det.score(np.array([[5.0]]))[0] == pytest.approx(5.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNNDetector(k=0)
+
+
+class TestLOF:
+    def test_local_density_outlier(self):
+        rng = np.random.default_rng(2)
+        tight = rng.normal(0, 0.1, size=(60, 2))
+        loose = rng.normal(10, 2.0, size=(60, 2))
+        lonely = np.array([[1.5, 1.5]])  # near the tight cluster but outside
+        X = np.vstack([tight, loose, lonely])
+        scores = LOFDetector(k=10).fit_score(X)
+        assert scores[-1] > np.median(scores) * 2
+
+    def test_uniform_data_scores_near_one(self, rng):
+        X = rng.uniform(size=(300, 2))
+        scores = LOFDetector(k=15).fit_score(X)
+        assert 0.9 < np.median(scores) < 1.2
+
+    def test_auc(self, point_dataset):
+        assert roc_auc(point_dataset.labels, LOFDetector().fit_score(point_dataset.X)) > 0.85
+
+
+class TestReverseKNN:
+    def test_antihub_scores_high(self, point_dataset):
+        scores = ReverseKNNDetector(k=10).fit_score(point_dataset.X)
+        assert roc_auc(point_dataset.labels, scores) > 0.8
+
+    def test_score_bounded(self, point_dataset):
+        scores = ReverseKNNDetector().fit_score(point_dataset.X)
+        assert np.all(scores <= 1.0) and np.all(scores > 0.0)
+
+
+class TestPCALeverage:
+    def test_high_leverage_point(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(100, 2)) @ np.array([[1.0, 0.5], [0.0, 0.1]])
+        X = np.vstack([X, [[6.0, 3.0]]])
+        scores = PCALeverageDetector().fit_score(X)
+        assert scores[-1] > np.percentile(scores, 95)
+
+    def test_rejects_bad_variance(self):
+        with pytest.raises(ValueError):
+            PCALeverageDetector(variance_kept=0.0)
+
+
+class TestRandom:
+    def test_scores_in_unit_interval(self, point_dataset):
+        scores = RandomDetector().fit_score(point_dataset.X)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_auc_near_half(self, point_dataset):
+        scores = RandomDetector(seed=1).fit_score(point_dataset.X)
+        assert 0.3 < roc_auc(point_dataset.labels, scores) < 0.7

@@ -1,0 +1,227 @@
+"""Unit tests for the discriminative (DA) detector family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    DynamicClusteringDetector,
+    EMDetector,
+    LCSDetector,
+    MatchCountDetector,
+    OneClassSVMDetector,
+    PCASpaceDetector,
+    PhasedKMeansDetector,
+    SingleLinkageDetector,
+    SOMDetector,
+    VibrationSignatureDetector,
+)
+from repro.detectors.discriminative import lcs_length, lcs_similarity, match_count_similarity
+from repro.eval import roc_auc
+from repro.timeseries import DiscreteSequence, TimeSeries
+
+
+class TestMatchCountSimilarity:
+    def test_identical_is_one(self):
+        assert match_count_similarity("abcd", "abcd") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert match_count_similarity("aaaa", "bbbb") == 0.0
+
+    def test_adjacency_bonus(self):
+        # two adjacent matches beat two separated matches
+        adjacent = match_count_similarity("aab", "aac")  # matches at 0,1
+        separated = match_count_similarity("aba", "aca")  # matches at 0,2
+        assert adjacent > separated
+
+    def test_empty(self):
+        assert match_count_similarity("", "abc") == 0.0
+
+
+class TestMatchCountDetector:
+    def test_detects_off_grammar_sequences(self, sequence_dataset):
+        det = MatchCountDetector(window=6)
+        scores = det.fit_score(list(sequence_dataset.sequences))
+        assert roc_auc(sequence_dataset.labels, scores) > 0.9
+
+    def test_profile_drops_one_off_windows(self):
+        normal = [DiscreteSequence(tuple("abababab"))] * 5
+        weird = [DiscreteSequence(tuple("zqwxcvbn"))]  # no repeated window
+        det = MatchCountDetector(window=4, min_support=2)
+        det.fit(normal + weird)
+        assert tuple("zqwx") not in det._profile
+        assert tuple("abab") in det._profile
+
+
+class TestLCS:
+    def test_lcs_length_classic(self):
+        assert lcs_length("ABCBDAB", "BDCABA") == 4
+
+    def test_lcs_length_empty(self):
+        assert lcs_length("", "abc") == 0
+
+    def test_similarity_normalization(self):
+        assert lcs_similarity("abc", "abc") == pytest.approx(1.0)
+
+    def test_detector_separates_grammars(self, sequence_dataset):
+        det = LCSDetector(n_clusters=3)
+        scores = det.fit_score(list(sequence_dataset.sequences))
+        assert roc_auc(sequence_dataset.labels, scores) > 0.6
+
+    def test_medoids_avoid_isolated_sequences(self):
+        normal = [DiscreteSequence(tuple("abcabcabc"))] * 8
+        odd = [DiscreteSequence(tuple("xyzxyzxyz"))]
+        det = LCSDetector(n_clusters=2)
+        det.fit(normal + odd)
+        # facility-location greedy never picks the isolated oddball first
+        assert det._medoids[0] == tuple("abcabcabc")
+
+
+class TestVibration:
+    def test_spectral_anomaly_detected(self, rng):
+        t = np.arange(128.0)
+        normal = [TimeSeries(np.sin(2 * np.pi * t / 16) + rng.normal(0, 0.1, 128))
+                  for __ in range(15)]
+        odd = [TimeSeries(rng.normal(0, 1.0, 128))]
+        det = VibrationSignatureDetector(n_prototypes=2)
+        scores = det.fit_score(normal + odd)
+        assert scores.argmax() == 15
+
+    def test_level_shift_visible_via_mean_feature(self, rng):
+        t = np.arange(128.0)
+        normal = [TimeSeries(np.sin(t / 4) + rng.normal(0, 0.1, 128))
+                  for __ in range(10)]
+        shifted = [TimeSeries(np.sin(t / 4) + 10.0 + rng.normal(0, 0.1, 128))]
+        scores = VibrationSignatureDetector().fit_score(normal + shifted)
+        assert scores.argmax() == 10
+
+
+class TestEM:
+    def test_mixture_learns_two_modes(self, rng):
+        a = rng.normal(-5, 0.5, size=(100, 2))
+        b = rng.normal(5, 0.5, size=(100, 2))
+        X = np.vstack([a, b])
+        det = EMDetector(n_components=2).fit(X)
+        inlier = det.score(np.array([[5.0, 5.0], [-5.0, -5.0]]))
+        outlier = det.score(np.array([[0.0, 0.0]]))
+        assert outlier[0] > inlier.max()
+
+    def test_point_auc(self, point_dataset):
+        scores = EMDetector().fit_score(point_dataset.X)
+        assert roc_auc(point_dataset.labels, scores) > 0.95
+
+    def test_single_component_degenerates_to_gaussian(self, rng):
+        X = rng.normal(size=(100, 3))
+        det = EMDetector(n_components=1).fit(X)
+        assert det.k_ == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            EMDetector(n_components=0)
+        with pytest.raises(ValueError):
+            EMDetector(n_iter=0)
+
+
+class TestPhasedKMeans:
+    def test_phase_invariance(self, rng):
+        t = np.arange(96.0)
+        collection = [
+            TimeSeries(np.sin(2 * np.pi * (t + shift) / 24) + rng.normal(0, 0.05, 96))
+            for shift in rng.integers(0, 24, size=12)
+        ] + [TimeSeries(rng.normal(0, 1, 96))]
+        det = PhasedKMeansDetector(n_clusters=2)
+        scores = det.fit_score(collection)
+        assert scores.argmax() == 12
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PhasedKMeansDetector(n_clusters=0)
+
+
+class TestDynamicClustering:
+    # the detector's public surface is SSQ/TSS (per Table 1); the vector
+    # core is exercised directly here
+    def test_new_cluster_for_far_point(self):
+        X = np.vstack([np.zeros((30, 2)), [[100.0, 100.0]]])
+        det = DynamicClusteringDetector(radius=1.0, min_cluster_fraction=0.2)
+        det._fit_matrix(X)
+        scores = det._score_matrix(X)
+        assert scores[-1] > 10 * max(scores[:30].max(), 0.01)
+        assert len(det._clusters) >= 2
+
+    def test_auto_radius(self, point_dataset):
+        det = DynamicClusteringDetector()
+        det._fit_matrix(point_dataset.X)
+        scores = det._score_matrix(point_dataset.X)
+        assert roc_auc(point_dataset.labels, scores) > 0.8
+
+    def test_tss_collection(self, series_collection):
+        coll, labels = series_collection
+        scores = DynamicClusteringDetector().fit_score(list(coll))
+        assert roc_auc(labels, scores) > 0.8
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            DynamicClusteringDetector(min_cluster_fraction=0.0)
+
+
+class TestSingleLinkage:
+    def test_small_cluster_scored_high(self, rng):
+        big = rng.normal(0, 0.5, size=(80, 2))
+        small = rng.normal(20, 0.1, size=(3, 2))
+        X = np.vstack([big, small])
+        scores = SingleLinkageDetector().fit_score(X)
+        assert scores[80:].min() > scores[:80].max()
+
+    def test_single_point_fit(self):
+        det = SingleLinkageDetector().fit(np.array([[1.0, 2.0]]))
+        assert det.score(np.array([[1.0, 2.0]]))[0] == 0.0
+
+
+class TestOneClassSVM:
+    def test_ring_boundary(self, rng):
+        angles = rng.uniform(0, 2 * np.pi, 200)
+        ring = np.column_stack([np.cos(angles), np.sin(angles)])
+        ring += rng.normal(0, 0.05, ring.shape)
+        det = OneClassSVMDetector().fit(ring)
+        center_score = det.score(np.array([[0.0, 0.0]]))[0]
+        on_ring_score = det.score(np.array([[1.0, 0.0]]))[0]
+        assert center_score > on_ring_score
+
+    def test_auc(self, point_dataset):
+        scores = OneClassSVMDetector().fit_score(point_dataset.X)
+        assert roc_auc(point_dataset.labels, scores) > 0.95
+
+    def test_rejects_bad_nu(self):
+        with pytest.raises(ValueError):
+            OneClassSVMDetector(nu=1.5)
+
+
+class TestSOM:
+    def test_quantization_error_flags_novelty(self, rng):
+        X = rng.normal(0, 1, size=(200, 2))
+        det = SOMDetector(grid=(4, 4), n_epochs=5).fit(X)
+        far = det.score(np.array([[15.0, 15.0]]))[0]
+        near = det.score(np.array([[0.0, 0.0]]))[0]
+        assert far > 5 * near
+
+    def test_deterministic_given_seed(self, point_dataset):
+        a = SOMDetector(seed=3).fit_score(point_dataset.X)
+        b = SOMDetector(seed=3).fit_score(point_dataset.X)
+        assert np.allclose(a, b)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            SOMDetector(grid=(0, 3))
+
+
+class TestPCASpace:
+    def test_reconstruction_error_on_offplane_point(self, rng):
+        # data lives on a line in 3d; an off-line point violates structure
+        t = rng.normal(size=(200, 1))
+        X = t @ np.array([[1.0, 1.0, 1.0]]) + rng.normal(0, 0.01, size=(200, 3))
+        det = PCASpaceDetector(variance_kept=0.9).fit(X)
+        on = det.score(np.array([[2.0, 2.0, 2.0]]))[0]
+        off = det.score(np.array([[2.0, -2.0, 2.0]]))[0]
+        assert off > 10 * on

@@ -1,0 +1,89 @@
+"""Unit tests for the cross-domain encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import NGramVectorizer, SeriesFeaturizer, SeriesSymbolizer
+from repro.timeseries import DiscreteSequence, TimeSeries
+
+
+class TestNGramVectorizer:
+    def test_rows_are_l1_normalized(self):
+        seqs = [DiscreteSequence(tuple("abab")), DiscreteSequence(tuple("bbbb"))]
+        X = NGramVectorizer().fit_transform(seqs)
+        assert np.allclose(X.sum(axis=1), 1.0)
+
+    def test_unseen_grams_go_to_oov_bucket(self):
+        vec = NGramVectorizer(orders=(1,))
+        vec.fit([DiscreteSequence(("a", "b"))])
+        X = vec.transform([DiscreteSequence(("z", "z"))])
+        assert X[0, -1] == 1.0  # all mass in the OOV bucket
+
+    def test_dimension_is_vocab_plus_oov(self):
+        vec = NGramVectorizer(orders=(1,))
+        vec.fit([DiscreteSequence(("a", "b", "c"))])
+        assert vec.dimension == 4
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NGramVectorizer().transform([DiscreteSequence(("a",))])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            NGramVectorizer().fit([DiscreteSequence(())])
+
+    def test_same_sequence_same_vector(self):
+        vec = NGramVectorizer()
+        seq = DiscreteSequence(tuple("abcabc"))
+        vec.fit([seq])
+        a = vec.transform([seq])
+        b = vec.transform([DiscreteSequence(tuple("abcabc"))])
+        assert np.allclose(a, b)
+
+
+class TestSeriesFeaturizer:
+    def test_fixed_dimension_for_any_length(self):
+        feat = SeriesFeaturizer(n_bands=4, n_paa=4)
+        short = TimeSeries(np.arange(20.0))
+        long = TimeSeries(np.arange(500.0))
+        X = feat.transform([short, long])
+        assert X.shape == (2, feat.dimension)
+        assert feat.dimension == 7 + 4 + 4
+
+    def test_stat_features_correct(self):
+        feat = SeriesFeaturizer()
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        row = feat.transform([TimeSeries(x)])[0]
+        assert row[0] == x.mean()
+        assert row[2] == 1.0 and row[3] == 4.0  # min, max
+        assert row[6] == pytest.approx(1.0)  # slope
+
+    def test_level_shifted_series_differ(self):
+        feat = SeriesFeaturizer()
+        rng = np.random.default_rng(0)
+        base = rng.normal(0, 1, 100)
+        a = feat.transform([TimeSeries(base)])[0]
+        b = feat.transform([TimeSeries(base + 10.0)])[0]
+        assert abs(a[0] - b[0]) == pytest.approx(10.0, abs=1e-9)
+
+    def test_all_nan_series_zero_vector(self):
+        feat = SeriesFeaturizer()
+        row = feat.transform([TimeSeries(np.full(10, np.nan))])[0]
+        assert np.allclose(row, 0.0)
+
+
+class TestSeriesSymbolizer:
+    def test_one_word_per_series(self):
+        sym = SeriesSymbolizer(word_length=8, alphabet_size=4)
+        out = sym.transform([TimeSeries(np.sin(np.arange(64.0)))])
+        assert len(out) == 1
+        assert len(out[0]) == 8
+
+    def test_similar_series_same_word(self):
+        sym = SeriesSymbolizer(word_length=8, alphabet_size=3)
+        t = np.arange(64.0)
+        a = sym.transform([TimeSeries(np.sin(t / 10))])[0]
+        b = sym.transform([TimeSeries(3.0 * np.sin(t / 10) + 5.0)])[0]
+        assert a.symbols == b.symbols  # SAX is offset/scale invariant

@@ -1,0 +1,70 @@
+"""Unit tests for the deviants (ITM) detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import DeviantsDetector, v_optimal_boundaries
+from repro.eval import roc_auc
+from repro.synthetic import ar_process, inject_additive
+from repro.timeseries import TimeSeries
+
+
+class TestVOptimal:
+    def test_finds_exact_step_boundary(self):
+        x = np.concatenate([np.zeros(20), np.ones(30)])
+        bounds = v_optimal_boundaries(x, 2)
+        assert bounds == [20, 50]
+
+    def test_single_bucket(self):
+        assert v_optimal_boundaries(np.arange(5.0), 1) == [5]
+
+    def test_buckets_clipped_to_n(self):
+        bounds = v_optimal_boundaries(np.arange(3.0), 10)
+        assert bounds[-1] == 3 and len(bounds) <= 3
+
+    def test_piecewise_constant_fits_perfectly(self):
+        x = np.concatenate([np.zeros(10), np.full(10, 5.0), np.full(10, -2.0)])
+        bounds = v_optimal_boundaries(x, 3)
+        assert bounds == [10, 20, 30]
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            v_optimal_boundaries(np.arange(5.0), 0)
+
+
+class TestDeviantsDetector:
+    def test_spike_is_top_deviant(self, rng):
+        base = ar_process(400, rng, (0.4,), 1.0)
+        series, inj = inject_additive(base, 200, 12.0)
+        scores = DeviantsDetector(n_buckets=8).fit_score_series(series)
+        assert scores.argmax() == inj.index
+
+    def test_localization_auc(self, labeled_series):
+        scores = DeviantsDetector().fit_score_series(labeled_series.series)
+        assert roc_auc(labeled_series.labels(), scores) > 0.9
+
+    def test_level_shift_not_flagged_everywhere(self, rng):
+        # a level shift is explained by bucket boundaries, so points after
+        # the shift should NOT all be deviants
+        x = np.concatenate([np.zeros(100), np.full(100, 5.0)])
+        x += rng.normal(0, 0.1, 200)
+        scores = DeviantsDetector(n_buckets=4).fit_score_series(TimeSeries(x))
+        assert scores[150] < 1.0
+
+    def test_matrix_path_max_over_columns(self, rng):
+        X = rng.normal(0, 1, size=(300, 2))
+        X[50, 1] = 30.0
+        det = DeviantsDetector()
+        scores = det.fit_score(X)
+        assert scores.argmax() == 50
+
+    def test_long_series_uses_equal_buckets(self, rng):
+        series = ar_process(2000, rng, (0.3,))
+        scores = DeviantsDetector(n_buckets=8).fit_score_series(series)
+        assert np.isfinite(scores).all()
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            DeviantsDetector(n_buckets=0)

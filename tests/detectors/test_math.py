@@ -1,0 +1,89 @@
+"""Unit tests for the shared numeric helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors._math import (
+    kmeans,
+    kth_neighbor_dists,
+    neighbor_indices,
+    pairwise_sq_dists,
+)
+
+
+class TestPairwise:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(10, 3))
+        B = rng.normal(size=(7, 3))
+        d2 = pairwise_sq_dists(A, B)
+        naive = ((A[:, None, :] - B[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(d2, naive)
+
+    def test_nonnegative_despite_cancellation(self):
+        A = np.full((5, 4), 1e8)
+        d2 = pairwise_sq_dists(A, A)
+        assert np.all(d2 >= 0)
+
+
+class TestKthNeighbor:
+    def test_simple_line(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        d = kth_neighbor_dists(X, X, k=1, exclude_self=True)
+        assert d.tolist() == [1.0, 1.0, 9.0]
+
+    def test_k_clipped(self):
+        X = np.array([[0.0], [1.0]])
+        d = kth_neighbor_dists(X, X, k=10, exclude_self=True)
+        assert d.tolist() == [1.0, 1.0]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kth_neighbor_dists(np.zeros((2, 1)), np.zeros((2, 1)), 0, False)
+
+
+class TestNeighborIndices:
+    def test_sorted_by_distance(self):
+        X = np.array([[0.0], [3.0], [1.0], [10.0]])
+        idx, dists = neighbor_indices(X[:1], X, k=3, exclude_self=False)
+        assert idx[0].tolist() == [0, 2, 1]
+        assert dists[0].tolist() == [0.0, 1.0, 3.0]
+
+    def test_exclude_self(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        idx, __ = neighbor_indices(X, X, k=1, exclude_self=True)
+        assert all(idx[i, 0] != i for i in range(3))
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 0.1, size=(50, 2))
+        b = rng.normal(10, 0.1, size=(50, 2))
+        X = np.vstack([a, b])
+        centroids, assign = kmeans(X, 2, rng)
+        assert len(set(assign[:50])) == 1
+        assert len(set(assign[50:])) == 1
+        assert assign[0] != assign[50]
+        got = sorted(centroids[:, 0].round(1).tolist())
+        assert got[0] == pytest.approx(0.0, abs=0.2)
+        assert got[1] == pytest.approx(10.0, abs=0.2)
+
+    def test_k_clipped_to_n(self):
+        X = np.zeros((3, 2))
+        centroids, assign = kmeans(X, 10, np.random.default_rng(0))
+        assert centroids.shape[0] == 3
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        rng_data = np.random.default_rng(3)
+        X = rng_data.normal(size=(40, 2))
+        c1, a1 = kmeans(X, 3, np.random.default_rng(5))
+        c2, a2 = kmeans(X, 3, np.random.default_rng(5))
+        assert np.allclose(c1, c2)
+        assert np.array_equal(a1, a2)

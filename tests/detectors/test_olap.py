@@ -1,0 +1,71 @@
+"""Unit tests for the OLAP-cube detector and its data-cube substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import DataCube, OLAPCubeDetector
+from repro.eval import roc_auc
+
+
+class TestDataCube:
+    def test_subspaces_enumerated(self):
+        cube = DataCube(n_bins=4, max_order=2)
+        binned = np.zeros((10, 3), dtype=np.int64)
+        cube.build(binned)
+        assert (0,) in cube.subspaces and (0, 1) in cube.subspaces
+        assert len(cube.subspaces) == 3 + 3  # singles + pairs
+
+    def test_cell_counts(self):
+        cube = DataCube(n_bins=4, max_order=1)
+        binned = np.array([[0], [0], [1]], dtype=np.int64)
+        cube.build(binned)
+        assert cube.cell_count((0,), (0,)) == 2
+        assert cube.cell_count((0,), (1,)) == 1
+        assert cube.cell_count((0,), (3,)) == 0
+
+    def test_rarity_monotone_in_count(self):
+        cube = DataCube(n_bins=4, max_order=1)
+        binned = np.array([[0]] * 9 + [[1]], dtype=np.int64)
+        cube.build(binned)
+        assert cube.rarity((0,), (1,)) > cube.rarity((0,), (0,))
+        assert cube.rarity((0,), (2,)) > cube.rarity((0,), (1,))
+
+
+class TestOLAPCubeDetector:
+    def test_point_auc(self, point_dataset):
+        scores = OLAPCubeDetector().fit_score(point_dataset.X)
+        assert roc_auc(point_dataset.labels, scores) > 0.9
+
+    def test_rare_pair_beats_common_cells(self, rng):
+        # two features individually common but jointly rare
+        n = 400
+        a = rng.integers(0, 2, n).astype(float)
+        b = a.copy()  # perfectly correlated
+        b[-1] = 1 - b[-1]  # one record breaks the correlation
+        X = np.column_stack([a * 10, b * 10]) + rng.normal(0, 0.1, (n, 2))
+        det = OLAPCubeDetector(n_bins=4, max_subspace_order=2)
+        scores = det.fit_score(X)
+        # the correlation-breaking record must rank among the rarest cells
+        assert scores[-1] >= np.quantile(scores, 0.95)
+
+    def test_extreme_values_land_in_edge_bins(self, rng):
+        X = rng.normal(0, 1, size=(300, 1))
+        det = OLAPCubeDetector(n_bins=6).fit(X)
+        binned = det._bin(np.array([[99.0], [-99.0], [0.0]]))
+        assert binned[0, 0] == 5 and binned[1, 0] == 0
+        assert 1 <= binned[2, 0] <= 4
+
+    def test_constant_column_handled(self):
+        X = np.column_stack([np.ones(50), np.arange(50.0)])
+        scores = OLAPCubeDetector().fit_score(X)
+        assert np.isfinite(scores).all()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            OLAPCubeDetector(n_bins=1)
+        with pytest.raises(ValueError):
+            OLAPCubeDetector(max_subspace_order=0)
+        with pytest.raises(ValueError):
+            OLAPCubeDetector(top_k=0)

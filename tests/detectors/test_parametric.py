@@ -1,0 +1,93 @@
+"""Unit tests for the unsupervised-parametric (UPA) family: FSA and HMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import FSADetector, HMMDetector
+from repro.eval import roc_auc
+from repro.timeseries import DiscreteSequence
+
+
+def cyclic(n=40):
+    return DiscreteSequence(tuple("ABCD" * (n // 4)))
+
+
+class TestFSA:
+    def test_known_sequence_scores_zero(self):
+        det = FSADetector(max_order=3).fit([cyclic()])
+        scores = det._score_positions(cyclic())
+        assert scores[3:].max() == 0.0  # after warm-up everything is known
+
+    def test_novel_symbol_scores_one(self):
+        det = FSADetector(max_order=2).fit([cyclic()])
+        scores = det._score_positions(DiscreteSequence(("A", "B", "Z")))
+        assert scores[2] == 1.0
+
+    def test_rare_transitions_filtered(self, sequence_dataset):
+        det = FSADetector()
+        scores = det.fit_score(list(sequence_dataset.sequences))
+        assert roc_auc(sequence_dataset.labels, scores) > 0.9
+
+    def test_longer_context_lowers_score(self):
+        det = FSADetector(max_order=4, min_frequency=0.0).fit([cyclic(80)])
+        # a position whose 4-gram is known scores 0; one with only the
+        # unigram known scores 0.75
+        novel = DiscreteSequence(("C", "B", "A", "D"))
+        scores = det._score_positions(novel)
+        assert scores[-1] > 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FSADetector(max_order=0)
+        with pytest.raises(ValueError):
+            FSADetector(min_frequency=1.0)
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            FSADetector().fit([DiscreteSequence(())])
+
+
+class TestHMM:
+    def test_likelihood_separates_grammars(self, sequence_dataset):
+        det = HMMDetector(n_states=4, n_iter=15, seed=0)
+        scores = det.fit_score(list(sequence_dataset.sequences))
+        assert roc_auc(sequence_dataset.labels, scores) > 0.9
+
+    def test_surprisal_peaks_at_broken_position(self):
+        det = HMMDetector(n_states=4, n_iter=25, seed=1).fit([cyclic(200)])
+        broken = list("ABCD" * 5)
+        broken[10] = "A"  # D expected
+        scores = det._score_positions(DiscreteSequence(tuple(broken)))
+        assert scores[10] == scores[1:].max()
+
+    def test_unseen_symbol_bucket(self):
+        det = HMMDetector(n_states=2, n_iter=5).fit([cyclic()])
+        scores = det._score_positions(DiscreteSequence(("A", "Z")))
+        assert np.isfinite(scores).all()
+        assert scores[1] > scores[0]
+
+    def test_forward_scale_is_predictive_probability(self):
+        det = HMMDetector(n_states=2, n_iter=10, seed=0).fit([cyclic(100)])
+        obs = det._encode(cyclic(40))
+        __, scale = det._forward(obs, det._pi, det._A, det._B)
+        assert np.all(scale > 0) and np.all(scale <= 1 + 1e-9)
+
+    def test_transition_rows_are_distributions(self):
+        det = HMMDetector(n_states=3, n_iter=10).fit([cyclic(100)])
+        assert np.allclose(det._A.sum(axis=1), 1.0)
+        assert np.allclose(det._B.sum(axis=1), 1.0)
+        assert det._pi.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            HMMDetector(n_states=0)
+        with pytest.raises(ValueError):
+            HMMDetector(n_iter=0)
+
+    def test_deterministic_given_seed(self, sequence_dataset):
+        seqs = list(sequence_dataset.sequences)[:20]
+        a = HMMDetector(seed=7, n_iter=5).fit_score(seqs)
+        b = HMMDetector(seed=7, n_iter=5).fit_score(seqs)
+        assert np.allclose(a, b)

@@ -1,0 +1,87 @@
+"""Unit tests for the profile-similarity (PS) detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import ProfileSimilarityDetector
+from repro.eval import roc_auc
+from repro.timeseries import TimeSeries
+
+
+def recordings(rng, n=20, length=100, noise=0.1):
+    t = np.arange(length, dtype=float)
+    profile = 25.0 + 0.3 * t  # a warmup-like ramp
+    return [
+        TimeSeries(profile + rng.normal(0, noise, length)) for __ in range(n)
+    ]
+
+
+class TestProfileFit:
+    def test_profile_recovers_shape(self, rng):
+        det = ProfileSimilarityDetector().fit(recordings(rng))
+        center, scale = det.profile
+        t = np.arange(100.0)
+        assert np.allclose(center, 25.0 + 0.3 * t, atol=0.2)
+        assert np.all(scale > 0)
+
+    def test_variable_lengths_aligned(self, rng):
+        short = TimeSeries(np.linspace(25, 55, 50))
+        long = TimeSeries(np.linspace(25, 55, 200))
+        det = ProfileSimilarityDetector(profile_length=100).fit([short, long])
+        center, __ = det.profile
+        assert len(center) == 100
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            ProfileSimilarityDetector(profile_length=1)
+
+
+class TestProfileScoring:
+    def test_on_profile_recording_scores_low(self, rng):
+        det = ProfileSimilarityDetector().fit(recordings(rng))
+        ok = recordings(rng, n=1)[0]
+        broken = ok.replace(values=ok.values + 5.0)
+        scores = det.score([ok, broken])
+        assert scores[1] > 5 * scores[0]
+
+    def test_score_positions_localizes(self, rng):
+        det = ProfileSimilarityDetector().fit(recordings(rng))
+        rec = recordings(rng, n=1)[0]
+        values = rec.values.copy()
+        values[60] += 4.0
+        trace = det.score_positions(TimeSeries(values))
+        assert trace.argmax() == 60
+
+    def test_collection_auc(self, rng):
+        normal = recordings(rng, n=25)
+        anomalous = []
+        for __ in range(4):
+            rec = recordings(rng, n=1)[0]
+            values = rec.values.copy()
+            values[40:70] += 3.0  # stalled heater
+            anomalous.append(TimeSeries(values))
+        labels = np.array([False] * 25 + [True] * 4)
+        scores = ProfileSimilarityDetector().fit_score(normal + anomalous)
+        assert roc_auc(labels, scores) > 0.95
+
+    def test_flat_positions_get_tolerance_floor(self, rng):
+        # a profile with zero variance at some positions must not divide by 0
+        flat = [TimeSeries(np.concatenate([np.zeros(50), rng.normal(0, 1, 50)]))
+                for __ in range(10)]
+        det = ProfileSimilarityDetector().fit(flat)
+        scores = det.score(flat)
+        assert np.isfinite(scores).all()
+
+    def test_plant_phase_profiles(self, small_plant):
+        """Fitting on every warmup of one machine flags an injected drift."""
+        machine = next(small_plant.iter_machines())
+        warmups = [
+            job.phase("warmup").series[machine.channels[0].sensor_id]
+            for job in machine.jobs
+        ]
+        det = ProfileSimilarityDetector().fit(warmups)
+        disturbed = warmups[0].replace(values=warmups[0].values + 6.0)
+        scores = det.score(warmups + [disturbed])
+        assert scores.argmax() == len(warmups)

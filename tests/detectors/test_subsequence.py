@@ -1,0 +1,55 @@
+"""Unit tests for the SAX-discord (OS) detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import SAXDiscordDetector
+from repro.eval import roc_auc
+from repro.synthetic import inject_subsequence
+from repro.timeseries import DiscreteSequence, TimeSeries
+
+
+class TestGramMode:
+    def test_rare_gram_of_common_letters_is_surprising(self):
+        # letters a,b both common; the bigram 'ba' never occurs in training
+        normal = [DiscreteSequence(tuple("aabb" * 10))]
+        det = SAXDiscordDetector(word_n=2).fit(normal)
+        surprise_seen = det._word_surprise(("a", "a"))
+        surprise_unseen = det._word_surprise(("b", "a"))
+        assert surprise_unseen > surprise_seen
+
+    def test_collection_auc(self, sequence_dataset):
+        det = SAXDiscordDetector(word_n=3)
+        scores = det.fit_score(list(sequence_dataset.sequences))
+        assert roc_auc(sequence_dataset.labels, scores) > 0.9
+
+
+class TestWordMode:
+    def test_word_mode_detected_from_symbols(self):
+        words = [DiscreteSequence(("abcd", "abcd", "abce"))]
+        det = SAXDiscordDetector().fit(words)
+        assert det._word_mode
+
+    def test_gram_mode_detected_for_atomic_labels(self):
+        det = SAXDiscordDetector().fit([DiscreteSequence(tuple("abab"))])
+        assert not det._word_mode
+
+
+class TestSeriesLocalization:
+    def test_discord_localized_in_periodic_signal(self, rng):
+        t = np.arange(600.0)
+        base = TimeSeries(np.sin(2 * np.pi * t / 30) + rng.normal(0, 0.05, 600))
+        series, inj = inject_subsequence(base, 300, 40, rng, style="noise", delta=4.0)
+        det = SAXDiscordDetector()
+        scores = det.fit_score_series(series, width=32, stride=4)
+        labels = np.zeros(600, dtype=bool)
+        labels[inj.index : inj.end] = True
+        assert roc_auc(labels, scores) > 0.85
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SAXDiscordDetector(smoothing=0.0)
+        with pytest.raises(ValueError):
+            SAXDiscordDetector(word_n=0)

@@ -1,0 +1,138 @@
+"""Unit tests for the supervised (SA) family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    MLPDetector,
+    MotifRuleDetector,
+    RuleLearningDetector,
+    pseudo_labels,
+)
+from repro.detectors.supervised.rule_learning import Atom, Rule
+from repro.eval import roc_auc
+from repro.timeseries import DiscreteSequence
+
+
+class TestPseudoLabels:
+    def test_flags_extremes(self, rng):
+        X = rng.normal(size=(200, 2))
+        X[0] = [50.0, 0.0]
+        labels = pseudo_labels(X, contamination=0.05)
+        assert labels[0]
+        assert labels.mean() <= 0.1
+
+    def test_always_at_least_one_positive(self):
+        X = np.zeros((10, 2))
+        assert pseudo_labels(X, 0.05).sum() >= 1
+
+
+class TestAtomAndRule:
+    def test_atom_mask(self):
+        X = np.array([[1.0], [5.0]])
+        assert Atom(0, "<=", 2.0).mask(X).tolist() == [True, False]
+        assert Atom(0, ">", 2.0).mask(X).tolist() == [False, True]
+
+    def test_rule_conjunction(self):
+        X = np.array([[1.0, 1.0], [1.0, 5.0], [5.0, 5.0]])
+        rule = Rule((Atom(0, "<=", 2.0), Atom(1, ">", 2.0)), confidence=1.0)
+        assert rule.mask(X).tolist() == [False, True, False]
+
+
+class TestRuleLearning:
+    def test_learns_threshold_rule(self, rng):
+        X = rng.normal(0, 1, size=(300, 3))
+        y = X[:, 1] > 1.5
+        if not y.any():
+            y[0] = True
+        det = RuleLearningDetector().fit_labeled(X, y)
+        assert roc_auc(y, det.score(X)) > 0.95
+        assert any("x[1]" in str(r) for r in det.rules)
+
+    def test_unsupervised_self_training(self, point_dataset):
+        det = RuleLearningDetector()
+        scores = det.fit_score(point_dataset.X)
+        assert roc_auc(point_dataset.labels, scores) > 0.8
+
+    def test_rejects_single_class_labels(self, rng):
+        X = rng.normal(size=(20, 2))
+        with pytest.raises(ValueError, match="both classes"):
+            RuleLearningDetector().fit_labeled(X, np.zeros(20, dtype=bool))
+
+    def test_rejects_length_mismatch(self, rng):
+        X = rng.normal(size=(20, 2))
+        with pytest.raises(ValueError, match="labels length"):
+            RuleLearningDetector().fit_labeled(X, np.zeros(19, dtype=bool))
+
+    def test_rules_property_requires_fit(self):
+        from repro.detectors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            RuleLearningDetector().rules
+
+
+class TestMLP:
+    def test_learns_nonlinear_boundary(self, rng):
+        # XOR-ish: anomalies in two opposite quadrants
+        X = rng.normal(0, 1, size=(400, 2))
+        y = (X[:, 0] * X[:, 1]) > 1.0
+        det = MLPDetector(hidden=16, n_epochs=150, seed=0).fit_labeled(X, y)
+        assert roc_auc(y, det.score(X)) > 0.9
+
+    def test_scores_are_probabilities(self, point_dataset):
+        det = MLPDetector(n_epochs=30)
+        scores = det.fit_score(point_dataset.X)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_point_auc_self_trained(self, point_dataset):
+        scores = MLPDetector(n_epochs=60, seed=1).fit_score(point_dataset.X)
+        assert roc_auc(point_dataset.labels, scores) > 0.9
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0] > 1.0
+        y[0] = True
+        a = MLPDetector(seed=5, n_epochs=20).fit_labeled(X, y).score(X)
+        b = MLPDetector(seed=5, n_epochs=20).fit_labeled(X, y).score(X)
+        assert np.allclose(a, b)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MLPDetector(hidden=0)
+        with pytest.raises(ValueError):
+            MLPDetector(learning_rate=0.0)
+
+
+class TestMotifRules:
+    def test_labeled_weights_separate(self, sequence_dataset):
+        seqs = list(sequence_dataset.sequences)
+        y = sequence_dataset.labels
+        det = MotifRuleDetector().fit_labeled(seqs, y)
+        assert roc_auc(y, det.score(seqs)) > 0.95
+
+    def test_self_training(self, sequence_dataset):
+        det = MotifRuleDetector()
+        scores = det.fit_score(list(sequence_dataset.sequences))
+        assert roc_auc(sequence_dataset.labels, scores) > 0.9
+
+    def test_anomalous_motif_positive_weight(self):
+        normal = [DiscreteSequence(tuple("ababab"))] * 5
+        anomal = [DiscreteSequence(tuple("zzzzzz"))]
+        det = MotifRuleDetector(max_order=2).fit_labeled(
+            normal + anomal, [False] * 5 + [True]
+        )
+        assert det._weights[("z", "z")] > 0
+        assert det._weights[("a", "b")] < 0
+
+    def test_single_long_sequence_fit_via_chunks(self):
+        seq = DiscreteSequence(tuple("abcd" * 30 + "zzzz" + "abcd" * 10))
+        det = MotifRuleDetector().fit([seq])
+        pos = det._score_positions(seq)
+        assert pos[120:124].mean() > pos[:120].mean()
+
+    def test_rejects_single_class(self):
+        seqs = [DiscreteSequence(("a",))] * 3
+        with pytest.raises(ValueError):
+            MotifRuleDetector().fit_labeled(seqs, [False, False, False])

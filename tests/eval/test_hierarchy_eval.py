@@ -1,0 +1,67 @@
+"""Unit tests for the Algorithm-1 evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import Alg1Metrics, aggregate, evaluate_alg1, replicate_alg1
+from repro.plant import FaultConfig, PlantConfig
+
+
+class TestEvaluateAlg1:
+    def test_metrics_fields_populated(self, small_plant):
+        m = evaluate_alg1(small_plant)
+        assert 0.0 <= m.hier_p5 <= 1.0
+        assert 0.0 <= m.flat_ap <= 1.0
+        assert 0.0 <= m.warning_accuracy <= 1.0
+        assert m.n_candidates >= 0
+        assert len(m.global_histogram) == 6
+
+    def test_as_dict_round_trip(self, small_plant):
+        m = evaluate_alg1(small_plant)
+        d = m.as_dict()
+        assert d["hier_ap"] == m.hier_ap
+        assert d["global_histogram"] == m.global_histogram
+
+    def test_accepts_prebuilt_pipeline(self, small_plant):
+        from repro.core import HierarchicalDetectionPipeline
+
+        pipeline = HierarchicalDetectionPipeline(small_plant)
+        a = evaluate_alg1(small_plant, pipeline)
+        b = evaluate_alg1(small_plant)
+        assert a.hier_ap == b.hier_ap
+
+
+class TestReplication:
+    def test_one_row_per_seed(self):
+        def factory(seed):
+            return PlantConfig(
+                seed=seed, n_lines=1, machines_per_line=2, jobs_per_machine=4,
+                faults=FaultConfig(0.3, 0.3, 0.1),
+            )
+
+        rows = replicate_alg1([1, 2], config_factory=factory)
+        assert len(rows) == 2
+        assert all(isinstance(r, Alg1Metrics) for r in rows)
+        # different seeds, different plants
+        assert rows[0].as_dict() != rows[1].as_dict()
+
+    def test_aggregate_means(self):
+        a = Alg1Metrics(1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 10, 2, (0,))
+        b = Alg1Metrics(0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 0.0, 20, 4, (0,))
+        agg = aggregate([a, b])
+        assert agg["hier_p5"] == 0.5
+        assert agg["flat_ap"] == 0.5
+        assert agg["n_candidates"] == 15.0
+        assert "global_histogram" not in agg
+
+    def test_aggregate_nan_aware(self):
+        a = Alg1Metrics(1.0, 1.0, 1.0, 0.0, 0.0, 0.0, np.nan, 0.0, 1.0, 10, 2, (0,))
+        b = Alg1Metrics(1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.5, 0.0, 1.0, 10, 2, (0,))
+        agg = aggregate([a, b])
+        assert agg["support_process"] == 0.5
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])

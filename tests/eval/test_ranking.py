@@ -1,0 +1,96 @@
+"""Unit tests for ranking comparison utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    kendall_tau,
+    rankdata,
+    reciprocal_rank,
+    spearman_correlation,
+    top_k_overlap,
+)
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert rankdata([10.0, 30.0, 20.0]).tolist() == [1.0, 3.0, 2.0]
+
+    def test_ties_get_average_rank(self):
+        assert rankdata([1.0, 1.0, 2.0]).tolist() == [1.5, 1.5, 3.0]
+
+    def test_matches_scipy(self):
+        from scipy.stats import rankdata as scipy_rank
+
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 5, size=50).astype(float)
+        assert np.allclose(rankdata(x), scipy_rank(x))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.arange(10.0)
+        assert spearman_correlation(x, x**3) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        x = np.arange(10.0)
+        assert spearman_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=(2, 80))
+        assert spearman_correlation(a, b) == pytest.approx(
+            spearmanr(a, b).statistic
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_correlation([1.0], [1.0, 2.0])
+
+
+class TestKendall:
+    def test_perfect(self):
+        x = np.arange(8.0)
+        assert kendall_tau(x, 2 * x) == 1.0
+
+    def test_inverse(self):
+        x = np.arange(8.0)
+        assert kendall_tau(x, -x) == -1.0
+
+    def test_matches_scipy_on_untied_data(self):
+        from scipy.stats import kendalltau
+
+        rng = np.random.default_rng(2)
+        a = rng.permutation(30).astype(float)
+        b = rng.permutation(30).astype(float)
+        assert kendall_tau(a, b) == pytest.approx(kendalltau(a, b).statistic)
+
+
+class TestTopK:
+    def test_identical_rankings(self):
+        s = np.arange(10.0)
+        assert top_k_overlap(s, s, 3) == 1.0
+
+    def test_disjoint_tops(self):
+        a = np.array([1.0, 2.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 2.0, 1.0])
+        assert top_k_overlap(a, b, 2) == 0.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_overlap([1.0], [1.0], 0)
+
+
+class TestReciprocalRank:
+    def test_first_hit(self):
+        assert reciprocal_rank([True, False], [1.0, 0.0]) == 1.0
+
+    def test_second_hit(self):
+        assert reciprocal_rank([False, True], [1.0, 0.5]) == 0.5
+
+    def test_no_hit(self):
+        assert reciprocal_rank([False, False], [1.0, 0.5]) == 0.0

@@ -1,0 +1,72 @@
+"""The phase level's *discrete* data shape, end to end.
+
+Section 2: the phase level delivers "either time series data or discrete
+value sequences".  The plant's event streams record production step codes,
+and process faults inject ``error_retry`` bursts.  These tests drive the
+sequence detectors over the plant's real event streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import FSADetector, NormalPatternDatabaseDetector
+from repro.eval import roc_auc
+from repro.plant import FaultConfig, FaultKind, PlantConfig, simulate_plant
+
+
+@pytest.fixture(scope="module")
+def plant_with_retries():
+    for seed in range(60, 120):
+        ds = simulate_plant(PlantConfig(
+            seed=seed, n_lines=2, machines_per_line=2, jobs_per_machine=8,
+            faults=FaultConfig(0.25, 0.0, 0.0),
+        ))
+        n_process = len(ds.faults_of_kind(FaultKind.PROCESS))
+        if n_process >= 3:
+            return ds
+    raise RuntimeError("no seed produced enough process faults")
+
+
+def _event_dataset(dataset):
+    """All phase event sequences with a per-sequence process-fault label."""
+    fault_phases = {
+        (f.machine_id, f.job_index, f.phase_name)
+        for f in dataset.faults_of_kind(FaultKind.PROCESS)
+    }
+    sequences, labels = [], []
+    for machine in dataset.iter_machines():
+        for job in machine.jobs:
+            for phase in job.phases:
+                sequences.append(phase.events)
+                labels.append(
+                    (machine.machine_id, job.job_index, phase.name) in fault_phases
+                )
+    return sequences, np.asarray(labels, dtype=bool)
+
+
+class TestEventStreamDetection:
+    def test_retry_bursts_present_in_fault_phases(self, plant_with_retries):
+        sequences, labels = _event_dataset(plant_with_retries)
+        for seq, is_fault in zip(sequences, labels):
+            has_retry = "error_retry" in seq.symbols
+            assert has_retry == is_fault
+
+    def test_fsa_flags_fault_event_streams(self, plant_with_retries):
+        sequences, labels = _event_dataset(plant_with_retries)
+        scores = FSADetector(max_order=3).fit_score(sequences)
+        assert roc_auc(labels, scores) > 0.95
+
+    def test_npd_flags_fault_event_streams(self, plant_with_retries):
+        sequences, labels = _event_dataset(plant_with_retries)
+        scores = NormalPatternDatabaseDetector(window=4).fit_score(sequences)
+        assert roc_auc(labels, scores) > 0.9
+
+    def test_fsa_localizes_burst_within_stream(self, plant_with_retries):
+        sequences, labels = _event_dataset(plant_with_retries)
+        det = FSADetector(max_order=3).fit(sequences)
+        fault_seq = sequences[int(np.argmax(labels))]
+        positions = det._score_positions(fault_seq)
+        burst = [i for i, s in enumerate(fault_seq.symbols) if s == "error_retry"]
+        assert positions[burst].mean() > positions.mean()

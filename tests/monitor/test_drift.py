@@ -1,0 +1,105 @@
+"""Unit tests for concept-shift detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitor import ConceptShiftDetector, rank_shift_statistic
+
+
+class TestRankStatistic:
+    def test_identical_distributions_small(self, rng):
+        a = rng.normal(size=30)
+        b = rng.normal(size=30)
+        assert rank_shift_statistic(a, b) < 3.0
+
+    def test_separated_distributions_large(self, rng):
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(5, 1, 30)
+        assert rank_shift_statistic(a, b) > 5.0
+
+    def test_symmetry(self, rng):
+        a = rng.normal(0, 1, 20)
+        b = rng.normal(1, 1, 25)
+        assert rank_shift_statistic(a, b) == pytest.approx(
+            rank_shift_statistic(b, a)
+        )
+
+    def test_empty_side_is_zero(self):
+        assert rank_shift_statistic(np.array([]), np.array([1.0])) == 0.0
+
+    def test_all_ties(self):
+        assert rank_shift_statistic(np.ones(10), np.ones(10)) == 0.0
+
+
+class TestConceptShiftDetector:
+    def test_finds_mean_shift(self, rng):
+        X = np.vstack([
+            rng.normal(0, 1, size=(40, 3)),
+            rng.normal(2.0, 1, size=(40, 3)),
+        ])
+        shifts = ConceptShiftDetector(window=10).detect(X)
+        assert len(shifts) >= 1
+        assert any(abs(s.index - 40) <= 5 for s in shifts)
+
+    def test_identifies_shifting_feature(self, rng):
+        X = rng.normal(0, 1, size=(80, 3))
+        X[40:, 1] += 3.0  # only feature 1 shifts
+        shifts = ConceptShiftDetector(window=12).detect(X)
+        assert shifts
+        best = max(shifts, key=lambda s: s.statistic)
+        assert best.feature == 1
+
+    def test_no_shift_in_stationary_data(self, rng):
+        X = rng.normal(0, 1, size=(100, 4))
+        shifts = ConceptShiftDetector(window=12, threshold=3.8).detect(X)
+        assert len(shifts) <= 1  # at most a borderline false positive
+
+    def test_nearby_candidates_merge(self, rng):
+        X = np.vstack([
+            rng.normal(0, 0.5, size=(30, 2)),
+            rng.normal(4, 0.5, size=(30, 2)),
+        ])
+        shifts = ConceptShiftDetector(window=8, min_gap=6).detect(X)
+        # one regime change must not produce a burst of adjacent shifts
+        assert len(shifts) <= 3
+
+    def test_univariate_input(self, rng):
+        x = np.concatenate([rng.normal(0, 1, 30), rng.normal(3, 1, 30)])
+        shifts = ConceptShiftDetector(window=10).detect(x)
+        assert shifts and abs(shifts[0].index - 30) <= 5
+
+    def test_statistics_zero_at_margins(self, rng):
+        X = rng.normal(size=(40, 2))
+        stats = ConceptShiftDetector(window=10).statistics(X)
+        assert np.all(stats[:10] == 0.0)
+        assert np.all(stats[-9:] == 0.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ConceptShiftDetector(window=2)
+        with pytest.raises(ValueError):
+            ConceptShiftDetector(threshold=0.0)
+
+    def test_describe(self, rng):
+        X = np.vstack([
+            rng.normal(0, 1, size=(30, 2)),
+            rng.normal(4, 1, size=(30, 2)),
+        ])
+        shifts = ConceptShiftDetector(window=10).detect(X)
+        assert "shift at row" in shifts[0].describe()
+
+    def test_plant_setup_regime_change(self):
+        """A shifted setup parameter mid-line must be discoverable."""
+        from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+        ds = simulate_plant(PlantConfig(
+            seed=55, n_lines=1, machines_per_line=2, jobs_per_machine=14,
+            faults=FaultConfig(0.0, 0.0, 0.0),
+        ))
+        mat, identity = ds.jobs_over_time("line-0")
+        mat = mat.copy()
+        mat[14:, 0] += 10 * mat[:, 0].std()  # regime change in feature 0
+        shifts = ConceptShiftDetector(window=8).detect(mat)
+        assert any(abs(s.index - 14) <= 4 for s in shifts)

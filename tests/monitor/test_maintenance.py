@@ -1,0 +1,93 @@
+"""Unit tests for predictive-maintenance indicators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitor import MaintenanceAdvisor, theil_sen_slope
+
+
+class TestTheilSen:
+    def test_exact_line(self):
+        assert theil_sen_slope(2.0 * np.arange(10.0) + 3.0) == pytest.approx(2.0)
+
+    def test_robust_to_one_outlier(self):
+        y = 1.0 * np.arange(20.0)
+        y[10] += 100.0
+        assert theil_sen_slope(y) == pytest.approx(1.0, abs=0.15)
+
+    def test_constant_is_zero(self):
+        assert theil_sen_slope(np.full(8, 5.0)) == 0.0
+
+    def test_too_short(self):
+        assert theil_sen_slope(np.array([1.0])) == 0.0
+
+
+class TestMaintenanceAdvisor:
+    def test_ranking_covers_all_machines(self, small_plant):
+        advisor = MaintenanceAdvisor(small_plant)
+        ranking = advisor.ranking()
+        machines = {m.machine_id for m in small_plant.iter_machines()}
+        assert {i.machine_id for i in ranking} == machines
+        urgencies = [i.urgency for i in ranking]
+        assert urgencies == sorted(urgencies, reverse=True)
+
+    def test_urgency_bounded(self, small_plant):
+        for indicator in MaintenanceAdvisor(small_plant).ranking():
+            assert 0.0 <= indicator.urgency <= 1.0
+
+    def test_degrading_machine_ranks_first(self):
+        """Hand-build a plant-like dataset where one machine degrades."""
+        from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+        ds = simulate_plant(PlantConfig(
+            seed=31, n_lines=1, machines_per_line=2, jobs_per_machine=10,
+            faults=FaultConfig(0.0, 0.0, 0.0),
+        ))
+        # artificially degrade machine 0's porosity over its job sequence
+        target = ds.lines[0].machines[0]
+        for k, job in enumerate(target.jobs):
+            job.caq.measurements["porosity_pct"] += 0.25 * k
+        advisor = MaintenanceAdvisor(ds)
+        ranking = advisor.ranking()
+        assert ranking[0].machine_id == target.machine_id
+        assert ranking[0].urgency > ranking[-1].urgency
+
+    def test_jobs_to_limit_extrapolation(self):
+        from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+        ds = simulate_plant(PlantConfig(
+            seed=32, n_lines=1, machines_per_line=1, jobs_per_machine=10,
+            faults=FaultConfig(0.0, 0.0, 0.0),
+        ))
+        machine = ds.lines[0].machines[0]
+        for k, job in enumerate(machine.jobs):
+            job.caq.measurements["porosity_pct"] = 1.0 + 0.1 * k
+        indicator = MaintenanceAdvisor(ds).indicator_for(machine.machine_id)
+        assert indicator.worst_measure == "porosity_pct"
+        # current ~1.85, limit 2.5, slope ~0.1 → roughly 7 jobs left
+        assert indicator.jobs_to_limit is not None
+        assert 2 <= indicator.jobs_to_limit <= 12
+
+    def test_stable_machine_has_no_eta(self):
+        from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+        ds = simulate_plant(PlantConfig(
+            seed=33, n_lines=1, machines_per_line=1, jobs_per_machine=8,
+            faults=FaultConfig(0.0, 0.0, 0.0),
+        ))
+        machine = ds.lines[0].machines[0]
+        for job in machine.jobs:
+            for key in ds.caq_keys:
+                job.caq.measurements[key] = {"dimension_error_um": 25.0,
+                                             "porosity_pct": 1.0,
+                                             "surface_roughness_um": 10.0,
+                                             "tensile_mpa": 1020.0}[key]
+        indicator = MaintenanceAdvisor(ds).indicator_for(machine.machine_id)
+        assert indicator.jobs_to_limit is None
+        assert indicator.urgency < 0.5
+
+    def test_rejects_bad_window(self, small_plant):
+        with pytest.raises(ValueError):
+            MaintenanceAdvisor(small_plant, recent_window=0)

@@ -1,0 +1,63 @@
+"""Unit tests for plant configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plant import (
+    DEFAULT_PHASES,
+    DEFAULT_SENSORS,
+    DEFAULT_SETUP_PARAMETERS,
+    FaultConfig,
+    PlantConfig,
+    SensorSpec,
+)
+
+
+class TestDefaults:
+    def test_five_phases_in_order(self):
+        names = [p.name for p in DEFAULT_PHASES]
+        assert names == ["preparation", "warmup", "calibration", "printing", "cooldown"]
+
+    def test_printing_is_longest_phase(self):
+        durations = {p.name: p.duration for p in DEFAULT_PHASES}
+        assert durations["printing"] == max(durations.values())
+
+    def test_redundant_chamber_pair(self):
+        groups = [s.redundancy_group for s in DEFAULT_SENSORS]
+        assert groups.count("chamber_temp") == 2
+
+    def test_every_phase_profiles_every_sensor_kind(self):
+        kinds = {s.kind for s in DEFAULT_SENSORS}
+        for phase in DEFAULT_PHASES:
+            assert kinds <= set(phase.profiles)
+
+    def test_setup_parameters_high_dimensional(self):
+        assert len(DEFAULT_SETUP_PARAMETERS) >= 10
+        names = [n for n, __, __ in DEFAULT_SETUP_PARAMETERS]
+        assert len(names) == len(set(names))
+
+
+class TestPlantConfig:
+    def test_defaults_filled(self):
+        cfg = PlantConfig()
+        assert cfg.sensors == DEFAULT_SENSORS
+        assert cfg.phases == DEFAULT_PHASES
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            PlantConfig(n_lines=0)
+        with pytest.raises(ValueError):
+            PlantConfig(machines_per_line=0)
+        with pytest.raises(ValueError):
+            PlantConfig(jobs_per_machine=0)
+
+    def test_sensor_id_format(self):
+        spec = SensorSpec("chamber_temp", "degC", "chamber_temp", 0.4)
+        assert spec.sensor_id("line-0/machine-1", 0) == "line-0/machine-1/chamber_temp-0"
+
+    def test_fault_config_defaults_sane(self):
+        fc = FaultConfig()
+        assert 0 < fc.process_fault_rate < 1
+        assert 0 < fc.sensor_fault_rate < 1
+        assert fc.magnitude_sigmas > 1

@@ -1,0 +1,100 @@
+"""Unit tests for soft sensor modeling (Section 5, [40])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plant.soft_sensor import SOFT_SUFFIX, SoftSensor, build_soft_sensors
+from repro.timeseries import TimeSeries
+
+
+@pytest.fixture
+def coupled_channels(rng):
+    """y is physically driven by x1 and x2 (plus noise)."""
+    n = 1000
+    x1 = rng.normal(0, 1, n).cumsum() * 0.05 + rng.normal(0, 0.5, n)
+    x2 = np.sin(np.arange(n) / 20.0) + rng.normal(0, 0.2, n)
+    y = 2.0 * x1 - 1.5 * x2 + 5.0 + rng.normal(0, 0.1, n)
+    return np.column_stack([x1, x2]), y
+
+
+class TestSoftSensor:
+    def test_recovers_linear_physics(self, coupled_channels):
+        X, y = coupled_channels
+        sensor = SoftSensor("y", ("x1", "x2")).fit(X, y)
+        assert sensor.quality(X, y) > 0.95
+        assert sensor.residual_sigma < 0.2
+
+    def test_prediction_tracks_target(self, coupled_channels):
+        X, y = coupled_channels
+        sensor = SoftSensor("y", ("x1", "x2")).fit(X[:800], y[:800])
+        pred = sensor.predict(X[800:])
+        assert np.corrcoef(pred, y[800:])[0, 1] > 0.95
+
+    def test_process_fault_followed_sensor_fault_not(self, coupled_channels):
+        """The core soft-sensor support property.
+
+        A process fault moves the physical drivers (and therefore y); the
+        soft estimate follows, so the residual stays small.  A broken gauge
+        moves y alone; the soft estimate stays with the physics and the
+        residual exposes the gauge.
+        """
+        X, y = coupled_channels
+        sensor = SoftSensor("y", ("x1", "x2")).fit(X, y)
+
+        # process fault: x1 jumps, physics carries it into y
+        X_proc = X.copy()
+        y_proc = y.copy()
+        X_proc[500:, 0] += 3.0
+        y_proc[500:] += 2.0 * 3.0
+        residual_proc = np.abs(y_proc - sensor.predict(X_proc))[500:].mean()
+
+        # sensor fault: y's gauge drifts alone
+        y_gauge = y.copy()
+        y_gauge[500:] += 6.0
+        residual_gauge = np.abs(y_gauge - sensor.predict(X))[500:].mean()
+
+        assert residual_gauge > 10 * residual_proc
+
+    def test_virtual_series_naming(self, coupled_channels):
+        X, y = coupled_channels
+        sensor = SoftSensor("machine/bed_temp-2", ("a", "b")).fit(X, y)
+        like = TimeSeries(y, start=100.0, step=2.0, name="machine/bed_temp-2")
+        virtual = sensor.virtual_series(X, like)
+        assert virtual.name == f"machine/bed_temp-2{SOFT_SUFFIX}"
+        assert virtual.start == 100.0 and virtual.step == 2.0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SoftSensor("y", ("x",)).predict(np.zeros((3, 1)))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SoftSensor("y", ("x",)).fit(rng.normal(size=(10, 2)), rng.normal(size=9))
+
+
+class TestBuildSoftSensors:
+    def test_only_quality_models_returned(self, small_plant):
+        sensors = build_soft_sensors(small_plant, min_quality=0.3)
+        # whatever passes the quality gate must actually be that good
+        for target_id, sensor in sensors.items():
+            assert SOFT_SUFFIX not in target_id
+            machine_id = target_id.rsplit("/", 1)[0]
+            machine = small_plant.machine(machine_id)
+            group = next(
+                ch.redundancy_group for ch in machine.channels
+                if ch.sensor_id == target_id
+            )
+            # targets are singleton channels only
+            peers = [
+                ch for ch in machine.channels if ch.redundancy_group == group
+            ]
+            assert len(peers) == 1
+
+    def test_impossible_quality_returns_empty(self, small_plant):
+        assert build_soft_sensors(small_plant, min_quality=0.999) == {}
+
+    def test_unknown_phase_raises(self, small_plant):
+        with pytest.raises(KeyError):
+            build_soft_sensors(small_plant, phase_name="nonexistent")

@@ -1,0 +1,135 @@
+"""Hypothesis property tests for core invariants (scores, fusion, algorithm)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    HierarchyContext,
+    LevelConfirmation,
+    OutlierCandidate,
+    ProductionLevel,
+    SupportResult,
+    calc_global_score,
+    fuse,
+    unify,
+)
+from repro.core.fusion import FUSION_STRATEGIES
+
+L = ProductionLevel
+
+score_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 100),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+)
+
+unit_scores = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestUnifyProperties:
+    @given(scores=score_arrays,
+           method=st.sampled_from(["rank", "gaussian", "minmax"]))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_and_order_preserving(self, scores, method):
+        out = unify(scores, method)
+        assert np.all((out >= 0) & (out <= 1))
+        order_in = np.argsort(scores, kind="mergesort")
+        assert np.all(np.diff(out[order_in]) >= -1e-12)
+
+    @given(scores=score_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_is_scale_invariant(self, scores):
+        # doubling is exact in binary floating point, so ranks are identical
+        a = unify(scores, "rank")
+        b = unify(scores * 2.0, "rank")
+        assert np.allclose(a, b)
+
+
+class TestFusionProperties:
+    @st.composite
+    @staticmethod
+    def level_score_maps(draw):
+        levels = draw(
+            st.lists(st.sampled_from(list(L)), min_size=1, max_size=5, unique=True)
+        )
+        return {lvl: draw(unit_scores) for lvl in levels}
+
+    @given(scores=level_score_maps(), strategy=st.sampled_from(sorted(FUSION_STRATEGIES)))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, scores, strategy):
+        assert 0.0 <= fuse(scores, strategy) <= 1.0
+
+    @given(scores=level_score_maps(), strategy=st.sampled_from(sorted(FUSION_STRATEGIES)),
+           bump=st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_each_score(self, scores, strategy, bump):
+        level = next(iter(scores))
+        raised = dict(scores)
+        raised[level] = min(1.0, scores[level] + bump)
+        assert fuse(raised, strategy) >= fuse(scores, strategy) - 1e-9
+
+
+class _RandomContext(HierarchyContext):
+    def __init__(self, verdicts):
+        self.verdicts = verdicts  # dict level -> bool
+
+    def find_candidates(self, level):
+        return [OutlierCandidate(level=level, outlierness=1.0, machine_id="m")]
+
+    def confirm(self, candidate, level):
+        return LevelConfirmation(level, self.verdicts.get(level, False), 0.5)
+
+    def support(self, candidate):
+        return SupportResult(0.0, 0, ())
+
+
+class TestGlobalScoreProperties:
+    @st.composite
+    @staticmethod
+    def verdict_maps(draw):
+        return {lvl: draw(st.booleans()) for lvl in L}
+
+    @given(verdicts=verdict_maps(), start=st.sampled_from(list(L)))
+    @settings(max_examples=120, deadline=None)
+    def test_global_score_in_range(self, verdicts, start):
+        ctx = _RandomContext(verdicts)
+        candidate = OutlierCandidate(level=start, outlierness=1.0, machine_id="m")
+        score, confs, warning, __ = calc_global_score(ctx, candidate, start)
+        assert 1 <= score <= 5
+
+    @given(verdicts=verdict_maps(), start=st.sampled_from(list(L)))
+    @settings(max_examples=120, deadline=None)
+    def test_adding_confirmation_never_lowers_score(self, verdicts, start):
+        ctx = _RandomContext(verdicts)
+        candidate = OutlierCandidate(level=start, outlierness=1.0, machine_id="m")
+        base, __, __, __ = calc_global_score(ctx, candidate, start)
+        false_levels = [lvl for lvl, v in verdicts.items() if not v and lvl != start]
+        assume(false_levels)
+        boosted = dict(verdicts)
+        boosted[false_levels[0]] = True
+        score2, __, __, __ = calc_global_score(
+            _RandomContext(boosted), candidate, start
+        )
+        assert score2 >= base
+
+    @given(verdicts=verdict_maps(), start=st.sampled_from(list(L)))
+    @settings(max_examples=120, deadline=None)
+    def test_warning_iff_downward_gap(self, verdicts, start):
+        ctx = _RandomContext(verdicts)
+        candidate = OutlierCandidate(level=start, outlierness=1.0, machine_id="m")
+        __, __, warning, __ = calc_global_score(ctx, candidate, start)
+        below = [lvl for lvl in L if lvl < start]
+        if not below:
+            assert not warning
+        else:
+            # walk down mirrors the implementation: warn at the first gap
+            expected = False
+            for lvl in sorted(below, reverse=True):
+                if not verdicts.get(lvl, False):
+                    expected = True
+                    break
+            assert warning == expected

@@ -1,0 +1,72 @@
+"""Hypothesis property tests for detector contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.detectors import (
+    KNNDetector,
+    MADDetector,
+    PCASpaceDetector,
+    ZScoreDetector,
+)
+
+# width=16 keeps value granularity coarse, so affine transforms cannot push
+# genuine variation below float64 precision (which no detector could honour)
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 60), st.integers(1, 6)),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False, width=16),
+)
+
+
+class TestScoreContracts:
+    @given(X=matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_scores_finite_one_per_row(self, X):
+        for det in (ZScoreDetector(), MADDetector(), KNNDetector(k=2)):
+            scores = det.fit_score(X)
+            assert scores.shape == (X.shape[0],)
+            assert np.isfinite(scores).all()
+
+    @given(X=matrices, scale=st.floats(0.5, 8, allow_nan=False),
+           shift=st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_zscore_affine_invariant_ranking(self, X, scale, shift):
+        a = ZScoreDetector().fit_score(X)
+        b = ZScoreDetector().fit_score(X * scale + shift)
+        assert np.allclose(a, b, rtol=1e-4, atol=1e-3)
+
+    @given(X=matrices, shift=st.floats(-1e3, 1e3, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_knn_translation_invariant(self, X, shift):
+        a = KNNDetector(k=2).fit_score(X)
+        b = KNNDetector(k=2).fit_score(X + shift)
+        assert np.allclose(a, b, rtol=1e-6, atol=1e-4)
+
+    @given(X=matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_detect_flags_subset_of_scores(self, X):
+        det = MADDetector().fit(X)
+        result = det.detect(X, contamination=0.2)
+        assert result.flags.shape == (X.shape[0],)
+        if result.n_flagged:
+            assert result.scores[result.flags].min() >= result.threshold
+
+    @given(X=matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_pca_space_nonnegative(self, X):
+        scores = PCASpaceDetector().fit_score(X)
+        assert np.all(scores >= -1e-9)
+
+
+class TestDeterminism:
+    @given(X=matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_fit_score_repeatable(self, X):
+        a = KNNDetector(k=3).fit_score(X)
+        b = KNNDetector(k=3).fit_score(X)
+        assert np.array_equal(a, b)

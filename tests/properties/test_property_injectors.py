@@ -1,0 +1,115 @@
+"""Hypothesis property tests for the Fig.-1 injectors."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.timeseries import TimeSeries
+from repro.synthetic import (
+    inject_additive,
+    inject_innovative,
+    inject_level_shift,
+    inject_temporary_change,
+)
+
+base_values = arrays(
+    dtype=np.float64,
+    shape=st.integers(10, 150),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+)
+deltas = st.floats(-50, 50, allow_nan=False).filter(lambda d: abs(d) > 1e-6)
+
+
+@st.composite
+def series_and_index(draw):
+    values = draw(base_values)
+    index = draw(st.integers(0, len(values) - 1))
+    return TimeSeries(values), index
+
+
+class TestAdditiveProperties:
+    @given(args=series_and_index(), delta=deltas)
+    @settings(max_examples=100, deadline=None)
+    def test_changes_exactly_one_sample(self, args, delta):
+        series, index = args
+        out, inj = inject_additive(series, index, delta)
+        diff = out.values - series.values
+        assert np.isclose(diff[index], delta, rtol=1e-9, atol=1e-12)
+        others = np.delete(diff, index)
+        assert np.count_nonzero(others) == 0
+        assert inj.span == 1
+
+    @given(args=series_and_index(), delta=deltas)
+    @settings(max_examples=50, deadline=None)
+    def test_original_untouched(self, args, delta):
+        series, index = args
+        before = series.values.copy()
+        inject_additive(series, index, delta)
+        assert np.array_equal(series.values, before)
+
+
+class TestLevelShiftProperties:
+    @given(args=series_and_index(), delta=deltas)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_step(self, args, delta):
+        series, index = args
+        out, __ = inject_level_shift(series, index, delta)
+        diff = out.values - series.values
+        assert np.allclose(diff[:index], 0.0)
+        assert np.allclose(diff[index:], delta)
+
+    @given(args=series_and_index(), delta=deltas)
+    @settings(max_examples=50, deadline=None)
+    def test_mean_shift_proportional_to_span(self, args, delta):
+        series, index = args
+        out, __ = inject_level_shift(series, index, delta)
+        n = len(series)
+        expected = delta * (n - index) / n
+        assert np.isclose(out.values.mean() - series.values.mean(), expected,
+                          rtol=1e-9, atol=1e-6)
+
+
+class TestTemporaryChangeProperties:
+    @given(args=series_and_index(), delta=deltas,
+           rho=st.floats(0.05, 0.95, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_geometric_decay_exact(self, args, delta, rho):
+        series, index = args
+        out, __ = inject_temporary_change(series, index, delta, rho=rho)
+        diff = out.values - series.values
+        k = np.arange(len(series) - index)
+        assert np.allclose(diff[index:], delta * rho**k, rtol=1e-9, atol=1e-9)
+        assert np.allclose(diff[:index], 0.0)
+
+    @given(args=series_and_index(), delta=deltas,
+           rho=st.floats(0.1, 0.9, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_effect_strictly_shrinks(self, args, delta, rho):
+        series, index = args
+        out, __ = inject_temporary_change(series, index, delta, rho=rho)
+        diff = np.abs(out.values - series.values)[index:]
+        # float cancellation against large base values leaves tiny wiggles
+        assert np.all(np.diff(diff) <= 1e-9)
+
+
+class TestInnovativeProperties:
+    @given(args=series_and_index(), delta=deltas,
+           phi=st.floats(-0.9, 0.9, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_effect_is_impulse_response(self, args, delta, phi):
+        series, index = args
+        out, __ = inject_innovative(series, index, delta, ar_coefficients=(phi,))
+        diff = out.values - series.values
+        k = np.arange(len(series) - index)
+        assert np.allclose(diff[index:], delta * phi**k, rtol=1e-9, atol=1e-9)
+
+    @given(args=series_and_index(), delta=deltas)
+    @settings(max_examples=50, deadline=None)
+    def test_span_at_least_one(self, args, delta):
+        series, index = args
+        __, inj = inject_innovative(series, index, delta)
+        assert inj.span >= 1
+        assert inj.end <= len(series) + inj.span  # label span bounded

@@ -1,0 +1,132 @@
+"""Hypothesis property tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval import (
+    average_precision,
+    confusion,
+    point_adjust,
+    precision_at_k,
+    roc_auc,
+)
+
+
+@st.composite
+def labeled_scores(draw, min_size=2, max_size=120):
+    n = draw(st.integers(min_size, max_size))
+    labels = draw(
+        arrays(dtype=np.bool_, shape=n, elements=st.booleans())
+    )
+    scores = draw(
+        arrays(
+            dtype=np.float64,
+            shape=n,
+            elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+        )
+    )
+    return labels, scores
+
+
+class TestAUCProperties:
+    @given(data=labeled_scores())
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, data):
+        labels, scores = data
+        assert 0.0 <= roc_auc(labels, scores) <= 1.0
+
+    @given(data=labeled_scores())
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_transform_invariance(self, data):
+        labels, scores = data
+        transformed = scores * 2.0  # exact in floats, strictly monotone
+        assert np.isclose(roc_auc(labels, scores), roc_auc(labels, transformed))
+
+    @given(data=labeled_scores())
+    @settings(max_examples=100, deadline=None)
+    def test_negation_complements(self, data):
+        labels, scores = data
+        assume(labels.any() and not labels.all())
+        a = roc_auc(labels, scores)
+        b = roc_auc(labels, -scores)
+        assert np.isclose(a + b, 1.0)
+
+    @given(data=labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_scores_give_one(self, data):
+        labels, __ = data
+        assume(labels.any() and not labels.all())
+        assert roc_auc(labels, labels.astype(float)) == 1.0
+
+
+class TestConfusionProperties:
+    @given(data=labeled_scores(), threshold=st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_cells_partition(self, data, threshold):
+        labels, scores = data
+        c = confusion(labels, scores >= threshold)
+        assert c.tp + c.fp + c.fn + c.tn == len(labels)
+        assert 0.0 <= c.precision <= 1.0
+        assert 0.0 <= c.recall <= 1.0
+        assert 0.0 <= c.f1 <= 1.0
+
+    @given(data=labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_f1_between_precision_and_recall(self, data):
+        labels, scores = data
+        c = confusion(labels, scores >= 0.0)
+        if c.precision > 0 and c.recall > 0:
+            assert min(c.precision, c.recall) - 1e-12 <= c.f1 <= max(c.precision, c.recall) + 1e-12
+
+
+class TestAPProperties:
+    @given(data=labeled_scores())
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, data):
+        labels, scores = data
+        assert 0.0 <= average_precision(labels, scores) <= 1.0
+
+    @given(data=labeled_scores())
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_ranking_gives_one(self, data):
+        labels, __ = data
+        assume(labels.any())
+        assert average_precision(labels, labels.astype(float)) == 1.0
+
+
+class TestPrecisionAtK:
+    @given(data=labeled_scores(), k=st.integers(1, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, data, k):
+        labels, scores = data
+        assert 0.0 <= precision_at_k(labels, scores, k) <= 1.0
+
+
+class TestPointAdjustProperties:
+    @given(data=labeled_scores(), threshold=st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_superset_of_raw_predictions(self, data, threshold):
+        labels, scores = data
+        raw = scores >= threshold
+        adjusted = point_adjust(labels, raw)
+        assert np.all(adjusted | ~raw)  # raw positives stay positive
+
+    @given(data=labeled_scores(), threshold=st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, data, threshold):
+        labels, scores = data
+        once = point_adjust(labels, scores >= threshold)
+        twice = point_adjust(labels, once)
+        assert np.array_equal(once, twice)
+
+    @given(data=labeled_scores(), threshold=st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_never_worsens_recall(self, data, threshold):
+        labels, scores = data
+        raw = scores >= threshold
+        adjusted = point_adjust(labels, raw)
+        assert confusion(labels, adjusted).recall >= confusion(labels, raw).recall

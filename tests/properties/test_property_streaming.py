@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the streaming accumulators and detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.streaming import (
+    CusumDetector,
+    EWStats,
+    OnlineARDetector,
+    OnlineZScore,
+    P2Quantile,
+    RunningStats,
+)
+
+streams = arrays(
+    dtype=np.float64,
+    shape=st.integers(5, 200),
+    elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False, width=16),
+)
+
+
+class TestRunningStatsProperties:
+    @given(x=streams)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_batch_at_every_prefix(self, x):
+        stats = RunningStats()
+        for i, v in enumerate(x, start=1):
+            stats.update(float(v))
+            assert np.isclose(stats.mean, x[:i].mean(), rtol=1e-9, atol=1e-9)
+            assert np.isclose(stats.variance, x[:i].var(), rtol=1e-7, atol=1e-7)
+
+    @given(x=streams, shift=st.floats(-100, 100, allow_nan=False, width=16))
+    @settings(max_examples=60, deadline=None)
+    def test_variance_shift_invariant(self, x, shift):
+        a, b = RunningStats(), RunningStats()
+        for v in x:
+            a.update(float(v))
+            b.update(float(v) + shift)
+        assert np.isclose(a.variance, b.variance, rtol=1e-6, atol=1e-6)
+
+
+class TestEWStatsProperties:
+    @given(x=streams, alpha=st.floats(0.01, 1.0, exclude_max=False, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_mean_within_observed_range(self, x, alpha):
+        stats = EWStats(alpha=alpha)
+        for v in x:
+            stats.update(float(v))
+        assert x.min() - 1e-9 <= stats.mean <= x.max() + 1e-9
+
+    @given(x=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_variance_nonnegative(self, x):
+        stats = EWStats(alpha=0.1)
+        for v in x:
+            stats.update(float(v))
+        assert stats.std >= 0.0
+
+
+class TestP2Properties:
+    @given(x=streams)
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_within_range(self, x):
+        q = P2Quantile(0.5)
+        for v in x:
+            q.update(float(v))
+        assert x.min() - 1e-9 <= q.value <= x.max() + 1e-9
+
+    @given(x=streams, qq=st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9]))
+    @settings(max_examples=60, deadline=None)
+    def test_count_tracked(self, x, qq):
+        q = P2Quantile(qq)
+        for v in x:
+            q.update(float(v))
+        assert q.n == len(x)
+
+
+class TestOnlineDetectorProperties:
+    @given(x=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_scores_finite_and_nonnegative(self, x):
+        for det in (OnlineZScore(), CusumDetector(), OnlineARDetector()):
+            for v in x:
+                score = det.update(float(v))
+                assert np.isfinite(score)
+                assert score >= 0.0
+
+    @given(x=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_warmup_scores_zero(self, x):
+        det = OnlineZScore(warmup=len(x) + 1)
+        for v in x:
+            assert det.update(float(v)) == 0.0

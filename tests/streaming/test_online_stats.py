@@ -1,0 +1,102 @@
+"""Unit tests for online statistics accumulators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.streaming import EWStats, P2Quantile, RunningStats
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        x = rng.normal(5, 2, 500)
+        stats = RunningStats()
+        for v in x:
+            stats.update(v)
+        assert stats.mean == pytest.approx(x.mean())
+        assert stats.variance == pytest.approx(x.var())
+
+    def test_nan_skipped(self):
+        stats = RunningStats()
+        stats.update(1.0)
+        stats.update(math.nan)
+        stats.update(3.0)
+        assert stats.n == 2
+        assert stats.mean == 2.0
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert math.isnan(stats.mean)
+        assert stats.zscore(1.0) == 0.0
+
+    def test_zscore(self, rng):
+        x = rng.normal(0, 1, 1000)
+        stats = RunningStats()
+        for v in x:
+            stats.update(v)
+        assert stats.zscore(3.0) == pytest.approx(
+            (3.0 - x.mean()) / x.std(), rel=1e-9
+        )
+
+    def test_constant_data_zscore_zero(self):
+        stats = RunningStats()
+        for __ in range(100):
+            stats.update(7.0)
+        assert stats.zscore(7.5) == 0.0
+
+
+class TestEWStats:
+    def test_converges_to_level(self):
+        stats = EWStats(alpha=0.1)
+        for __ in range(300):
+            stats.update(10.0)
+        assert stats.mean == pytest.approx(10.0)
+        assert stats.std == pytest.approx(0.0, abs=1e-9)
+
+    def test_tracks_drift(self):
+        stats = EWStats(alpha=0.2)
+        for v in np.linspace(0, 10, 200):
+            stats.update(v)
+        assert stats.mean > 9.0  # follows the ramp
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            EWStats(alpha=0.0)
+
+    def test_variance_positive_for_noise(self, rng):
+        stats = EWStats(alpha=0.05)
+        for v in rng.normal(0, 2, 2000):
+            stats.update(v)
+        assert stats.std == pytest.approx(2.0, rel=0.3)
+
+
+class TestP2Quantile:
+    def test_median_converges(self, rng):
+        q = P2Quantile(0.5)
+        data = rng.normal(10, 3, 10_000)
+        for v in data:
+            q.update(v)
+        assert q.value == pytest.approx(np.median(data), abs=0.2)
+
+    def test_upper_quantile(self, rng):
+        q = P2Quantile(0.9)
+        data = rng.exponential(2.0, 20_000)
+        for v in data:
+            q.update(v)
+        assert q.value == pytest.approx(np.quantile(data, 0.9), rel=0.1)
+
+    def test_warmup_value(self):
+        q = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0):
+            q.update(v)
+        assert q.value == 3.0  # exact on tiny samples
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)

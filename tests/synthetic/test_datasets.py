@@ -1,0 +1,101 @@
+"""Unit tests for labeled dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synthetic import (
+    OutlierType,
+    make_labeled_series,
+    make_point_dataset,
+    make_sequence_dataset,
+    make_series_collection,
+)
+
+
+class TestLabeledSeries:
+    def test_counts_and_spacing(self, rng):
+        ls = make_labeled_series(rng, n=1000, n_anomalies=6, min_gap=50)
+        assert len(ls.injections) == 6
+        onsets = sorted(i.index for i in ls.injections)
+        assert all(b - a >= 50 for a, b in zip(onsets, onsets[1:]))
+
+    def test_types_cycle(self, rng):
+        ls = make_labeled_series(
+            rng, n_anomalies=4,
+            outlier_types=(OutlierType.ADDITIVE, OutlierType.LEVEL_SHIFT),
+        )
+        types = [i.type for i in ls.injections]
+        assert types.count(OutlierType.ADDITIVE) == 2
+        assert types.count(OutlierType.LEVEL_SHIFT) == 2
+
+    def test_impossible_packing_raises(self, rng):
+        with pytest.raises(ValueError, match="cannot place"):
+            make_labeled_series(rng, n=200, n_anomalies=10, min_gap=100)
+
+    def test_anomalies_visible(self, rng):
+        ls = make_labeled_series(
+            rng, n_anomalies=3, delta=10.0,
+            outlier_types=(OutlierType.ADDITIVE,),
+        )
+        z = np.abs(ls.series.zscores(robust=True))
+        for inj in ls.injections:
+            assert z[inj.index] > 4.0
+
+
+class TestPointDataset:
+    def test_shapes_and_labels(self, rng):
+        ds = make_point_dataset(rng, n_inliers=100, n_outliers=10, n_features=3)
+        assert ds.X.shape == (110, 3)
+        assert ds.labels.shape == (110,)
+        assert ds.n_anomalies == 10
+
+    def test_outliers_are_far(self, rng):
+        ds = make_point_dataset(rng, separation=8.0)
+        dist = np.linalg.norm(ds.X, axis=1)
+        assert dist[ds.labels].mean() > 2 * dist[~ds.labels].mean()
+
+    def test_mismatched_shapes_rejected(self, rng):
+        from repro.synthetic import PointDataset
+
+        with pytest.raises(ValueError):
+            PointDataset(np.zeros((3, 2)), np.zeros(4, dtype=bool))
+
+
+class TestSequenceDataset:
+    def test_shapes(self, rng):
+        ds = make_sequence_dataset(rng, n_normal=20, n_anomalous=4, length=30)
+        assert len(ds.sequences) == 24
+        assert ds.n_anomalies == 4
+        assert all(len(s) == 30 for s in ds.sequences)
+
+    def test_normal_sequences_are_cyclic(self, rng):
+        ds = make_sequence_dataset(rng, n_normal=10, n_anomalous=0)
+        # in the cyclic grammar, A is (almost) always followed by B
+        for seq, label in zip(ds.sequences, ds.labels):
+            if label:
+                continue
+            follows = [
+                seq.symbols[i + 1]
+                for i in range(len(seq) - 1)
+                if seq.symbols[i] == "A"
+            ]
+            if follows:
+                assert follows.count("B") / len(follows) > 0.6
+
+
+class TestSeriesCollection:
+    def test_shapes(self, rng):
+        coll, labels = make_series_collection(rng, n_normal=10, n_anomalous=3)
+        assert len(coll) == 13
+        assert labels.sum() == 3
+
+    def test_normals_share_seasonality(self, rng):
+        from repro.timeseries import estimate_period
+
+        coll, labels = make_series_collection(
+            rng, n_normal=5, n_anomalous=0, period=24.0
+        )
+        for series in coll:
+            assert estimate_period(series) == pytest.approx(24, abs=3)

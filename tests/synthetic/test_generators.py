@@ -1,0 +1,108 @@
+"""Unit tests for the base-signal generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synthetic import (
+    ar_process,
+    composite_sensor_signal,
+    constant,
+    linear_trend,
+    random_walk,
+    seasonal_signal,
+    sine,
+    white_noise,
+)
+
+
+class TestDeterministicGenerators:
+    def test_constant(self):
+        ts = constant(5, level=2.5)
+        assert ts.values.tolist() == [2.5] * 5
+
+    def test_linear_trend(self):
+        ts = linear_trend(4, slope=2.0, intercept=1.0)
+        assert ts.values.tolist() == [1.0, 3.0, 5.0, 7.0]
+
+    def test_sine_period(self):
+        ts = sine(100, period=20.0, amplitude=3.0)
+        assert ts.values[0] == pytest.approx(0.0)
+        assert ts.values[5] == pytest.approx(3.0)
+        assert ts.values[20] == pytest.approx(0.0, abs=1e-9)
+
+    def test_sine_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            sine(10, period=0.0)
+
+    def test_time_axis_passthrough(self):
+        ts = constant(3, start=10.0, step=2.0)
+        assert ts.start == 10.0 and ts.step == 2.0
+
+
+class TestStochasticGenerators:
+    def test_white_noise_moments(self, rng):
+        ts = white_noise(20_000, rng, sigma=2.0)
+        assert abs(ts.mean()) < 0.1
+        assert ts.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_white_noise_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            white_noise(5, rng, sigma=-1.0)
+
+    def test_reproducible_from_seed(self):
+        a = white_noise(50, np.random.default_rng(3))
+        b = white_noise(50, np.random.default_rng(3))
+        assert a == b
+
+    def test_random_walk_is_cumulative(self, rng):
+        ts = random_walk(100, rng)
+        diffs = np.diff(ts.values)
+        assert np.std(diffs) == pytest.approx(1.0, rel=0.3)
+
+
+class TestARProcess:
+    def test_autocorrelation_matches_phi(self, rng):
+        phi = 0.8
+        ts = ar_process(30_000, rng, (phi,), 1.0)
+        x = ts.values - ts.values.mean()
+        acf1 = float((x[:-1] * x[1:]).sum() / (x * x).sum())
+        assert acf1 == pytest.approx(phi, abs=0.03)
+
+    def test_stationary_variance(self, rng):
+        phi = 0.6
+        ts = ar_process(30_000, rng, (phi,), 1.0)
+        expected_var = 1.0 / (1 - phi**2)
+        assert ts.std() ** 2 == pytest.approx(expected_var, rel=0.1)
+
+    def test_rejects_nonstationary(self, rng):
+        with pytest.raises(ValueError, match="stationary"):
+            ar_process(100, rng, (1.05,))
+
+    def test_rejects_empty_coefficients(self, rng):
+        with pytest.raises(ValueError):
+            ar_process(100, rng, ())
+
+    def test_ar2_works(self, rng):
+        ts = ar_process(1000, rng, (0.5, 0.2))
+        assert len(ts) == 1000
+        assert np.isfinite(ts.values).all()
+
+
+class TestComposite:
+    def test_seasonal_signal_has_period(self, rng):
+        from repro.timeseries import estimate_period
+
+        ts = seasonal_signal(600, rng, period=30.0, amplitude=3.0, noise_sigma=0.2)
+        assert estimate_period(ts) == pytest.approx(30, abs=2)
+
+    def test_composite_baseline(self, rng):
+        ts = composite_sensor_signal(2000, rng, baseline=50.0, ar_sigma=0.5)
+        assert ts.mean() == pytest.approx(50.0, abs=0.5)
+
+    def test_composite_trend(self, rng):
+        ts = composite_sensor_signal(
+            500, rng, baseline=0.0, trend_slope=0.1, ar_sigma=0.1
+        )
+        assert ts.values[-1] - ts.values[0] == pytest.approx(50.0, abs=5.0)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_detect_level_bounds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--start-level", "6"])
+
+
+class TestCommands:
+    @pytest.fixture(scope="class")
+    def plant_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "plant.npz"
+        rc = main([
+            "simulate", "--seed", "5", "--lines", "1", "--machines", "2",
+            "--jobs", "4", "--process-fault-rate", "0.3",
+            "--sensor-fault-rate", "0.3", "--out", str(path),
+        ])
+        assert rc == 0
+        return path
+
+    def test_simulate_writes_archive(self, plant_file, capsys):
+        assert plant_file.exists()
+
+    def test_detect_on_saved_plant(self, plant_file, capsys, tmp_path):
+        out_json = tmp_path / "reports.json"
+        rc = main([
+            "detect", "--plant", str(plant_file), "--top", "5",
+            "--json", str(out_json),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "hierarchical reports" in captured
+        payload = json.loads(out_json.read_text())
+        assert "reports" in payload
+
+    def test_detect_explain(self, plant_file, capsys):
+        rc = main(["detect", "--plant", str(plant_file), "--explain", "2"])
+        assert rc == 0
+        assert "VERDICT" in capsys.readouterr().out
+
+    def test_detect_fusion_choice(self, plant_file, capsys):
+        rc = main(["detect", "--plant", str(plant_file), "--fusion", "max"])
+        assert rc == 0
+        assert "fusion=max" in capsys.readouterr().out
+
+    def test_monitor(self, plant_file, capsys):
+        rc = main(["monitor", "--plant", str(plant_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "machine health" in out
+        assert "maintenance ranking" in out
+
+    def test_table1(self, capsys):
+        rc = main(["table1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Expectation-Maximization" in out
+        assert out.count("✓") == 39  # exactly the paper's checkmarks
+
+    def test_fig3_small(self, capsys):
+        rc = main(["fig3", "--records", "3000", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "anomaly detection" in out
+        assert "fault detection" in out

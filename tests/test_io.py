@@ -1,0 +1,106 @@
+"""Unit tests for persistence (plant archives, report export)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalDetectionPipeline
+from repro.io import load_plant, reports_to_json, reports_to_rows, save_plant
+
+
+class TestPlantRoundTrip:
+    @pytest.fixture(scope="class")
+    def round_tripped(self, tmp_path_factory):
+        from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+        original = simulate_plant(PlantConfig(
+            seed=77, n_lines=1, machines_per_line=2, jobs_per_machine=3,
+            faults=FaultConfig(0.3, 0.3, 0.2),
+        ))
+        path = tmp_path_factory.mktemp("io") / "plant.npz"
+        save_plant(original, path)
+        return original, load_plant(path)
+
+    def test_structure_preserved(self, round_tripped):
+        original, loaded = round_tripped
+        assert len(loaded.lines) == len(original.lines)
+        assert [m.machine_id for m in loaded.iter_machines()] == [
+            m.machine_id for m in original.iter_machines()
+        ]
+        assert loaded.setup_keys == original.setup_keys
+        assert loaded.caq_keys == original.caq_keys
+
+    def test_signals_bit_exact(self, round_tripped):
+        original, loaded = round_tripped
+        for jo, jl in zip(original.iter_jobs(), loaded.iter_jobs()):
+            for po, pl in zip(jo.phases, jl.phases):
+                for sid in po.series:
+                    assert np.array_equal(
+                        po.series[sid].values, pl.series[sid].values
+                    )
+                    assert po.series[sid].start == pl.series[sid].start
+                assert po.events.symbols == pl.events.symbols
+
+    def test_environment_preserved(self, round_tripped):
+        original, loaded = round_tripped
+        for lo, ll in zip(original.lines, loaded.lines):
+            for kind in lo.environment:
+                assert np.array_equal(
+                    lo.environment[kind].values, ll.environment[kind].values
+                )
+                assert lo.environment[kind].step == ll.environment[kind].step
+
+    def test_ground_truth_preserved(self, round_tripped):
+        original, loaded = round_tripped
+        assert len(loaded.faults) == len(original.faults)
+        for fo, fl in zip(original.faults, loaded.faults):
+            assert fo == fl
+
+    def test_caq_and_setup_preserved(self, round_tripped):
+        original, loaded = round_tripped
+        for jo, jl in zip(original.iter_jobs(), loaded.iter_jobs()):
+            assert jo.setup == jl.setup
+            assert jo.caq.measurements == jl.caq.measurements
+            assert jo.caq.passed == jl.caq.passed
+
+    def test_pipeline_runs_identically_on_loaded(self, round_tripped):
+        original, loaded = round_tripped
+        a = HierarchicalDetectionPipeline(original).run()
+        b = HierarchicalDetectionPipeline(loaded).run()
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert ra.triple == rb.triple
+            assert ra.candidate.location == rb.candidate.location
+
+
+class TestReportExport:
+    def test_rows_contain_triple(self, small_plant):
+        reports = HierarchicalDetectionPipeline(small_plant).run()
+        rows = reports_to_rows(reports)
+        assert len(rows) == len(reports)
+        first = rows[0]
+        assert {"global_score", "outlierness", "support", "location"} <= set(first)
+
+    def test_rows_carry_supporters(self, small_plant):
+        reports = HierarchicalDetectionPipeline(small_plant).run()
+        rows = reports_to_rows(reports)
+        supported = [
+            (report, row) for report, row in zip(reports, rows)
+            if report.supporters
+        ]
+        for report, row in supported:
+            assert row["supporters"] == list(report.supporters)
+
+    def test_json_round_trip(self, small_plant, tmp_path):
+        reports = HierarchicalDetectionPipeline(small_plant).run()
+        path = tmp_path / "reports.json"
+        payload = reports_to_json(reports, path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(payload)
+        assert len(on_disk["reports"]) == len(reports)
+
+    def test_empty_reports(self):
+        assert json.loads(reports_to_json([])) == {"reports": []}

@@ -1,0 +1,110 @@
+"""Unit tests for resolution changes (downsample / upsample / align)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import TimeSeries, align, downsample, upsample
+
+
+def make(values, step=1.0, start=0.0):
+    return TimeSeries(np.asarray(values, dtype=float), start=start, step=step)
+
+
+class TestDownsample:
+    def test_mean_aggregation(self):
+        out = downsample(make([1.0, 3.0, 5.0, 7.0]), 2, "mean")
+        assert out.values.tolist() == [2.0, 6.0]
+        assert out.step == 2.0
+
+    def test_sum_conserves_mass(self):
+        ts = make(np.arange(12.0))
+        out = downsample(ts, 3, "sum")
+        assert out.values.sum() == ts.values.sum()
+
+    def test_partial_tail_bucket(self):
+        out = downsample(make([1.0, 2.0, 3.0]), 2, "mean")
+        assert out.values.tolist() == [1.5, 3.0]
+
+    def test_factor_one_is_identity(self):
+        ts = make([1.0, 2.0])
+        assert downsample(ts, 1) is ts
+
+    def test_min_max_first_last(self):
+        ts = make([4.0, 1.0, 9.0, 2.0])
+        assert downsample(ts, 2, "min").values.tolist() == [1.0, 2.0]
+        assert downsample(ts, 2, "max").values.tolist() == [4.0, 9.0]
+        assert downsample(ts, 2, "first").values.tolist() == [4.0, 9.0]
+        assert downsample(ts, 2, "last").values.tolist() == [1.0, 2.0]
+
+    def test_nan_bucket_propagates_nan(self):
+        out = downsample(make([np.nan, np.nan, 1.0, 2.0]), 2, "mean")
+        assert np.isnan(out.values[0]) and out.values[1] == 1.5
+
+    def test_rejects_unknown_aggregation(self):
+        with pytest.raises(ValueError, match="aggregation"):
+            downsample(make([1.0]), 2, "bogus")
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            downsample(make([1.0]), 0)
+
+
+class TestUpsample:
+    def test_hold_repeats(self):
+        out = upsample(make([1.0, 2.0]), 3, "hold")
+        assert out.values.tolist() == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        assert out.step == pytest.approx(1.0 / 3.0)
+
+    def test_linear_interpolates(self):
+        out = upsample(make([0.0, 2.0]), 2, "linear")
+        assert out.values.tolist() == [0.0, 1.0, 2.0, 2.0]
+
+    def test_factor_one_identity(self):
+        ts = make([1.0])
+        assert upsample(ts, 1) is ts
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            upsample(make([1.0]), 2, "bogus")
+
+    def test_round_trip_hold_then_mean(self):
+        ts = make([3.0, 7.0, 1.0])
+        round_trip = downsample(upsample(ts, 4, "hold"), 4, "mean")
+        assert np.allclose(round_trip.values, ts.values)
+        assert round_trip.step == ts.step
+
+
+class TestAlign:
+    def test_aligns_different_steps(self):
+        fine = make(np.arange(16.0), step=1.0)
+        coarse = make(np.arange(4.0), step=4.0)
+        a, b = align(fine, coarse)
+        assert a.step == b.step == 4.0
+        assert len(a) == len(b) == 4
+
+    def test_preserves_argument_order(self):
+        fine = make(np.arange(8.0), step=1.0)
+        coarse = make([100.0, 200.0], step=4.0)
+        a, b = align(fine, coarse)
+        # first return corresponds to first argument
+        assert a.values[0] == pytest.approx(np.mean([0, 1, 2, 3]))
+        assert b.values[0] == 100.0
+
+    def test_rejects_non_integer_ratio(self):
+        with pytest.raises(ValueError, match="integer"):
+            align(make([1.0] * 10, step=2.0), make([1.0] * 10, step=3.0))
+
+    def test_rejects_disjoint_spans(self):
+        a = make([1.0, 2.0], step=1.0, start=0.0)
+        b = make([1.0, 2.0], step=1.0, start=100.0)
+        with pytest.raises(ValueError, match="overlap"):
+            align(a, b)
+
+    def test_same_step_cuts_overlap(self):
+        a = make(np.arange(10.0), step=1.0, start=0.0)
+        b = make(np.arange(10.0), step=1.0, start=5.0)
+        ca, cb = align(a, b)
+        assert ca.start == cb.start == 5.0
+        assert len(ca) == len(cb) == 5

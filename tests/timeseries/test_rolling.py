@@ -1,0 +1,119 @@
+"""Unit tests for rolling statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    ewma,
+    rolling_mad,
+    rolling_mean,
+    rolling_median,
+    rolling_std,
+    rolling_zscore,
+)
+
+
+class TestRollingMean:
+    def test_trailing_partial_edges(self):
+        out = rolling_mean([1.0, 2.0, 3.0, 4.0], window=2)
+        assert out.tolist() == [1.0, 1.5, 2.5, 3.5]
+
+    def test_centered(self):
+        out = rolling_mean([0.0, 3.0, 6.0], window=3, center=True)
+        assert out[1] == 3.0
+
+    def test_nan_skipped(self):
+        out = rolling_mean([1.0, np.nan, 3.0], window=3)
+        assert out[2] == 2.0
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean([1.0], window=0)
+
+    def test_empty_input(self):
+        assert rolling_mean(np.array([]), window=3).size == 0
+
+
+class TestRollingStd:
+    def test_matches_numpy_on_full_windows(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        out = rolling_std(x, window=10)
+        for i in range(9, 50):
+            assert out[i] == pytest.approx(np.std(x[i - 9 : i + 1]), abs=1e-9)
+
+    def test_constant_gives_zero(self):
+        out = rolling_std(np.full(10, 2.0), window=4)
+        assert np.allclose(out, 0.0)
+
+    def test_ddof_short_window_nan(self):
+        out = rolling_std([1.0, 2.0], window=3, ddof=1)
+        assert np.isnan(out[0])  # single sample, ddof 1
+
+
+class TestRollingMedianMad:
+    def test_median_resists_outlier(self):
+        x = [1.0, 1.0, 1.0, 100.0, 1.0, 1.0, 1.0]
+        out = rolling_median(x, window=3, center=True)
+        assert out[3] == 1.0
+
+    def test_mad_of_constant_is_zero(self):
+        assert np.allclose(rolling_mad(np.ones(8), window=4), 0.0)
+
+    def test_mad_positive_for_varying(self):
+        out = rolling_mad(np.arange(10.0), window=5)
+        assert out[-1] > 0
+
+
+class TestEwma:
+    def test_first_value_passthrough(self):
+        out = ewma([5.0, 5.0], alpha=0.5)
+        assert out[0] == 5.0
+
+    def test_constant_input_constant_output(self):
+        out = ewma(np.full(10, 3.0), alpha=0.3)
+        assert np.allclose(out, 3.0)
+
+    def test_step_response_monotone(self):
+        out = ewma([0.0] * 5 + [1.0] * 5, alpha=0.5)
+        assert np.all(np.diff(out[5:]) > 0) or np.allclose(out[5:], 1.0)
+
+    def test_nan_carries_previous(self):
+        out = ewma([1.0, np.nan, np.nan], alpha=0.5)
+        assert out[1] == 1.0 and out[2] == 1.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ewma([1.0], alpha=0.0)
+        with pytest.raises(ValueError):
+            ewma([1.0], alpha=1.5)
+
+
+class TestRollingZscore:
+    def test_spike_scores_high(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 200)
+        x[150] = 15.0
+        z = rolling_zscore(x, window=50)
+        assert z[150] > 8.0
+
+    def test_spike_does_not_poison_own_baseline(self):
+        # trailing-only window: the spike's own value is excluded
+        x = np.zeros(100)
+        x[50] = 100.0
+        x += np.linspace(0, 0.1, 100)  # tiny slope so scale is nonzero
+        z = rolling_zscore(x, window=20)
+        assert z[50] > 50
+
+    def test_robust_variant(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 300)
+        x[250] = 12.0
+        z = rolling_zscore(x, window=60, robust=True)
+        assert z[250] > 6.0
+
+    def test_warmup_is_zero(self):
+        z = rolling_zscore(np.arange(10.0), window=5)
+        assert z[0] == 0.0 and z[1] == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for stationarizing / spectral transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    TimeSeries,
+    autocorrelation,
+    detrend_linear,
+    estimate_period,
+    fft_band_energies,
+    split_train_test,
+    znormalize,
+)
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        z = znormalize(rng.normal(5.0, 3.0, 500))
+        assert abs(z.mean()) < 1e-9
+        assert z.std() == pytest.approx(1.0)
+
+    def test_constant_input_centered_only(self):
+        z = znormalize(np.full(10, 7.0))
+        assert np.allclose(z, 0.0)
+
+    def test_robust_resists_outlier(self):
+        x = np.concatenate([np.zeros(100), [1000.0]])
+        z = znormalize(x, robust=True)
+        # plain z-scoring would squash the bulk; robust keeps the outlier huge
+        assert abs(z[-1]) > 100 or np.allclose(z[:100], z[0])
+
+    def test_nan_passthrough(self):
+        z = znormalize(np.array([1.0, np.nan, 3.0]))
+        assert np.isnan(z[1])
+
+
+class TestDetrend:
+    def test_removes_exact_line(self):
+        x = 3.0 + 2.0 * np.arange(50.0)
+        out = detrend_linear(x)
+        assert np.allclose(out, 0.0, atol=1e-9)
+
+    def test_preserves_residual_shape(self):
+        t = np.arange(100.0)
+        wave = np.sin(t / 5.0)
+        out = detrend_linear(wave + 0.5 * t)
+        assert np.corrcoef(out, wave)[0, 1] > 0.98
+
+    def test_short_series(self):
+        assert detrend_linear(np.array([5.0])).tolist() == [0.0]
+
+
+class TestBandEnergies:
+    def test_normalized_to_unit_sum(self):
+        rng = np.random.default_rng(1)
+        e = fft_band_energies(rng.normal(size=256), n_bands=8)
+        assert e.sum() == pytest.approx(1.0)
+        assert np.all(e >= 0)
+
+    def test_low_frequency_signal_concentrates_low_bands(self):
+        t = np.arange(256.0)
+        e = fft_band_energies(np.sin(2 * np.pi * t / 128.0), n_bands=8)
+        assert e[0] > 0.9
+
+    def test_high_frequency_signal_concentrates_high_bands(self):
+        t = np.arange(256.0)
+        e = fft_band_energies(np.sin(np.pi * t * 0.9), n_bands=8)
+        assert e[-1] + e[-2] > 0.9
+
+    def test_dc_removed(self):
+        e = fft_band_energies(np.full(64, 100.0), n_bands=4)
+        assert np.allclose(e, 0.0)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(2)
+        acf = autocorrelation(rng.normal(size=200), max_lag=10)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        t = np.arange(400.0)
+        acf = autocorrelation(np.sin(2 * np.pi * t / 20.0), max_lag=30)
+        assert acf[20] > 0.9
+
+    def test_constant_series(self):
+        acf = autocorrelation(np.full(50, 3.0), max_lag=5)
+        assert acf[0] == 1.0
+        assert np.allclose(acf[1:], 0.0)
+
+
+class TestEstimatePeriod:
+    def test_finds_sine_period(self):
+        t = np.arange(500.0)
+        assert estimate_period(np.sin(2 * np.pi * t / 25.0)) == 25
+
+    def test_white_noise_has_no_period(self):
+        rng = np.random.default_rng(3)
+        assert estimate_period(rng.normal(size=400)) == 0
+
+    def test_too_short_series(self):
+        assert estimate_period(np.array([1.0, 2.0]), min_period=5) == 0
+
+
+class TestSplit:
+    def test_chronological_split(self):
+        ts = TimeSeries(np.arange(10.0))
+        train, test = split_train_test(ts, 0.6)
+        assert len(train) == 6 and len(test) == 4
+        assert test.start == 6.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            split_train_test(TimeSeries(np.arange(4.0)), 1.0)
