@@ -32,11 +32,17 @@ from .outlier import (
 from .pipeline import (
     HierarchicalDetectionPipeline,
     PipelineConfig,
+    PipelineStats,
     PlantHierarchyContext,
 )
 from .scores import unify, unify_gaussian, unify_minmax, unify_rank
 from .selection import DEFAULT_PREFERENCES, AlgorithmSelector
-from .support import CorrespondenceGraph, SupportCalculator, SupportResult
+from .support import (
+    CorrespondenceGraph,
+    SupportCalculator,
+    SupportResult,
+    window_bounds,
+)
 from .types import TypeClassification, classify_outlier_type, effect_profile
 
 __all__ = [
@@ -57,6 +63,7 @@ __all__ = [
     "CorrespondenceGraph",
     "SupportCalculator",
     "SupportResult",
+    "window_bounds",
     "unify",
     "unify_rank",
     "unify_gaussian",
@@ -72,6 +79,7 @@ __all__ = [
     "classify_outlier_type",
     "effect_profile",
     "PipelineConfig",
+    "PipelineStats",
     "PlantHierarchyContext",
     "HierarchicalDetectionPipeline",
 ]

@@ -28,7 +28,7 @@ pipeline provides the production implementation).
 from __future__ import annotations
 
 import abc
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from .fusion import fuse
 from .levels import ProductionLevel
@@ -44,7 +44,14 @@ __all__ = ["HierarchyContext", "calc_global_score", "find_hierarchical_outliers"
 
 
 class HierarchyContext(abc.ABC):
-    """The data-source interface Algorithm 1 runs against."""
+    """The data-source interface Algorithm 1 runs against.
+
+    ``confirm`` and ``support`` are pure functions of the candidate's
+    *location* (its :attr:`~repro.core.OutlierCandidate.key`) — Algorithm 1
+    walks the same levels for every candidate and callers re-run it freely,
+    so contexts are encouraged to memoize both on that key (the plant
+    context does; see :meth:`PlantHierarchyContext.stats`).
+    """
 
     @abc.abstractmethod
     def find_candidates(self, level: ProductionLevel) -> List[OutlierCandidate]:
@@ -59,6 +66,13 @@ class HierarchyContext(abc.ABC):
     @abc.abstractmethod
     def support(self, candidate: OutlierCandidate) -> SupportResult:
         """The corresponding-sensor loop of Algorithm 1."""
+
+    def stats(self) -> Dict[str, int]:
+        """Instrumentation counters (cache hits/misses, call counts).
+
+        Contexts that do not instrument themselves report nothing.
+        """
+        return {}
 
     def level_score(self, candidate: OutlierCandidate,
                     level: ProductionLevel) -> float:
@@ -126,6 +140,12 @@ def find_hierarchical_outliers(
     Returns one report per candidate, carrying the paper's triple plus the
     fused cross-level score (the future-work extension).  Outlierness is
     unified across the candidate batch so reports are mutually comparable.
+
+    Note: ``unify_method`` defaults to ``"rank"`` here (distribution-free,
+    the safe choice when mixing detectors across a whole level), while the
+    lower-level :func:`repro.core.scores.unify` helper defaults to
+    ``"gaussian"`` — pass the method explicitly when the distinction
+    matters.
     """
     candidates = context.find_candidates(start_level)
     if not candidates:

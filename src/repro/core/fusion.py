@@ -66,9 +66,16 @@ def fuse_weighted(
     level_scores: Mapping[ProductionLevel, float],
     weights: Mapping[ProductionLevel, float] | None = None,
 ) -> float:
-    """Weighted average with level-dependent evidence weights."""
+    """Weighted average with level-dependent evidence weights.
+
+    ``weights=None`` selects :data:`DEFAULT_LEVEL_WEIGHTS`; an explicitly
+    passed mapping is honoured as-is (levels it omits weigh 1.0, so an
+    empty mapping means an unweighted mean, *not* the defaults).  A weight
+    set that zeroes out every present level is a configuration error and
+    raises instead of silently fusing to 0.0.
+    """
     scores = _validate(level_scores)
-    w = weights or DEFAULT_LEVEL_WEIGHTS
+    w = DEFAULT_LEVEL_WEIGHTS if weights is None else weights
     num = 0.0
     den = 0.0
     for level, score in scores.items():
@@ -77,7 +84,11 @@ def fuse_weighted(
             raise ValueError(f"negative weight for {level}")
         num += weight * score
         den += weight
-    return num / den if den else 0.0
+    if den <= 0.0:
+        raise ValueError(
+            "all level weights are zero for the levels present; cannot fuse"
+        )
+    return num / den
 
 
 def fuse_fisher(level_scores: Mapping[ProductionLevel, float]) -> float:

@@ -37,6 +37,26 @@ class OutlierCandidate:
     outlier_type: Optional[OutlierType] = None
 
     @property
+    def key(self) -> Tuple[int, str, Optional[int], str, str, Optional[int]]:
+        """Canonical hashable identity of the candidate's location.
+
+        Two candidates with equal keys name the same
+        (level, machine, job, phase, sensor, sample) coordinate — the
+        memoization granularity of the pipeline's confirmation/support
+        caches.  Score and provenance fields (outlierness, detector,
+        outlier_type) are deliberately excluded: they do not change *what*
+        is being confirmed, only how it scored.
+        """
+        return (
+            int(self.level),
+            self.machine_id,
+            self.job_index,
+            self.phase_name,
+            self.sensor_id,
+            self.index,
+        )
+
+    @property
     def location(self) -> str:
         parts = [self.machine_id or "-"]
         if self.job_index is not None:

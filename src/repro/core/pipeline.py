@@ -7,11 +7,20 @@ correspondence graph feeds the support computation, and Algorithm 1 turns
 phase-level candidates into ranked ⟨global score, outlierness, support⟩
 reports.  A *flat* single-level baseline (outlierness only, no hierarchy)
 is exposed for the alg1 benchmark.
+
+The context is the Algorithm-1 hot path, so it is built to be queried
+repeatedly: per-level flag/score indexes (machine→line map, job interval
+index, sorted per-channel trace index, phase-candidate indexes) are
+precomputed once, and ``confirm`` / ``support`` / ``find_candidates`` are
+memoized on the candidate's canonical :attr:`~repro.core.OutlierCandidate.key`
+(toggle with :attr:`PipelineConfig.enable_cache`; counters via
+:meth:`PlantHierarchyContext.stats`).
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -28,9 +37,14 @@ from .outlier import (
 )
 from .scores import unify_rank
 from .selection import AlgorithmSelector
-from .support import CorrespondenceGraph, SupportCalculator, SupportResult
+from .support import CorrespondenceGraph, SupportCalculator, SupportResult, window_bounds
 
-__all__ = ["PipelineConfig", "PlantHierarchyContext", "HierarchicalDetectionPipeline"]
+__all__ = [
+    "PipelineConfig",
+    "PipelineStats",
+    "PlantHierarchyContext",
+    "HierarchicalDetectionPipeline",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +59,48 @@ class PipelineConfig:
     max_candidates_per_trace: int = 3
     candidate_gap: int = 3  # samples merging consecutive flagged runs
     line_history: int = 5  # jobs of temporal context at the line level
+    enable_cache: bool = True  # memoize confirm/support/candidate lookups
+
+
+@dataclass
+class PipelineStats:
+    """Call/hit counters of the context's memoization layer.
+
+    A *miss* is an actual recomputation; ``calls - hits == misses``, so a
+    caller that re-runs Algorithm 1 N times over an unchanged context
+    should see ``confirm_calls ≈ N × confirm_misses``.
+    """
+
+    confirm_calls: int = 0
+    confirm_hits: int = 0
+    support_calls: int = 0
+    support_hits: int = 0
+    candidate_time_calls: int = 0
+    candidate_time_hits: int = 0
+    find_candidates_calls: int = 0
+    find_candidates_hits: int = 0
+
+    @property
+    def confirm_misses(self) -> int:
+        return self.confirm_calls - self.confirm_hits
+
+    @property
+    def support_misses(self) -> int:
+        return self.support_calls - self.support_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "confirm_calls": self.confirm_calls,
+            "confirm_hits": self.confirm_hits,
+            "confirm_misses": self.confirm_misses,
+            "support_calls": self.support_calls,
+            "support_hits": self.support_hits,
+            "support_misses": self.support_misses,
+            "candidate_time_calls": self.candidate_time_calls,
+            "candidate_time_hits": self.candidate_time_hits,
+            "find_candidates_calls": self.find_candidates_calls,
+            "find_candidates_hits": self.find_candidates_hits,
+        }
 
 
 @dataclass
@@ -125,9 +181,83 @@ class PlantHierarchyContext(HierarchyContext):
         self._score_job_level()
         self._score_line_level()
         self._score_production_level()
+        self._build_indexes()
         self._support_calc = SupportCalculator(
             self._graph, self._lookup_trace, tolerance=self.config.support_tolerance
         )
+        self._cache_enabled = bool(self.config.enable_cache)
+        self._stats = PipelineStats()
+        self._confirm_cache: Dict[Tuple, LevelConfirmation] = {}
+        self._support_cache: Dict[Tuple, SupportResult] = {}
+        self._candidate_time_cache: Dict[Tuple, Optional[float]] = {}
+        self._candidates_cache: Dict[ProductionLevel, List[OutlierCandidate]] = {}
+
+    def _build_indexes(self) -> None:
+        """Precompute the lookup structures behind ``confirm``/``support``.
+
+        Everything here is a pure function of the scored dataset, so it is
+        built once and shared by cached and cache-disabled contexts alike:
+        only the per-candidate memoization is optional.
+        """
+        # line / machine resolution: O(1) dict hits instead of line scans
+        self._line_by_id = {line.line_id: line for line in self.dataset.lines}
+        self._machine_line = {
+            m.machine_id: line
+            for line in self.dataset.lines
+            for m in line.machines
+        }
+        # per-line job interval index, sorted by start with a running max
+        # end: bisect + short backward scan finds every job covering a time
+        self._job_intervals: Dict[str, Tuple[List[float], List[float], List]] = {}
+        for line in self.dataset.lines:
+            spans = self.dataset.job_intervals(line.line_id)
+            starts = [s[0] for s in spans]
+            run_max_end: List[float] = []
+            peak = -math.inf
+            for __, end, __, __ in spans:
+                peak = max(peak, end)
+                run_max_end.append(peak)
+            self._job_intervals[line.line_id] = (starts, run_max_end, spans)
+        # per-channel traces sorted by start so one bisect finds the cover
+        self._trace_starts: Dict[str, List[float]] = {}
+        for channel_id, traces in self._traces.items():
+            traces.sort(key=lambda t: t.start)
+            self._trace_starts[channel_id] = [t.start for t in traces]
+        # per-trace robust stats for the environment confirmation
+        self._trace_stats: Dict[Tuple[str, float], Tuple[float, float]] = {}
+        # phase candidates grouped by machine and (machine, job), plus the
+        # sorted outlierness array _confirm_phase previously rebuilt per call
+        self._phase_by_machine: Dict[str, List[OutlierCandidate]] = {}
+        self._phase_by_machine_job: Dict[Tuple[str, Optional[int]], List[OutlierCandidate]] = {}
+        for c in self._phase_candidates:
+            self._phase_by_machine.setdefault(c.machine_id, []).append(c)
+            self._phase_by_machine_job.setdefault(
+                (c.machine_id, c.job_index), []
+            ).append(c)
+        self._phase_scores_sorted = np.sort(
+            np.array([c.outlierness for c in self._phase_candidates], dtype=float)
+        )
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Cache instrumentation: call/hit/miss counters per memo table."""
+        return self._stats.as_dict()
+
+    @property
+    def cache_stats(self) -> PipelineStats:
+        return self._stats
+
+    def reset_stats(self) -> None:
+        self._stats = PipelineStats()
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized result (keeps the precomputed indexes)."""
+        self._confirm_cache.clear()
+        self._support_cache.clear()
+        self._candidate_time_cache.clear()
+        self._candidates_cache.clear()
 
     # ------------------------------------------------------------------
     # per-level scoring
@@ -261,12 +391,29 @@ class PlantHierarchyContext(HierarchyContext):
     def _lookup_trace(
         self, channel_id: str, time: float
     ) -> Optional[Tuple[np.ndarray, float, float, float]]:
-        for trace in self._traces.get(channel_id, ()):
-            if trace.covers(time):
-                return trace.scores, trace.threshold, trace.start, trace.step
+        traces = self._traces.get(channel_id)
+        if not traces:
+            return None
+        # traces are sorted by start and non-overlapping per channel, so the
+        # rightmost trace starting at or before `time` is the only candidate
+        i = bisect_right(self._trace_starts[channel_id], time) - 1
+        if i >= 0 and traces[i].covers(time):
+            trace = traces[i]
+            return trace.scores, trace.threshold, trace.start, trace.step
         return None
 
     def _candidate_time(self, candidate: OutlierCandidate) -> Optional[float]:
+        self._stats.candidate_time_calls += 1
+        key = candidate.key
+        if key in self._candidate_time_cache:
+            self._stats.candidate_time_hits += 1
+            return self._candidate_time_cache[key]
+        time = self._candidate_time_uncached(candidate)
+        if self._cache_enabled:
+            self._candidate_time_cache[key] = time
+        return time
+
+    def _candidate_time_uncached(self, candidate: OutlierCandidate) -> Optional[float]:
         if candidate.index is not None and "/env/" in candidate.sensor_id:
             # environment candidates live on the line-wide trace
             for trace in self._traces.get(candidate.sensor_id, ()):
@@ -293,18 +440,29 @@ class PlantHierarchyContext(HierarchyContext):
     def _line_of_candidate(self, candidate: OutlierCandidate):
         """The line a candidate belongs to (environment candidates carry the
         line id in the machine_id field)."""
-        for line in self.dataset.lines:
-            if line.line_id == candidate.machine_id:
-                return line
-        try:
-            return self.dataset.line_of(candidate.machine_id)
-        except KeyError:
-            return None
+        line = self._line_by_id.get(candidate.machine_id)
+        if line is not None:
+            return line
+        return self._machine_line.get(candidate.machine_id)
 
     # ------------------------------------------------------------------
     # HierarchyContext interface
     # ------------------------------------------------------------------
     def find_candidates(self, level: ProductionLevel) -> List[OutlierCandidate]:
+        self._stats.find_candidates_calls += 1
+        cached = self._candidates_cache.get(level)
+        if cached is not None:
+            self._stats.find_candidates_hits += 1
+            return list(cached)
+        result = self._find_candidates_uncached(level)
+        if self._cache_enabled:
+            self._candidates_cache[level] = result
+            return list(result)
+        return result
+
+    def _find_candidates_uncached(
+        self, level: ProductionLevel
+    ) -> List[OutlierCandidate]:
         if level is ProductionLevel.PHASE:
             return list(self._phase_candidates)
         if level is ProductionLevel.JOB:
@@ -360,9 +518,7 @@ class PlantHierarchyContext(HierarchyContext):
         raise ValueError(f"unknown level {level!r}")
 
     def _is_line_scoped(self, candidate: OutlierCandidate) -> bool:
-        return any(
-            line.line_id == candidate.machine_id for line in self.dataset.lines
-        )
+        return candidate.machine_id in self._line_by_id
 
     def _jobs_in_window(self, candidate: OutlierCandidate):
         """(machine, job) keys of the candidate line's jobs near its time."""
@@ -370,11 +526,20 @@ class PlantHierarchyContext(HierarchyContext):
         if line is None:
             return []
         time = self._candidate_time(candidate)
+        starts, run_max_end, spans = self._job_intervals[line.line_id]
+        if time is None:
+            return [(machine_id, job_index) for __, __, machine_id, job_index in spans]
+        eps = 1e-9
         keys = []
-        for machine in line.machines:
-            for job in machine.jobs:
-                if time is None or job.start - 1e-9 <= time <= job.end + 1e-9:
-                    keys.append((machine.machine_id, job.job_index))
+        # jobs with start <= time + eps, walked right-to-left; the running
+        # max end bounds how far left a covering interval can still sit
+        i = bisect_right(starts, time + eps) - 1
+        while i >= 0 and run_max_end[i] >= time - eps:
+            __, end, machine_id, job_index = spans[i]
+            if end >= time - eps:
+                keys.append((machine_id, job_index))
+            i -= 1
+        keys.reverse()
         return keys
 
     def _confirm_line_scoped(self, candidate: OutlierCandidate,
@@ -405,6 +570,19 @@ class PlantHierarchyContext(HierarchyContext):
 
     def confirm(self, candidate: OutlierCandidate,
                 level: ProductionLevel) -> LevelConfirmation:
+        self._stats.confirm_calls += 1
+        key = (candidate.key, level)
+        cached = self._confirm_cache.get(key)
+        if cached is not None:
+            self._stats.confirm_hits += 1
+            return cached
+        result = self._confirm_uncached(candidate, level)
+        if self._cache_enabled:
+            self._confirm_cache[key] = result
+        return result
+
+    def _confirm_uncached(self, candidate: OutlierCandidate,
+                          level: ProductionLevel) -> LevelConfirmation:
         if (
             self._is_line_scoped(candidate)
             and level in (
@@ -456,14 +634,12 @@ class PlantHierarchyContext(HierarchyContext):
             if entry is None:
                 continue
             scores, threshold, start, step = entry
-            lo = max(0, int((time - tol - start) / step))
-            hi = min(len(scores), int((time + tol - start) / step) + 1)
+            lo, hi = window_bounds(time, tol, start, step, len(scores))
             if hi <= lo:
                 continue
             window = scores[lo:hi]
             peak = float(window.max())
-            med = float(np.median(scores))
-            spread = float(np.median(np.abs(scores - med))) * 1.4826 or 1.0
+            med, spread = self._trace_med_spread(channel_id, start, scores)
             best = max(best, min(1.0, max(0.0, (peak - med) / (spread * 10.0))))
             if peak >= threshold:
                 detected = True
@@ -471,6 +647,19 @@ class PlantHierarchyContext(HierarchyContext):
             level, detected, best,
             note="environment anomaly in window" if detected else "",
         )
+
+    def _trace_med_spread(
+        self, channel_id: str, start: float, scores: np.ndarray
+    ) -> Tuple[float, float]:
+        """Median / MAD spread of one trace, computed once per trace."""
+        key = (channel_id, start)
+        cached = self._trace_stats.get(key)
+        if cached is None:
+            med = float(np.median(scores))
+            spread = float(np.median(np.abs(scores - med))) * 1.4826 or 1.0
+            cached = (med, spread)
+            self._trace_stats[key] = cached
+        return cached
 
     def _confirm_phase(self, candidate: OutlierCandidate) -> LevelConfirmation:
         level = ProductionLevel.PHASE
@@ -480,35 +669,49 @@ class PlantHierarchyContext(HierarchyContext):
         )
         if candidate.machine_id in line_machines or line is None:
             # machine-scoped candidate: match its machine (and job when known)
-            matches = [
-                c
-                for c in self._phase_candidates
-                if c.machine_id == candidate.machine_id
-                and (candidate.job_index is None or c.job_index == candidate.job_index)
-            ]
+            if candidate.job_index is None:
+                matches = self._phase_by_machine.get(candidate.machine_id, [])
+            else:
+                matches = self._phase_by_machine_job.get(
+                    (candidate.machine_id, candidate.job_index), []
+                )
         else:
             # line-scoped candidate (environment level): any machine of the
             # line with a phase-level sighting near the candidate's time
             time = self._candidate_time(candidate)
             tol = max(self.config.support_tolerance * 4, 32.0)
             matches = []
-            for c in self._phase_candidates:
-                if c.machine_id not in line_machines:
-                    continue
-                c_time = self._candidate_time(c)
-                if time is None or c_time is None or abs(c_time - time) <= tol:
-                    matches.append(c)
+            for machine in line.machines:
+                for c in self._phase_by_machine.get(machine.machine_id, ()):
+                    c_time = self._candidate_time(c)
+                    if time is None or c_time is None or abs(c_time - time) <= tol:
+                        matches.append(c)
         if not matches:
             return LevelConfirmation(level, False, 0.0, note="no phase anomaly")
         best = max(c.outlierness for c in matches)
-        all_scores = np.array([c.outlierness for c in self._phase_candidates])
-        unified = float((all_scores <= best).mean())
+        # rank of `best` among all phase scores == (scores <= best).mean()
+        n = len(self._phase_scores_sorted)
+        unified = float(
+            np.searchsorted(self._phase_scores_sorted, best, side="right")
+        ) / n
         return LevelConfirmation(
             level, True, unified,
             note=f"{len(matches)} phase-level candidate(s) in job",
         )
 
     def support(self, candidate: OutlierCandidate) -> SupportResult:
+        self._stats.support_calls += 1
+        key = candidate.key
+        cached = self._support_cache.get(key)
+        if cached is not None:
+            self._stats.support_hits += 1
+            return cached
+        result = self._support_uncached(candidate)
+        if self._cache_enabled:
+            self._support_cache[key] = result
+        return result
+
+    def _support_uncached(self, candidate: OutlierCandidate) -> SupportResult:
         if not candidate.sensor_id:
             return SupportResult(0.0, 0, ())
         time = self._candidate_time(candidate)
@@ -543,14 +746,27 @@ class HierarchicalDetectionPipeline:
         self,
         start_level: ProductionLevel = ProductionLevel.PHASE,
         fusion_strategy: Optional[str] = None,
+        unify_method: str = "rank",
     ) -> List[HierarchicalOutlierReport]:
-        """Algorithm 1 from ``start_level``, reports ranked best-first."""
+        """Algorithm 1 from ``start_level``, reports ranked best-first.
+
+        ``unify_method`` controls how the start-level outlierness batch is
+        mapped to [0, 1] (``"rank"`` by default — note this differs from
+        the ``"gaussian"`` default of the low-level ``unify()`` helper).
+        Repeated calls reuse the context's confirmation/support caches;
+        see :meth:`stats`.
+        """
         reports = find_hierarchical_outliers(
             self.context,
             start_level,
             fusion_strategy=fusion_strategy or self.config.fusion_strategy,
+            unify_method=unify_method,
         )
         return rank_reports(reports)
+
+    def stats(self) -> Dict[str, int]:
+        """Confirmation/support cache counters of the underlying context."""
+        return self.context.stats()
 
     def flat_baseline(self) -> List[HierarchicalOutlierReport]:
         """Single-level baseline: phase candidates ranked by outlierness only.

@@ -14,6 +14,7 @@ implemented verbatim in :meth:`SupportCalculator.support_for`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -22,7 +23,34 @@ import numpy as np
 
 from ..plant import PlantDataset
 
-__all__ = ["CorrespondenceGraph", "SupportCalculator", "SupportResult"]
+__all__ = [
+    "CorrespondenceGraph",
+    "SupportCalculator",
+    "SupportResult",
+    "window_bounds",
+]
+
+
+def window_bounds(
+    time: float, tolerance: float, start: float, step: float, n: int
+) -> Tuple[int, int]:
+    """Half-open ``[lo, hi)`` sample bounds of ``time ± tolerance`` on a trace.
+
+    The one windowing rule shared by the support loop and the environment
+    confirmation: the lower bound *floors* and the upper bound *ceils*
+    (plain ``int()`` truncates toward zero, which rounds the lower bound
+    **up** for times before the trace start and silently shrinks the
+    window).  Degenerate traces — ``step <= 0`` or non-finite, as a
+    single-sample or corrupt channel can produce — select the whole trace
+    instead of raising :class:`ZeroDivisionError`.
+    """
+    if n <= 0:
+        return 0, 0
+    if step <= 0 or not math.isfinite(step):
+        return 0, n
+    lo = int(math.floor((time - tolerance - start) / step))
+    hi = int(math.ceil((time + tolerance - start) / step)) + 1
+    return max(0, lo), min(n, hi)
 
 
 class CorrespondenceGraph:
@@ -126,10 +154,7 @@ class SupportCalculator:
         n = len(scores)
         if n == 0:
             return None
-        lo = int(np.floor((time - self.tolerance - start) / step))
-        hi = int(np.ceil((time + self.tolerance - start) / step)) + 1
-        lo = max(0, lo)
-        hi = min(n, hi)
+        lo, hi = window_bounds(time, self.tolerance, start, step, n)
         if hi <= lo:
             return False
         return bool(np.any(scores[lo:hi] >= threshold))

@@ -168,8 +168,43 @@ class PlantDataset:
     caq_keys: Tuple[str, ...]
 
     # ------------------------------------------------------------------
-    # navigation
+    # navigation (O(1) via a lazily built index)
     # ------------------------------------------------------------------
+    def _nav(self) -> Dict[str, Dict]:
+        """Lazily built lookup tables: line/machine/job by id plus the
+        per-line job interval index (sorted by start)."""
+        cache = self.__dict__.get("_nav_cache")
+        if cache is None:
+            line_by_id: Dict[str, LineRecord] = {}
+            line_of_machine: Dict[str, LineRecord] = {}
+            machine_by_id: Dict[str, MachineRecord] = {}
+            job_by_key: Dict[Tuple[str, int], JobRecord] = {}
+            intervals: Dict[str, List[Tuple[float, float, str, int]]] = {}
+            for line in self.lines:
+                line_by_id[line.line_id] = line
+                spans: List[Tuple[float, float, str, int]] = []
+                for m in line.machines:
+                    line_of_machine[m.machine_id] = line
+                    machine_by_id[m.machine_id] = m
+                    for j in m.jobs:
+                        job_by_key[(m.machine_id, j.job_index)] = j
+                        spans.append((j.start, j.end, m.machine_id, j.job_index))
+                spans.sort()
+                intervals[line.line_id] = spans
+            cache = {
+                "line_by_id": line_by_id,
+                "line_of_machine": line_of_machine,
+                "machine_by_id": machine_by_id,
+                "job_by_key": job_by_key,
+                "intervals": intervals,
+            }
+            self.__dict__["_nav_cache"] = cache
+        return cache
+
+    def invalidate_indexes(self) -> None:
+        """Drop the navigation index (call after mutating lines/jobs)."""
+        self.__dict__.pop("_nav_cache", None)
+
     def iter_machines(self) -> Iterator[MachineRecord]:
         for line in self.lines:
             yield from line.machines
@@ -179,20 +214,31 @@ class PlantDataset:
             yield from machine.jobs
 
     def line_of(self, machine_id: str) -> LineRecord:
-        for line in self.lines:
-            for m in line.machines:
-                if m.machine_id == machine_id:
-                    return line
-        raise KeyError(f"no line contains machine {machine_id!r}")
+        line = self._nav()["line_of_machine"].get(machine_id)
+        if line is None:
+            raise KeyError(f"no line contains machine {machine_id!r}")
+        return line
 
     def machine(self, machine_id: str) -> MachineRecord:
-        return self.line_of(machine_id).machine(machine_id)
+        machine = self._nav()["machine_by_id"].get(machine_id)
+        if machine is None:
+            raise KeyError(f"no line contains machine {machine_id!r}")
+        return machine
 
     def job(self, machine_id: str, job_index: int) -> JobRecord:
-        for j in self.machine(machine_id).jobs:
-            if j.job_index == job_index:
-                return j
-        raise KeyError(f"machine {machine_id} has no job {job_index}")
+        self.machine(machine_id)  # raise the machine-level KeyError first
+        job = self._nav()["job_by_key"].get((machine_id, job_index))
+        if job is None:
+            raise KeyError(f"machine {machine_id} has no job {job_index}")
+        return job
+
+    def job_intervals(self, line_id: str) -> List[Tuple[float, float, str, int]]:
+        """``(start, end, machine_id, job_index)`` of every job on the line,
+        sorted by start — the interval index behind windowed job lookups."""
+        intervals = self._nav()["intervals"].get(line_id)
+        if intervals is None:
+            raise KeyError(f"no line {line_id!r}")
+        return list(intervals)
 
     # ------------------------------------------------------------------
     # level views (Fig. 2)
@@ -212,12 +258,15 @@ class PlantDataset:
         ]
         return np.vstack(rows) if rows else np.empty((0, len(self.setup_keys) + len(self.caq_keys)))
 
+    def line(self, line_id: str) -> LineRecord:
+        line = self._nav()["line_by_id"].get(line_id)
+        if line is None:
+            raise KeyError(f"no line {line_id!r}")
+        return line
+
     def environment_series(self, line_id: str) -> Dict[str, TimeSeries]:
         """Level 3: room-environment channels over the same period."""
-        for line in self.lines:
-            if line.line_id == line_id:
-                return dict(line.environment)
-        raise KeyError(f"no line {line_id!r}")
+        return dict(self.line(line_id).environment)
 
     def jobs_over_time(self, line_id: str) -> Tuple[np.ndarray, List[Tuple[str, int]]]:
         """Level 4: the line's jobs in start order as a multivariate series.
@@ -225,7 +274,7 @@ class PlantDataset:
         Returns the (n_jobs, n_features) matrix and the (machine, job)
         identity of every row.
         """
-        line = next(l for l in self.lines if l.line_id == line_id)
+        line = self.line(line_id)
         jobs: List[Tuple[float, JobRecord]] = []
         for m in line.machines:
             jobs.extend((j.start, j) for j in m.jobs)

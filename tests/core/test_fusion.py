@@ -71,6 +71,27 @@ class TestWeighted:
         with pytest.raises(ValueError):
             fuse_weighted({L.PHASE: 0.5}, weights={L.PHASE: -1.0})
 
+    def test_explicit_empty_weights_mean_unweighted(self):
+        # regression: `weights or DEFAULT` silently replaced an explicitly
+        # passed empty mapping with the level-dependent defaults
+        scores = {L.PHASE: 0.2, L.PRODUCTION: 0.8}
+        assert fuse_weighted(scores, weights={}) == pytest.approx(0.5)
+        assert fuse_weighted(scores, weights={}) != fuse_weighted(scores)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            fuse_weighted(
+                {L.PHASE: 0.5, L.JOB: 0.5},
+                weights={L.PHASE: 0.0, L.JOB: 0.0},
+            )
+
+    def test_partial_zero_weights_still_fuse(self):
+        out = fuse_weighted(
+            {L.PHASE: 1.0, L.JOB: 0.4},
+            weights={L.PHASE: 0.0, L.JOB: 1.0},
+        )
+        assert out == pytest.approx(0.4)
+
 
 class TestFisher:
     def test_consistent_evidence_amplifies(self):

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import CorrespondenceGraph, SupportCalculator, SupportResult
+from repro.core import (
+    CorrespondenceGraph,
+    SupportCalculator,
+    SupportResult,
+    window_bounds,
+)
 
 
 class TestGraphFromPlant:
@@ -138,3 +143,45 @@ class TestSupportCalculator:
     def test_support_result_validates_range(self):
         with pytest.raises(ValueError):
             SupportResult(1.5, 2, ())
+
+    def test_zero_step_trace_does_not_crash(self):
+        # regression: a degenerate (zero-step) trace used to raise
+        # ZeroDivisionError inside the support window math
+        graph = CorrespondenceGraph()
+        graph.add_correspondence("s1", "degenerate")
+
+        def lookup(channel_id, time):
+            if channel_id == "degenerate":
+                return np.array([9.0]), 5.0, 0.0, 0.0  # single sample, step 0
+            return np.array([9.0, 0.0]), 5.0, 0.0, 1.0
+
+        calc = SupportCalculator(graph, lookup, tolerance=1.0)
+        result = calc.support_for("s1", time=0.0)
+        assert result.n_corresponding == 1
+        assert result.support == 1.0
+
+
+class TestWindowBounds:
+    def test_plain_window(self):
+        assert window_bounds(5.0, 2.0, 0.0, 1.0, 100) == (3, 8)
+
+    def test_clamped_to_trace(self):
+        lo, hi = window_bounds(0.0, 50.0, 0.0, 1.0, 10)
+        assert (lo, hi) == (0, 10)
+
+    def test_lower_bound_floors_before_trace_start(self):
+        # time before the trace start: floor must widen toward -inf (then
+        # clamp), never truncate toward zero
+        lo, hi = window_bounds(-1.5, 1.0, 0.0, 1.0, 10)
+        assert lo == 0
+        assert hi >= 1  # the first samples are still within tolerance reach
+
+    def test_zero_and_negative_step_select_whole_trace(self):
+        assert window_bounds(3.0, 1.0, 0.0, 0.0, 5) == (0, 5)
+        assert window_bounds(3.0, 1.0, 0.0, -2.0, 5) == (0, 5)
+
+    def test_nonfinite_step_selects_whole_trace(self):
+        assert window_bounds(3.0, 1.0, 0.0, float("nan"), 5) == (0, 5)
+
+    def test_empty_trace(self):
+        assert window_bounds(3.0, 1.0, 0.0, 1.0, 0) == (0, 0)
