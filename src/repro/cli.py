@@ -47,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--json", help="write full reports to this JSON file")
     det.add_argument("--explain", type=int, default=0, metavar="N",
                      help="print operator explanations for the top N reports")
+    det.add_argument("--chaos-dropout", type=float, default=0.0, metavar="RATE",
+                     help="inject chaos: kill each sensor channel with this "
+                          "probability before detection")
+    det.add_argument("--chaos-seed", type=int, default=0,
+                     help="seed of the chaos fault injection")
 
     mon = sub.add_parser("monitor", help="condition/maintenance summary")
     mon.add_argument("--plant", help=".npz archive from `repro simulate`")
@@ -103,6 +108,16 @@ def _cmd_detect(args) -> int:
     from .io import reports_to_json
 
     dataset = _load_or_simulate(args)
+    if args.chaos_dropout > 0:
+        from .plant import ChaosConfig, inject_chaos
+
+        dataset, chaos_events = inject_chaos(
+            dataset,
+            ChaosConfig(
+                seed=args.chaos_seed, sensor_dropout_rate=args.chaos_dropout
+            ),
+        )
+        print(f"chaos: injected {len(chaos_events)} infrastructure fault(s)")
     pipeline = HierarchicalDetectionPipeline(dataset)
     reports = pipeline.run(
         start_level=ProductionLevel(args.start_level),
@@ -112,6 +127,9 @@ def _cmd_detect(args) -> int:
           f"fusion={args.fusion}); top {min(args.top, len(reports))}:")
     for report in reports[: args.top]:
         print(f"  {report.describe()}")
+    if pipeline.health.degraded:
+        print()
+        print(pipeline.health.describe())
     if args.explain > 0:
         from .core import explain_report
 
@@ -119,7 +137,7 @@ def _cmd_detect(args) -> int:
             print()
             print(explain_report(report))
     if args.json:
-        reports_to_json(reports, args.json)
+        reports_to_json(reports, args.json, health=pipeline.health)
         print(f"full reports written to {args.json}")
     return 0
 
@@ -129,10 +147,12 @@ def _cmd_monitor(args) -> int:
     from .monitor import AlertManager, ConditionMonitor, MaintenanceAdvisor, Severity
 
     dataset = _load_or_simulate(args)
-    reports = HierarchicalDetectionPipeline(dataset).run()
+    pipeline = HierarchicalDetectionPipeline(dataset)
+    reports = pipeline.run()
 
     manager = AlertManager()
     manager.ingest(reports)
+    manager.ingest_health(pipeline.health)
     counts = manager.counts_by_severity()
     print(
         f"alerts: {counts[Severity.CRITICAL]} critical / "

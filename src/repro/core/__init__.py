@@ -35,6 +35,20 @@ from .pipeline import (
     PipelineStats,
     PlantHierarchyContext,
 )
+from .resilience import (
+    DetectorSandbox,
+    FallbackEvent,
+    QualityIssue,
+    QualityPolicy,
+    QuarantineEvent,
+    RunHealth,
+    SandboxOutcome,
+    SandboxPolicy,
+    assess_series,
+    repair_series,
+    robust_fallback_scores,
+    robust_matrix_scores,
+)
 from .scores import unify, unify_gaussian, unify_minmax, unify_rank
 from .selection import DEFAULT_PREFERENCES, AlgorithmSelector
 from .support import (
@@ -82,4 +96,16 @@ __all__ = [
     "PipelineStats",
     "PlantHierarchyContext",
     "HierarchicalDetectionPipeline",
+    "RunHealth",
+    "FallbackEvent",
+    "QuarantineEvent",
+    "DetectorSandbox",
+    "SandboxPolicy",
+    "SandboxOutcome",
+    "QualityPolicy",
+    "QualityIssue",
+    "assess_series",
+    "repair_series",
+    "robust_fallback_scores",
+    "robust_matrix_scores",
 ]

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..detectors import make_detector
 from ..plant import PlantDataset
 from .algorithm import HierarchyContext, find_hierarchical_outliers
 from .levels import ProductionLevel
@@ -34,6 +35,17 @@ from .outlier import (
     LevelConfirmation,
     OutlierCandidate,
     rank_reports,
+)
+from .resilience import (
+    DetectorSandbox,
+    FallbackEvent,
+    QualityPolicy,
+    RunHealth,
+    SandboxPolicy,
+    assess_series,
+    repair_series,
+    robust_fallback_scores,
+    robust_matrix_scores,
 )
 from .scores import unify_rank
 from .selection import AlgorithmSelector
@@ -60,6 +72,9 @@ class PipelineConfig:
     candidate_gap: int = 3  # samples merging consecutive flagged runs
     line_history: int = 5  # jobs of temporal context at the line level
     enable_cache: bool = True  # memoize confirm/support/candidate lookups
+    gate_enabled: bool = True  # data-quality gate + trace repair/quarantine
+    quality: QualityPolicy = QualityPolicy()  # gate thresholds
+    sandbox: SandboxPolicy = SandboxPolicy()  # detector budget/retry policy
 
 
 @dataclass
@@ -173,6 +188,8 @@ class PlantHierarchyContext(HierarchyContext):
         self.dataset = dataset
         self.selector = selector or AlgorithmSelector()
         self.config = config or PipelineConfig()
+        self.health = RunHealth()
+        self._sandbox = DetectorSandbox(self.config.sandbox)
         self._graph = CorrespondenceGraph.from_plant(dataset)
         self._traces: Dict[str, List[_Trace]] = {}
         self._phase_candidates: List[OutlierCandidate] = []
@@ -181,9 +198,14 @@ class PlantHierarchyContext(HierarchyContext):
         self._score_job_level()
         self._score_line_level()
         self._score_production_level()
+        self._flag_dead_channels()
         self._build_indexes()
         self._support_calc = SupportCalculator(
-            self._graph, self._lookup_trace, tolerance=self.config.support_tolerance
+            self._graph,
+            self._lookup_trace,
+            tolerance=self.config.support_tolerance,
+            # renormalized divisor: fully-quarantined channels do not vote
+            excluded=self.health.dead_channels,
         )
         self._cache_enabled = bool(self.config.enable_cache)
         self._stats = PipelineStats()
@@ -242,8 +264,8 @@ class PlantHierarchyContext(HierarchyContext):
     # instrumentation
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Cache instrumentation: call/hit/miss counters per memo table."""
-        return self._stats.as_dict()
+        """Cache counters per memo table, plus the run-health counters."""
+        return {**self._stats.as_dict(), **self.health.counters()}
 
     @property
     def cache_stats(self) -> PipelineStats:
@@ -260,6 +282,126 @@ class PlantHierarchyContext(HierarchyContext):
         self._candidates_cache.clear()
 
     # ------------------------------------------------------------------
+    # resilient scoring primitives (sandbox + fallback chain + gate)
+    # ------------------------------------------------------------------
+    def _score_series_resilient(
+        self, level: ProductionLevel, unit: str, series
+    ) -> Tuple[np.ndarray, str]:
+        """Score one series through the level's fallback chain.
+
+        Each ``ChooseAlgorithm`` candidate runs inside the sandbox (budget +
+        bounded retry); on failure the next chain entry takes over and a
+        :class:`FallbackEvent` lands in :attr:`health`.  If the whole chain
+        fails, the robust z/MAD baseline scores the trace — a level is
+        degraded, never silent.
+        """
+        chain = self.selector.fallback_chain(level)
+        for pos, name in enumerate(chain):
+            outcome = self._sandbox.call(
+                lambda name=name: make_detector(name).fit_score_series(series),
+                label=name,
+            )
+            if outcome.ok:
+                return np.asarray(outcome.value, dtype=float), name
+            fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
+            self.health.record_fallback(
+                FallbackEvent(
+                    level=level.name,
+                    unit=unit,
+                    failed_detector=name,
+                    error=outcome.error_text,
+                    fallback=fallback,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+            )
+        self.health.note_level(level.name, "scored with the terminal robust baseline")
+        return robust_fallback_scores(np.asarray(series.values, dtype=float)), "robust-baseline"
+
+    def _score_vectors_resilient(
+        self, level: ProductionLevel, unit: str, X: np.ndarray
+    ) -> Tuple[np.ndarray, str]:
+        """Vector-level twin of :meth:`_score_series_resilient`."""
+        chain = self.selector.fallback_chain(level)
+        for pos, name in enumerate(chain):
+            outcome = self._sandbox.call(
+                lambda name=name: make_detector(name).fit_score(X), label=name
+            )
+            if outcome.ok:
+                return np.asarray(outcome.value, dtype=float), name
+            fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
+            self.health.record_fallback(
+                FallbackEvent(
+                    level=level.name,
+                    unit=unit,
+                    failed_detector=name,
+                    error=outcome.error_text,
+                    fallback=fallback,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+            )
+        self.health.note_level(level.name, "scored with the terminal robust baseline")
+        return robust_matrix_scores(X), "robust-baseline"
+
+    def _gate_series(self, channel_id: str, scope: str, series,
+                     expected_length: Optional[int] = None):
+        """Quality-gate one trace: repaired series, or None when quarantined."""
+        if not self.config.gate_enabled:
+            return series
+        issues = assess_series(
+            np.asarray(series.values, dtype=float),
+            self.config.quality,
+            expected_length=expected_length,
+        )
+        fatal = [i for i in issues if i.fatal]
+        if fatal:
+            self.health.record_quarantine(
+                channel_id, scope,
+                "; ".join(f"{i.code}: {i.detail}" for i in fatal),
+            )
+            return None
+        repaired, notes = repair_series(
+            np.asarray(series.values, dtype=float), self.config.quality
+        )
+        if notes:
+            self.health.warn(
+                f"repaired {channel_id} at {scope}: " + "; ".join(notes)
+            )
+            return series.replace(values=repaired)
+        return series
+
+    def _gate_matrix(self, X: np.ndarray, label: str) -> np.ndarray:
+        """Impute non-finite cells of a vector-level matrix (column median)."""
+        X = np.asarray(X, dtype=float)
+        bad = ~np.isfinite(X)
+        if not bad.any() or not self.config.gate_enabled:
+            return X
+        masked = np.where(bad, np.nan, X)
+        dead_cols = ~np.isfinite(masked).any(axis=0)
+        if dead_cols.any():
+            masked[:, dead_cols] = 0.0  # keep nanmedian off empty slices
+        med = np.nanmedian(masked, axis=0)
+        self.health.warn(
+            f"imputed {int(bad.sum())} non-finite cell(s) in the {label} matrix"
+        )
+        return np.where(bad, med[None, :], X)
+
+    def _flag_dead_channels(self) -> None:
+        """Channels with zero surviving traces are quarantined wholesale.
+
+        These are the sensors the support divisor must renormalize over:
+        with no usable trace anywhere they cannot vote, and the explicit
+        ``scope="channel"`` record feeds :attr:`RunHealth.dead_channels`
+        (belt and braces on top of the lookup's natural None-vote)."""
+        for channel_id in sorted({q.channel_id for q in self.health.quarantines}):
+            if not self._traces.get(channel_id):
+                self.health.record_quarantine(
+                    channel_id, "channel",
+                    "no usable trace survived the quality gate",
+                )
+
+    # ------------------------------------------------------------------
     # per-level scoring
     # ------------------------------------------------------------------
     def _score_phase_level(self) -> None:
@@ -267,9 +409,32 @@ class PlantHierarchyContext(HierarchyContext):
         for machine in self.dataset.iter_machines():
             for job in machine.jobs:
                 for phase in job.phases:
-                    for sensor_id, series in sorted(phase.series.items()):
-                        detector = self.selector.choose(ProductionLevel.PHASE)
-                        scores = detector.fit_score_series(series)
+                    items = sorted(phase.series.items())
+                    # truncated-trace check: sibling channels of one phase
+                    # must agree on sample count (modal length wins)
+                    expected = None
+                    if len(items) >= 2:
+                        lengths = [len(s.values) for __, s in items]
+                        counts: Dict[int, int] = {}
+                        for n in lengths:
+                            counts[n] = counts.get(n, 0) + 1
+                        expected = max(counts, key=lambda n: (counts[n], n))
+                        if counts[expected] == 1:
+                            expected = None  # no majority: cannot arbitrate
+                    scope = (
+                        f"{machine.machine_id}/job{job.job_index}/{phase.name}"
+                    )
+                    for sensor_id, series in items:
+                        series = self._gate_series(
+                            sensor_id, scope, series, expected_length=expected
+                        )
+                        if series is None:
+                            continue
+                        scores, detector_name = self._score_series_resilient(
+                            ProductionLevel.PHASE,
+                            f"{scope}/{sensor_id}",
+                            series,
+                        )
                         trace = _Trace(
                             channel_id=sensor_id,
                             start=series.start,
@@ -291,7 +456,7 @@ class PlantHierarchyContext(HierarchyContext):
                                     phase_name=phase.name,
                                     sensor_id=sensor_id,
                                     index=idx,
-                                    detector=detector.name,
+                                    detector=detector_name,
                                 )
                             )
 
@@ -302,8 +467,12 @@ class PlantHierarchyContext(HierarchyContext):
             ids = []
             for kind, series in sorted(line.environment.items()):
                 channel_id = f"{line.line_id}/env/{kind}"
-                detector = self.selector.choose(ProductionLevel.ENVIRONMENT)
-                scores = detector.fit_score_series(series)
+                series = self._gate_series(channel_id, line.line_id, series)
+                if series is None:
+                    continue
+                scores, __ = self._score_series_resilient(
+                    ProductionLevel.ENVIRONMENT, channel_id, series
+                )
                 trace = _Trace(
                     channel_id=channel_id,
                     start=series.start,
@@ -323,15 +492,16 @@ class PlantHierarchyContext(HierarchyContext):
             for job, row in zip(machine.jobs, table):
                 rows.append(row)
                 keys.append((machine.machine_id, job.job_index))
-        X = _robust_standardize(np.vstack(rows))
-        detector = self.selector.choose(ProductionLevel.JOB)
-        scores = detector.fit_score(X)
+        X = _robust_standardize(self._gate_matrix(np.vstack(rows), "job"))
+        scores, detector_name = self._score_vectors_resilient(
+            ProductionLevel.JOB, "job-table", X
+        )
         threshold = _robust_threshold(scores, self.config.vector_sigma)
         unified = unify_rank(scores)
         self._job_scores = {k: float(s) for k, s in zip(keys, scores)}
         self._job_unified = {k: float(u) for k, u in zip(keys, unified)}
         self._job_flags = {k for k, s in zip(keys, scores) if s >= threshold}
-        self._job_detector = detector.name
+        self._job_detector = detector_name
 
     def _score_line_level(self) -> None:
         cfg = self.config
@@ -343,6 +513,7 @@ class PlantHierarchyContext(HierarchyContext):
             mat, identity = self.dataset.jobs_over_time(line.line_id)
             if mat.shape[0] == 0:
                 continue
+            mat = self._gate_matrix(mat, f"{line.line_id}/jobs-over-time")
             # jobs-over-time: augment each row with its deviation from the
             # trailing robust baseline so the level sees temporal change,
             # not just static position
@@ -357,8 +528,11 @@ class PlantHierarchyContext(HierarchyContext):
                     mad[mad <= 1e-12] = 1.0
                     deltas[i] = (mat[i] - med) / mad
             augmented = np.hstack([_robust_standardize(mat), deltas])
-            detector = self.selector.choose(ProductionLevel.PRODUCTION_LINE)
-            scores = detector.fit_score(augmented)
+            scores, __ = self._score_vectors_resilient(
+                ProductionLevel.PRODUCTION_LINE,
+                f"{line.line_id}/jobs-over-time",
+                augmented,
+            )
             for key, s in zip(identity, scores):
                 all_scores.append((key, float(s)))
         if not all_scores:
@@ -374,9 +548,10 @@ class PlantHierarchyContext(HierarchyContext):
 
     def _score_production_level(self) -> None:
         panel, machine_ids = self.dataset.production_panel()
-        panel = _robust_standardize(panel)
-        detector = self.selector.choose(ProductionLevel.PRODUCTION)
-        scores = detector.fit_score(panel)
+        panel = _robust_standardize(self._gate_matrix(panel, "production"))
+        scores, __ = self._score_vectors_resilient(
+            ProductionLevel.PRODUCTION, "production-panel", panel
+        )
         threshold = _robust_threshold(scores, self.config.vector_sigma)
         unified = unify_rank(scores)
         self._machine_scores = {m: float(s) for m, s in zip(machine_ids, scores)}
@@ -423,9 +598,16 @@ class PlantHierarchyContext(HierarchyContext):
         if candidate.index is None or not candidate.sensor_id:
             if candidate.job_index is None:
                 return None
-            try:
-                job = self.dataset.job(candidate.machine_id, candidate.job_index)
-            except KeyError:
+            job = self.dataset.find_job(candidate.machine_id, candidate.job_index)
+            if job is None:
+                # explicit membership check: a candidate pointing at a job
+                # the dataset does not know is a data defect worth surfacing,
+                # not a silent un-timestamped candidate
+                self.health.warn(
+                    f"candidate references unknown job "
+                    f"{candidate.machine_id}/job{candidate.job_index}; "
+                    "skipping its timestamp"
+                )
                 return None
             return (job.start + job.end) / 2.0
         trace = self._traces.get(candidate.sensor_id)
@@ -480,7 +662,7 @@ class PlantHierarchyContext(HierarchyContext):
             out = []
             for line in self.dataset.lines:
                 for channel_id in self._env_channels[line.line_id]:
-                    for trace in self._traces[channel_id]:
+                    for trace in self._traces.get(channel_id, ()):
                         for idx in _peak_indices(
                             trace.scores, trace.threshold,
                             self.config.candidate_gap,
@@ -764,8 +946,13 @@ class HierarchicalDetectionPipeline:
         )
         return rank_reports(reports)
 
+    @property
+    def health(self) -> RunHealth:
+        """Structured degradation record of the run (fallbacks, quarantines)."""
+        return self.context.health
+
     def stats(self) -> Dict[str, int]:
-        """Confirmation/support cache counters of the underlying context."""
+        """Cache counters of the underlying context plus health counters."""
         return self.context.stats()
 
     def flat_baseline(self) -> List[HierarchicalOutlierReport]:

@@ -63,9 +63,40 @@ class AlgorithmSelector:
 
     def choose(self, level: ProductionLevel) -> BaseDetector:
         """ChooseAlgorithm(level): first preference whose capabilities fit."""
+        chain = self.fallback_chain(level, extend=False)
+        if not chain:
+            raise LookupError(
+                f"no configured detector fits {level} (granularity "
+                f"{contract_for(level).outlier_granularity}); "
+                f"preferences: {self._preferences[level]}"
+            )
+        return make_detector(chain[0])
+
+    #: terminal robust baselines appended to every fallback chain — cheap,
+    #: parameter-light detectors that score POINTS, so a level whose whole
+    #: preference list failed still gets a principled score
+    TERMINAL_FALLBACKS: Sequence[str] = ("mad", "zscore")
+
+    def fallback_chain(
+        self, level: ProductionLevel, extend: bool = True
+    ) -> List[str]:
+        """Capability-fitting detector names for a level, in preference order.
+
+        The resilience layer walks this chain when a detector fails in the
+        sandbox: entry 0 is what :meth:`choose` returns, and each later
+        entry is the next ``ChooseAlgorithm`` candidate.  With ``extend``
+        (the default) the robust :data:`TERMINAL_FALLBACKS` are appended so
+        the chain never ends on an exotic detector.
+        """
         contract = contract_for(level)
         required: DataShape = contract.outlier_granularity
-        for name in self._preferences[level]:
+        chain: List[str] = []
+        candidates = list(self._preferences[level])
+        if extend:
+            candidates.extend(
+                name for name in self.TERMINAL_FALLBACKS if name not in candidates
+            )
+        for name in candidates:
             entry = get_detector(name)
             pts, ssq, tss = entry.capabilities()
             fits = (
@@ -74,11 +105,8 @@ class AlgorithmSelector:
                 or (required is DataShape.SERIES and tss)
             )
             if fits:
-                return make_detector(name)
-        raise LookupError(
-            f"no configured detector fits {level} "
-            f"(granularity {required}); preferences: {self._preferences[level]}"
-        )
+                chain.append(name)
+        return chain
 
     def describe(self) -> str:
         """A short table of the active policy, for reports."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -139,12 +139,16 @@ class SupportCalculator:
         graph: CorrespondenceGraph,
         score_lookup: Callable[[str, float], Optional[Tuple[np.ndarray, float, float, float]]],
         tolerance: float = 8.0,
+        excluded: Iterable[str] = (),
     ) -> None:
         if tolerance < 0:
             raise ValueError("tolerance must be >= 0")
         self._graph = graph
         self._lookup = score_lookup
         self.tolerance = tolerance
+        #: quarantined channels: removed from the divisor entirely, so a
+        #: dead sensor no longer votes "no support" against a real fault
+        self.excluded = frozenset(excluded)
 
     def _supports(self, channel_id: str, time: float) -> Optional[bool]:
         entry = self._lookup(channel_id, time)
@@ -165,6 +169,8 @@ class SupportCalculator:
         supporters: List[str] = []
         counted = 0
         for other in corresponding:
+            if other in self.excluded:
+                continue  # quarantined: renormalize the divisor without it
             verdict = self._supports(other, time)
             if verdict is None:
                 continue  # channel has no scores; it cannot vote

@@ -38,7 +38,13 @@ from .discriminative import (
     VibrationSignatureDetector,
 )
 from .encoders import NGramVectorizer, SeriesFeaturizer, SeriesSymbolizer
-from .errors import DetectorError, NotFittedError, ShapeUnsupportedError
+from .errors import (
+    DataQualityError,
+    DetectorError,
+    DetectorTimeoutError,
+    NotFittedError,
+    ShapeUnsupportedError,
+)
 from .information import DeviantsDetector, v_optimal_boundaries
 from .olap import DataCube, OLAPCubeDetector
 from .parametric import FSADetector, HMMDetector
@@ -53,6 +59,7 @@ from .registry import (
     capability_table,
     get_detector,
     make_detector,
+    register_detector,
 )
 from .subsequence import SAXDiscordDetector
 from .supervised import (
@@ -75,6 +82,8 @@ __all__ = [
     "DetectorError",
     "NotFittedError",
     "ShapeUnsupportedError",
+    "DetectorTimeoutError",
+    "DataQualityError",
     "NGramVectorizer",
     "SeriesFeaturizer",
     "SeriesSymbolizer",
@@ -122,6 +131,7 @@ __all__ = [
     "BASELINE_ROWS",
     "get_detector",
     "make_detector",
+    "register_detector",
     "all_names",
     "capability_table",
 ]

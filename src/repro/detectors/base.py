@@ -34,7 +34,7 @@ from ..timeseries import (
     window_scores_to_point_scores,
 )
 from .encoders import NGramVectorizer, SeriesFeaturizer, SeriesSymbolizer
-from .errors import NotFittedError, ShapeUnsupportedError
+from .errors import DataQualityError, DetectorError, NotFittedError, ShapeUnsupportedError
 
 __all__ = [
     "DataShape",
@@ -85,7 +85,7 @@ def coerce_items(data) -> Tuple[str, object]:
     if isinstance(data, np.ndarray):
         if data.ndim == 2:
             return "vectors", np.asarray(data, dtype=np.float64)
-        raise ValueError(
+        raise DataQualityError(
             f"expected a 2-D feature matrix, got ndim={data.ndim}; for a single "
             "series use score_series / a TimeSeries collection"
         )
@@ -95,7 +95,7 @@ def coerce_items(data) -> Tuple[str, object]:
         return "sequences", (data,)
     if isinstance(data, (list, tuple)):
         if len(data) == 0:
-            raise ValueError("empty item collection")
+            raise DataQualityError("empty item collection")
         first = data[0]
         if isinstance(first, DiscreteSequence):
             if not all(isinstance(s, DiscreteSequence) for s in data):
@@ -153,7 +153,7 @@ class BaseDetector(abc.ABC):
         """Learn the normal model from ``data`` (matrix / sequences / series)."""
         kind, items = coerce_items(data)
         self._check_kind_supported(kind)
-        self._fit_items(kind, items)
+        self._run_hook("fit", self._fit_items, kind, items)
         self._fit_kind = kind
         self._fitted = True
         return self
@@ -163,7 +163,7 @@ class BaseDetector(abc.ABC):
         self._require_fitted()
         kind, items = coerce_items(data)
         self._check_kind_supported(kind)
-        scores = self._score_items(kind, items)
+        scores = self._run_hook("score", self._score_items, kind, items)
         return self._sanitize(scores)
 
     def fit_score(self, data) -> np.ndarray:
@@ -189,7 +189,7 @@ class BaseDetector(abc.ABC):
         self._check_series_localization()
         self._series_width = width
         self._series_stride = stride
-        self._fit_series_impl(series, width, stride)
+        self._run_hook("fit_series", self._fit_series_impl, series, width, stride)
         self._fitted = True
         self._fit_kind = "series-windows"
         return self
@@ -201,7 +201,7 @@ class BaseDetector(abc.ABC):
             raise NotFittedError(
                 f"{self.name} (call fit_series before score_series)"
             )
-        scores = self._score_series_impl(series)
+        scores = self._run_hook("score_series", self._score_series_impl, series)
         return self._sanitize(scores)
 
     def fit_score_series(self, series: TimeSeries, width: int = 16,
@@ -236,6 +236,34 @@ class BaseDetector(abc.ABC):
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError(self.name)
+
+    def _run_hook(self, stage: str, hook, *args):
+        """Run an implementation hook, wrapping stray exceptions.
+
+        The public surface raises only :class:`DetectorError` subclasses:
+        a ``ValueError`` / ``LinAlgError`` / arithmetic failure escaping a
+        detector implementation (singular matrix, degenerate input, …)
+        becomes a :class:`DetectorError` here, so callers — the pipeline's
+        sandbox in particular — dispatch on one exception family.  A
+        ``ValueError`` (almost always degenerate *input*: empty sequences,
+        singular matrices) maps to :class:`DataQualityError`, which still
+        IS-A ``ValueError`` for pre-existing callers.
+        """
+        try:
+            return hook(*args)
+        except DetectorError:
+            raise
+        except ValueError as exc:
+            # np.linalg.LinAlgError subclasses ValueError, so it lands here
+            raise DataQualityError(
+                f"detector {self.name!r} failed during {stage}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        except (ArithmeticError, IndexError, KeyError) as exc:
+            raise DetectorError(
+                f"detector {self.name!r} failed during {stage}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     @staticmethod
     def _sanitize(scores) -> np.ndarray:
@@ -314,7 +342,7 @@ class VectorDetector(BaseDetector):
     def _fit_series_impl(self, series: TimeSeries, width: int, stride: int) -> None:
         mat = sliding_window_matrix(series, width, stride)
         if mat.shape[0] == 0:
-            raise ValueError(
+            raise DataQualityError(
                 f"series of length {len(series)} yields no windows of width {width}"
             )
         self._fit_matrix(np.nan_to_num(mat, nan=0.0))

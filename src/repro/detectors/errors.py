@@ -1,8 +1,23 @@
-"""Detector-framework exceptions."""
+"""Detector-framework exceptions.
+
+The failure taxonomy the resilience layer dispatches on: every failure a
+detector can produce surfaces as a :class:`DetectorError` subclass, so the
+pipeline's sandbox can decide *per class* whether to retry (transient
+faults), fall back to the next ``ChooseAlgorithm`` candidate, or quarantine
+the offending input.  Stray ``ValueError`` / ``numpy.linalg.LinAlgError``
+raised inside detector implementations are wrapped at the base-class
+boundary (see :meth:`repro.detectors.base.BaseDetector._run_hook`).
+"""
 
 from __future__ import annotations
 
-__all__ = ["DetectorError", "NotFittedError", "ShapeUnsupportedError"]
+__all__ = [
+    "DetectorError",
+    "NotFittedError",
+    "ShapeUnsupportedError",
+    "DetectorTimeoutError",
+    "DataQualityError",
+]
 
 
 class DetectorError(Exception):
@@ -28,3 +43,30 @@ class ShapeUnsupportedError(DetectorError):
             f"detector {detector_name!r} does not support the {shape!r} granularity "
             "(see the Table-1 capability matrix)"
         )
+
+
+class DetectorTimeoutError(DetectorError):
+    """Raised when a sandboxed detector call exceeds its wall-clock budget.
+
+    Raised by :class:`repro.core.resilience.DetectorSandbox`, never by a
+    detector itself; a timed-out detector is *not* retried (re-running the
+    same deterministic computation would time out again) — the pipeline
+    falls back to the next ``ChooseAlgorithm`` candidate instead.
+    """
+
+    def __init__(self, detector_name: str, budget: float) -> None:
+        super().__init__(
+            f"detector {detector_name!r} exceeded its {budget:.3g}s wall-clock budget"
+        )
+        self.budget = budget
+
+
+class DataQualityError(DetectorError, ValueError):
+    """Raised when the *input data* — not the detector — is unusable.
+
+    Examples: an empty collection, a series too short to window, a
+    non-interpretable feature matrix.  Subclasses :class:`ValueError` too,
+    because data-quality failures are value errors and pre-existing callers
+    catch them as such; new code should catch :class:`DetectorError`.
+    Deterministic, therefore never retried by the sandbox.
+    """

@@ -53,6 +53,7 @@ __all__ = [
     "BASELINE_ROWS",
     "get_detector",
     "make_detector",
+    "register_detector",
     "all_names",
     "capability_table",
 ]
@@ -127,6 +128,30 @@ BASELINE_ROWS: Tuple[RegistryEntry, ...] = (
 _BY_NAME: Dict[str, RegistryEntry] = {
     entry.name: entry for entry in TABLE1_ROWS + BASELINE_ROWS
 }
+
+
+def register_detector(
+    cls: Type[BaseDetector],
+    technique: Optional[str] = None,
+    citation: str = "external",
+    factory: Optional[Callable[[], BaseDetector]] = None,
+    replace: bool = False,
+) -> RegistryEntry:
+    """Register an out-of-tree detector so name-based selection finds it.
+
+    Table-1 and baseline rows are static; this is the extension point for
+    detectors defined elsewhere (e.g. the chaos harness's fault-injection
+    wrappers), which become resolvable through :func:`get_detector` /
+    :func:`make_detector` and therefore usable in
+    :class:`~repro.core.selection.AlgorithmSelector` preference lists.
+    Registered names never appear in :data:`TABLE1_ROWS` /
+    :data:`BASELINE_ROWS` or :func:`capability_table`.
+    """
+    entry = _entry(technique or cls.name, citation, cls, factory)
+    if entry.name in _BY_NAME and not replace:
+        raise ValueError(f"detector name {entry.name!r} is already registered")
+    _BY_NAME[entry.name] = entry
+    return entry
 
 
 def get_detector(name: str) -> RegistryEntry:

@@ -14,7 +14,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from .core import HierarchicalOutlierReport
+from .core import HierarchicalOutlierReport, RunHealth
 from .plant import (
     CAQResult,
     FaultEvent,
@@ -30,7 +30,13 @@ from .plant import (
 from .synthetic import OutlierType
 from .timeseries import DiscreteSequence, TimeSeries
 
-__all__ = ["save_plant", "load_plant", "reports_to_json", "reports_to_rows"]
+__all__ = [
+    "save_plant",
+    "load_plant",
+    "reports_to_json",
+    "reports_to_rows",
+    "health_to_dict",
+]
 
 _FORMAT_VERSION = 1
 
@@ -253,9 +259,26 @@ def reports_to_rows(reports: List[HierarchicalOutlierReport]) -> List[Dict]:
     return rows
 
 
-def reports_to_json(reports: List[HierarchicalOutlierReport], path=None) -> str:
-    """Serialize reports to JSON (optionally writing to ``path``)."""
-    payload = json.dumps({"reports": reports_to_rows(reports)}, indent=2)
+def health_to_dict(health: RunHealth) -> Dict:
+    """JSON-safe form of a pipeline :class:`~repro.core.RunHealth` record."""
+    return health.as_dict()
+
+
+def reports_to_json(
+    reports: List[HierarchicalOutlierReport],
+    path=None,
+    health: RunHealth = None,
+) -> str:
+    """Serialize reports to JSON (optionally writing to ``path``).
+
+    Passing the run's :class:`~repro.core.RunHealth` embeds a
+    ``run_health`` section, so a dashboard consuming the export can tell a
+    pristine run from one that survived on fallbacks and quarantines.
+    """
+    doc: Dict = {"reports": reports_to_rows(reports)}
+    if health is not None:
+        doc["run_health"] = health_to_dict(health)
+    payload = json.dumps(doc, indent=2)
     if path is not None:
         pathlib.Path(path).write_text(payload)
     return payload

@@ -17,7 +17,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..core import HierarchicalOutlierReport
+from ..core import HierarchicalOutlierReport, RunHealth
 
 __all__ = ["Severity", "AlertState", "Alert", "AlertManager", "triple_severity"]
 
@@ -70,13 +70,15 @@ class Alert:
     alert_id: int
     key: str  # dedup key (machine/job/phase/sensor)
     severity: Severity
-    report: HierarchicalOutlierReport
+    report: Optional[HierarchicalOutlierReport]  # None for health alerts
     state: AlertState = AlertState.OPEN
     occurrences: int = 1
     note: str = ""
 
     @property
     def is_measurement_suspect(self) -> bool:
+        if self.report is None:
+            return False
         return (
             self.report.measurement_warning
             or (self.report.n_corresponding > 0 and self.report.support == 0.0)
@@ -147,6 +149,78 @@ class AlertManager:
                 seen.add(alert.alert_id)
                 unique.append(alert)
         return unique
+
+    def ingest_health(self, health: RunHealth) -> List[Alert]:
+        """Turn a pipeline :class:`~repro.core.RunHealth` into alerts.
+
+        Infrastructure degradation deserves the same lifecycle as process
+        anomalies: a quarantined channel (WARNING — a sensor is dead or
+        lying) and a level that fell back to the robust baseline (WARNING)
+        open alerts; individual detector fallbacks aggregate into one INFO
+        alert so a noisy run does not flood the board.  Returns alerts new
+        or re-opened by this ingest, like :meth:`ingest`.
+        """
+        touched: List[Alert] = []
+        for q in health.quarantines:
+            touched.extend(
+                self._touch_health(
+                    f"health/quarantine/{q.channel_id}",
+                    Severity.WARNING,
+                    f"quarantined [{q.scope}]: {q.reason}",
+                )
+            )
+        for level, note in sorted(health.level_notes.items()):
+            touched.extend(
+                self._touch_health(
+                    f"health/degraded/{level}", Severity.WARNING, note
+                )
+            )
+        if health.fallbacks:
+            touched.extend(
+                self._touch_health(
+                    "health/fallbacks",
+                    Severity.INFO,
+                    f"{len(health.fallbacks)} detector fallback(s) taken",
+                )
+            )
+        for warning in health.warnings:
+            touched.extend(
+                self._touch_health("health/warning", Severity.INFO, warning)
+            )
+        unique: List[Alert] = []
+        seen = set()
+        for alert in touched:
+            if alert.alert_id not in seen:
+                seen.add(alert.alert_id)
+                unique.append(alert)
+        return unique
+
+    def _touch_health(
+        self, key: str, severity: Severity, note: str
+    ) -> List[Alert]:
+        if severity < self.min_severity:
+            return []
+        existing = self._alerts.get(key)
+        if existing is None:
+            alert = Alert(
+                alert_id=next(self._ids),
+                key=key,
+                severity=severity,
+                report=None,
+                note=note,
+            )
+            self._alerts[key] = alert
+            return [alert]
+        existing.occurrences += 1
+        existing.note = note
+        touched = []
+        if existing.state is AlertState.RESOLVED:
+            existing.state = AlertState.OPEN
+            touched.append(existing)
+        if severity > existing.severity:
+            existing.severity = severity
+            touched.append(existing)
+        return touched
 
     # ------------------------------------------------------------------
     def acknowledge(self, alert_id: int, note: str = "") -> Alert:

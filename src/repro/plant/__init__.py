@@ -8,6 +8,14 @@ ground truth (process faults, sensor measurement errors, setup anomalies).
 """
 
 from .caq import CAQ_LIMITS, evaluate_caq
+from .chaos import (
+    ChaosConfig,
+    ChaosEvent,
+    FlakyDetector,
+    HangingDetector,
+    RaisingDetector,
+    inject_chaos,
+)
 from .config import (
     DEFAULT_PHASES,
     DEFAULT_SENSORS,
@@ -56,4 +64,10 @@ __all__ = [
     "SoftSensor",
     "build_soft_sensors",
     "SOFT_SUFFIX",
+    "ChaosConfig",
+    "ChaosEvent",
+    "inject_chaos",
+    "RaisingDetector",
+    "FlakyDetector",
+    "HangingDetector",
 ]

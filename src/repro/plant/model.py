@@ -232,6 +232,15 @@ class PlantDataset:
             raise KeyError(f"machine {machine_id} has no job {job_index}")
         return job
 
+    def find_job(self, machine_id: str, job_index: int) -> Optional[JobRecord]:
+        """Like :meth:`job` but returns ``None`` for unknown keys.
+
+        The explicit-membership twin of :meth:`job` for callers that treat
+        a missing job as data (e.g. the pipeline's candidate timestamping,
+        which surfaces the miss as a RunHealth warning instead of
+        swallowing a :class:`KeyError`)."""
+        return self._nav()["job_by_key"].get((machine_id, job_index))
+
     def job_intervals(self, line_id: str) -> List[Tuple[float, float, str, int]]:
         """``(start, end, machine_id, job_index)`` of every job on the line,
         sorted by start — the interval index behind windowed job lookups."""

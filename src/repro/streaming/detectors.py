@@ -36,7 +36,15 @@ class OnlineZScore:
         self.warmup = warmup
         self._stats = RunningStats()
 
+    @property
+    def n_skipped(self) -> int:
+        """Non-finite samples ignored so far (degraded-stream visibility)."""
+        return self._stats.n_skipped
+
     def update(self, x: float) -> float:
+        if not math.isfinite(x):
+            self._stats.update(x)  # counts the skip
+            return 0.0
         score = 0.0
         if self._stats.n >= self.warmup:
             score = abs(self._stats.zscore(x))
@@ -54,7 +62,15 @@ class OnlineEWMA:
         self._stats = EWStats(alpha)
         self._seen = 0
 
+    @property
+    def n_skipped(self) -> int:
+        """Non-finite samples ignored so far (degraded-stream visibility)."""
+        return self._stats.n_skipped
+
     def update(self, x: float) -> float:
+        if not math.isfinite(x):
+            self._stats.update(x)  # counts the skip
+            return 0.0
         score = 0.0
         if self._seen >= self.warmup:
             score = abs(self._stats.zscore(x))
@@ -85,7 +101,15 @@ class CusumDetector:
         self._pos = 0.0
         self._neg = 0.0
 
+    @property
+    def n_skipped(self) -> int:
+        """Non-finite samples ignored so far (degraded-stream visibility)."""
+        return self._stats.n_skipped
+
     def update(self, x: float) -> float:
+        if not math.isfinite(x):
+            self._stats.update(x)  # counts the skip; chart state untouched
+            return max(self._pos, self._neg)
         if self._stats.n < self.warmup:
             self._stats.update(x)
             return 0.0
@@ -129,9 +153,11 @@ class OnlineARDetector:
         self._P = np.eye(order + 1) * delta
         self._residual_stats = EWStats(alpha=0.02)
         self._seen = 0
+        self.n_skipped = 0
 
     def update(self, x: float) -> float:
-        if math.isnan(x):
+        if not math.isfinite(x):
+            self.n_skipped += 1
             return 0.0
         score = 0.0
         if len(self._history) == self.order:

@@ -14,15 +14,22 @@ __all__ = ["RunningStats", "EWStats", "P2Quantile"]
 
 
 class RunningStats:
-    """Welford's online mean / variance."""
+    """Welford's online mean / variance.
+
+    Non-finite samples (NaN **and** ±inf — one infinite sample would poison
+    the mean forever) are skipped and counted in :attr:`n_skipped`, so
+    degraded streams stay visible without corrupting the accumulator.
+    """
 
     def __init__(self) -> None:
         self.n = 0
+        self.n_skipped = 0
         self._mean = 0.0
         self._m2 = 0.0
 
     def update(self, x: float) -> None:
-        if math.isnan(x):
+        if not math.isfinite(x):
+            self.n_skipped += 1
             return
         self.n += 1
         delta = x - self._mean
@@ -59,11 +66,13 @@ class EWStats:
         if not 0 < alpha <= 1:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = alpha
+        self.n_skipped = 0
         self._mean: float | None = None
         self._var = 0.0
 
     def update(self, x: float) -> None:
-        if math.isnan(x):
+        if not math.isfinite(x):
+            self.n_skipped += 1
             return
         if self._mean is None:
             self._mean = x
@@ -106,9 +115,11 @@ class P2Quantile:
         self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
         self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
         self.n = 0
+        self.n_skipped = 0
 
     def update(self, x: float) -> None:
-        if math.isnan(x):
+        if not math.isfinite(x):
+            self.n_skipped += 1
             return
         self.n += 1
         if self._heights is None:

@@ -9,6 +9,7 @@ tolerance window.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
@@ -47,6 +48,8 @@ class _Channel:
     detector: object
     threshold: float
     recent_flags: Deque[float] = field(default_factory=deque)
+    last_seen: float = -math.inf  # last time a *finite* sample arrived
+    n_skipped: int = 0  # non-finite samples ignored on this channel
 
 
 class StreamingSensorMonitor:
@@ -65,6 +68,11 @@ class StreamingSensorMonitor:
     tolerance:
         Time window within which a corresponding channel's flag counts as
         support.
+    heartbeat_patience:
+        Seconds without a finite sample after which a channel counts as
+        *stalled*: it stops voting in the support divisor (renormalized,
+        exactly like the batch pipeline's quarantine) and shows up in
+        :meth:`stalled_channels`.  ``None`` disables the heartbeat.
     """
 
     def __init__(
@@ -73,17 +81,22 @@ class StreamingSensorMonitor:
         detector_factory: Optional[Callable[[], object]] = None,
         threshold: float = 6.0,
         tolerance: float = 8.0,
+        heartbeat_patience: Optional[float] = None,
     ) -> None:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
         if tolerance < 0:
             raise ValueError("tolerance must be >= 0")
+        if heartbeat_patience is not None and heartbeat_patience <= 0:
+            raise ValueError("heartbeat_patience must be positive")
         self._graph = graph
         self._factory = detector_factory or OnlineARDetector
         self.threshold = threshold
         self.tolerance = tolerance
+        self.heartbeat_patience = heartbeat_patience
         self._channels: Dict[str, _Channel] = {}
         self._events: List[StreamEvent] = []
+        self._now = -math.inf  # latest timestamp seen on any channel
 
     # ------------------------------------------------------------------
     def _channel(self, channel_id: str) -> _Channel:
@@ -94,8 +107,20 @@ class StreamingSensorMonitor:
         return state
 
     def observe(self, channel_id: str, time: float, value: float) -> Optional[StreamEvent]:
-        """Process one sample; returns the event if the sample is flagged."""
+        """Process one sample; returns the event if the sample is flagged.
+
+        Non-finite values advance the shared clock and the skip counter but
+        neither score nor flag — the sample is treated as missing, and a
+        channel that sends only garbage eventually stalls out of the
+        support divisor.
+        """
         state = self._channel(channel_id)
+        self._now = max(self._now, time)
+        if not math.isfinite(value):
+            state.n_skipped += 1
+            self._trim(state, time)
+            return None
+        state.last_seen = max(state.last_seen, time)
         score = state.detector.update(value)
         flagged = score >= state.threshold
         if flagged:
@@ -138,11 +163,38 @@ class StreamingSensorMonitor:
             state = self._channels.get(other)
             if state is None:
                 continue  # channel never reported; it cannot vote
+            if self._is_stalled(state, time):
+                continue  # heartbeat expired: renormalize the divisor
             counted += 1
             if any(abs(t - time) <= self.tolerance for t in state.recent_flags):
                 supporters += 1
         support = supporters / counted if counted else 0.0
         return support, counted
+
+    def _is_stalled(self, state: _Channel, now: float) -> bool:
+        if self.heartbeat_patience is None:
+            return False
+        return now - state.last_seen > self.heartbeat_patience
+
+    def stalled_channels(self, now: Optional[float] = None) -> List[str]:
+        """Channels whose heartbeat has expired at ``now`` (default: the
+        latest timestamp observed on any channel), sorted by id."""
+        if self.heartbeat_patience is None:
+            return []
+        at = self._now if now is None else now
+        return sorted(
+            cid
+            for cid, state in self._channels.items()
+            if self._is_stalled(state, at)
+        )
+
+    def skipped_counts(self) -> Dict[str, int]:
+        """Non-finite samples ignored per channel (only nonzero entries)."""
+        return {
+            cid: state.n_skipped
+            for cid, state in sorted(self._channels.items())
+            if state.n_skipped
+        }
 
     # ------------------------------------------------------------------
     @property

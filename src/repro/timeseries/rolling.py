@@ -24,8 +24,14 @@ __all__ = [
 
 def _values(series) -> np.ndarray:
     if isinstance(series, TimeSeries):
-        return series.values
-    return np.asarray(series, dtype=np.float64)
+        x = np.asarray(series.values, dtype=np.float64)
+    else:
+        x = np.asarray(series, dtype=np.float64)
+    # map ±inf to NaN so every rolling kernel treats non-finite samples as
+    # missing; `nan_to_num`-style huge substitutes would poison the windows
+    if x.size and not np.isfinite(x).all():
+        x = np.where(np.isfinite(x), x, np.nan)
+    return x
 
 
 def _check_window(window: int, n: int) -> None:

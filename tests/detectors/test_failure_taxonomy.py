@@ -1,0 +1,137 @@
+"""Failure taxonomy: every registered detector fails loudly and uniformly.
+
+Satellite of the resilience PR: the sandbox dispatches on exception
+*class*, so every Table-1 and baseline detector must (a) raise
+:class:`NotFittedError` when scored before fitting, (b) raise
+:class:`ShapeUnsupportedError` for every granularity its Table-1 row does
+not check, and (c) never let stray ``ValueError``/``LinAlgError``/arithmetic
+exceptions escape the :class:`DetectorError` family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    BASELINE_ROWS,
+    TABLE1_ROWS,
+    DataQualityError,
+    DataShape,
+    DetectorError,
+    DetectorTimeoutError,
+    NotFittedError,
+    ShapeUnsupportedError,
+)
+from repro.detectors.base import VectorDetector
+from repro.timeseries import DiscreteSequence, TimeSeries
+
+ALL_ROWS = TABLE1_ROWS + BASELINE_ROWS
+ROW_IDS = [entry.name for entry in ALL_ROWS]
+
+_RNG = np.random.default_rng(99)
+
+#: one well-formed sample of each granularity the framework accepts
+_SAMPLES = {
+    DataShape.POINTS: _RNG.normal(size=(20, 3)),
+    DataShape.SUBSEQUENCES: [
+        DiscreteSequence(("a", "b", "a", "c"), alphabet=("a", "b", "c")),
+        DiscreteSequence(("a", "b", "b", "c"), alphabet=("a", "b", "c")),
+    ],
+    DataShape.SERIES: [
+        TimeSeries(_RNG.normal(size=64)),
+        TimeSeries(_RNG.normal(size=64)),
+    ],
+}
+
+
+@pytest.mark.parametrize("entry", ALL_ROWS, ids=ROW_IDS)
+def test_score_before_fit_raises_not_fitted(entry):
+    detector = entry.factory()
+    with pytest.raises(NotFittedError):
+        detector.score(_SAMPLES[DataShape.POINTS])
+    with pytest.raises(NotFittedError):
+        detector.score_series(TimeSeries(np.zeros(64)))
+
+
+@pytest.mark.parametrize("entry", ALL_ROWS, ids=ROW_IDS)
+def test_unsupported_granularities_refused(entry):
+    """The blank Table-1 cells raise instead of degrading silently."""
+    supported = dict(zip(DataShape, entry.capabilities()))
+    for shape, ok in supported.items():
+        if ok:
+            continue
+        detector = entry.factory()
+        with pytest.raises(ShapeUnsupportedError):
+            detector.fit(_SAMPLES[shape])
+
+
+@pytest.mark.parametrize("entry", ALL_ROWS, ids=ROW_IDS)
+def test_capabilities_match_supports_declaration(entry):
+    pts, ssq, tss = entry.capabilities()
+    assert pts == (DataShape.POINTS in entry.cls.supports)
+    assert ssq == (DataShape.SUBSEQUENCES in entry.cls.supports)
+    assert tss == (DataShape.SERIES in entry.cls.supports)
+
+
+class _Exploding(VectorDetector):
+    """Minimal vector detector whose hooks raise a configurable exception."""
+
+    name = "exploding"
+    supports = frozenset({DataShape.POINTS})
+    exc: Exception = ValueError("boom")
+
+    def _fit_matrix(self, X):
+        raise type(self).exc
+
+    def _score_matrix(self, X):
+        raise type(self).exc
+
+
+class TestRunHookWrapping:
+    def _fit(self, exc):
+        detector = _Exploding()
+        type(detector).exc = exc
+        detector.fit(np.zeros((5, 2)))
+
+    def test_value_error_becomes_data_quality_error(self):
+        with pytest.raises(DataQualityError):
+            self._fit(ValueError("degenerate input"))
+
+    def test_data_quality_error_still_is_a_value_error(self):
+        # legacy callers catch ValueError; they must keep working
+        with pytest.raises(ValueError):
+            self._fit(ValueError("degenerate input"))
+
+    def test_linalg_error_becomes_data_quality_error(self):
+        with pytest.raises(DataQualityError):
+            self._fit(np.linalg.LinAlgError("singular matrix"))
+
+    @pytest.mark.parametrize(
+        "exc", [ZeroDivisionError("1/0"), IndexError("oob"), KeyError("missing")],
+        ids=["arithmetic", "index", "key"],
+    )
+    def test_stray_runtime_errors_become_detector_errors(self, exc):
+        with pytest.raises(DetectorError):
+            self._fit(exc)
+
+    def test_detector_errors_pass_through_unwrapped(self):
+        with pytest.raises(NotFittedError):
+            self._fit(NotFittedError("exploding"))
+
+    def test_wrapped_message_names_detector_and_stage(self):
+        with pytest.raises(DetectorError, match="'exploding'.*fit"):
+            self._fit(ZeroDivisionError("1/0"))
+
+
+class TestErrorTaxonomy:
+    def test_timeout_error_carries_budget(self):
+        exc = DetectorTimeoutError("slow", 1.5)
+        assert exc.budget == 1.5
+        assert "1.5" in str(exc) and "slow" in str(exc)
+        assert isinstance(exc, DetectorError)
+
+    def test_data_quality_error_dual_inheritance(self):
+        exc = DataQualityError("bad")
+        assert isinstance(exc, DetectorError)
+        assert isinstance(exc, ValueError)

@@ -1,0 +1,172 @@
+"""Degraded streams: non-finite inputs and stalled sensors stay contained."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.support import CorrespondenceGraph
+from repro.streaming import (
+    CusumDetector,
+    OnlineARDetector,
+    OnlineEWMA,
+    OnlineZScore,
+    StreamingSensorMonitor,
+)
+from repro.streaming.online_stats import EWStats, P2Quantile, RunningStats
+from repro.timeseries import rolling_mean, rolling_zscore
+
+
+class TestOnlineStatsSkipNonFinite:
+    def test_running_stats_skip_and_count(self):
+        stats = RunningStats()
+        for x in (1.0, 2.0, float("nan"), 3.0, float("inf"), float("-inf")):
+            stats.update(x)
+        assert stats.n_skipped == 3
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_ew_stats_skip_and_count(self):
+        stats = EWStats(alpha=0.5)
+        stats.update(10.0)
+        before = stats.mean
+        stats.update(float("inf"))
+        stats.update(float("nan"))
+        assert stats.n_skipped == 2
+        assert stats.mean == before  # garbage never moved the level
+
+    def test_p2_quantile_skip_and_count(self):
+        q = P2Quantile(0.5)
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, float("nan"), float("inf")]:
+            q.update(x)
+        assert q.n_skipped == 2
+        assert math.isfinite(q.value)
+
+
+class TestOnlineDetectorsSkipNonFinite:
+    @pytest.mark.parametrize(
+        "factory", [OnlineZScore, OnlineEWMA, CusumDetector, OnlineARDetector],
+        ids=lambda f: f.__name__,
+    )
+    def test_non_finite_sample_scores_neutral(self, factory, rng):
+        detector = factory()
+        for x in rng.normal(0, 1, 100):
+            detector.update(float(x))
+        baseline_skipped = detector.n_skipped
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            score = detector.update(bad)
+            assert math.isfinite(score)
+        assert detector.n_skipped == baseline_skipped + 3
+
+    def test_detection_unaffected_by_interleaved_garbage(self, rng):
+        clean = OnlineZScore()
+        dirty = OnlineZScore()
+        values = rng.normal(0, 1, 200)
+        for x in values:
+            clean.update(float(x))
+            dirty.update(float(x))
+            dirty.update(float("nan"))  # interleaved garbage
+        assert dirty.n_skipped == 200
+        assert dirty.update(8.0) == pytest.approx(clean.update(8.0))
+
+
+class TestRollingNonFinite:
+    def test_rolling_mean_treats_inf_as_missing(self):
+        x = np.ones(20)
+        x[10] = np.inf
+        out = rolling_mean(x, window=5)
+        assert np.isfinite(out).all()
+        assert np.allclose(out, 1.0)
+
+    def test_rolling_zscore_ignores_inf_neighbors(self, rng):
+        x = rng.normal(0, 1, 100)
+        x[40] = np.inf
+        x[70] = 25.0
+        out = rolling_zscore(x, window=20)
+        assert out[40] == 0.0  # the non-finite sample itself scores neutral
+        assert np.isfinite(out).all()
+        assert out[70] > 5.0  # real outlier still found downstream of the inf
+
+
+def _pair_graph() -> CorrespondenceGraph:
+    graph = CorrespondenceGraph()
+    graph.add_correspondence("a", "b")
+    return graph
+
+
+def _warm(monitor: StreamingSensorMonitor, channels, n=60, start=0.0):
+    rng = np.random.default_rng(4)
+    t = start
+    for __ in range(n):
+        for cid in channels:
+            monitor.observe(cid, t, float(rng.normal()))
+        t += 1.0
+    return t
+
+
+class TestStreamMonitorHeartbeat:
+    def test_skipped_counts_per_channel(self):
+        monitor = StreamingSensorMonitor(_pair_graph(), threshold=6.0)
+        t = _warm(monitor, ["a", "b"])
+        assert monitor.observe("a", t, float("nan")) is None
+        assert monitor.observe("a", t + 1, float("inf")) is None
+        assert monitor.skipped_counts() == {"a": 2}
+
+    def test_stalled_channel_leaves_support_divisor(self):
+        monitor = StreamingSensorMonitor(
+            _pair_graph(),
+            detector_factory=OnlineZScore,
+            threshold=4.0,
+            tolerance=8.0,
+            heartbeat_patience=10.0,
+        )
+        t = _warm(monitor, ["a", "b"])
+        # b goes silent; a keeps streaming past b's heartbeat patience
+        for __ in range(20):
+            monitor.observe("a", t, 0.0)
+            t += 1.0
+        assert monitor.stalled_channels() == ["b"]
+        event = monitor.observe("a", t, 50.0)  # a clear outlier on a
+        assert event is not None
+        assert event.n_corresponding == 0  # b no longer votes "no support"
+        assert not event.is_measurement_suspect
+
+    def test_live_channel_still_votes(self):
+        monitor = StreamingSensorMonitor(
+            _pair_graph(),
+            detector_factory=OnlineZScore,
+            threshold=4.0,
+            tolerance=8.0,
+            heartbeat_patience=10.0,
+        )
+        t = _warm(monitor, ["a", "b"])
+        event = monitor.observe("a", t, 50.0)
+        assert event is not None
+        assert event.n_corresponding == 1  # b is alive and counted
+        assert monitor.stalled_channels() == []
+
+    def test_nan_only_channel_eventually_stalls(self):
+        monitor = StreamingSensorMonitor(
+            _pair_graph(),
+            detector_factory=OnlineZScore,
+            threshold=4.0,
+            heartbeat_patience=10.0,
+        )
+        t = _warm(monitor, ["a", "b"])
+        # b keeps "reporting", but only garbage: the heartbeat must expire
+        for __ in range(20):
+            monitor.observe("a", t, 0.0)
+            monitor.observe("b", t, float("nan"))
+            t += 1.0
+        assert monitor.stalled_channels() == ["b"]
+        assert monitor.skipped_counts()["b"] == 20
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            StreamingSensorMonitor(_pair_graph(), heartbeat_patience=0.0)
+
+    def test_heartbeat_disabled_by_default(self):
+        monitor = StreamingSensorMonitor(_pair_graph())
+        _warm(monitor, ["a"])
+        assert monitor.stalled_channels() == []
