@@ -39,8 +39,10 @@ def _large_plant():
     return simulate_plant(config)
 
 
-def _format(cold_s, warm_s, stats, identical) -> str:
-    ratio = stats["confirm_calls"] / max(1, stats["confirm_misses"])
+def _format(cold_s, warm_s, cache, identical) -> str:
+    confirm, support = cache["confirm"], cache["support"]
+    ctime = cache["candidate_time"]
+    ratio = confirm["calls"] / max(1, confirm["misses"])
     return "\n".join(
         [
             "Confirmation/support memoization — large plant, "
@@ -51,13 +53,13 @@ def _format(cold_s, warm_s, stats, identical) -> str:
             f"{'on':>8s} {warm_s:9.3f} {warm_s / N_RUNS:9.3f}",
             "",
             f"wall-clock speedup: {cold_s / warm_s:.1f}x",
-            f"confirm: {stats['confirm_calls']} calls, "
-            f"{stats['confirm_misses']} recomputations "
+            f"confirm: {confirm['calls']} calls, "
+            f"{confirm['misses']} recomputations "
             f"({ratio:.1f}x fewer recomputations than calls)",
-            f"support: {stats['support_calls']} calls, "
-            f"{stats['support_misses']} recomputations",
-            f"candidate-time: {stats['candidate_time_calls']} calls, "
-            f"{stats['candidate_time_hits']} hits",
+            f"support: {support['calls']} calls, "
+            f"{support['misses']} recomputations",
+            f"candidate-time: {ctime['calls']} calls, "
+            f"{ctime['hits']} hits",
             f"cached reports byte-identical to cold run: {identical}",
         ]
     )
@@ -86,13 +88,13 @@ def test_bench_confirm_cache(benchmark, emit):
     warm_reports = benchmark.pedantic(warm_runs, rounds=1, iterations=1)
     warm_s = time.perf_counter() - t0
 
-    stats = warm.stats()
+    cache = warm.stats()["cache"]
     identical = reports_to_json(warm_reports) == reports_to_json(cold_reports)
-    emit("confirm_cache", _format(cold_s, warm_s, stats, identical))
+    emit("confirm_cache", _format(cold_s, warm_s, cache, identical))
 
     # 1. counter-verified: >= 5x fewer confirm recomputations than calls
-    assert stats["confirm_calls"] >= 5 * stats["confirm_misses"]
-    assert stats["support_calls"] >= 5 * stats["support_misses"]
+    assert cache["confirm"]["calls"] >= 5 * cache["confirm"]["misses"]
+    assert cache["support"]["calls"] >= 5 * cache["support"]["misses"]
     # 2. measurable wall-clock win on the repeated-query workload
     assert warm_s < cold_s * 0.8
     # 3. the cache never changes results

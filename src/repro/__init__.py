@@ -19,7 +19,9 @@ standalone library:
   in for the paper's unavailable company data;
 * :mod:`repro.corpus` — the synthetic bibliographic corpus + query engine
   behind Fig. 3;
-* :mod:`repro.eval` — detection metrics and ranking comparison.
+* :mod:`repro.eval` — detection metrics and ranking comparison;
+* :mod:`repro.obs` — end-to-end telemetry: tracing spans, a metrics
+  registry, Prometheus/JSON exporters, run manifests, structured logs.
 
 Quickstart::
 
@@ -32,7 +34,7 @@ Quickstart::
         print(report.describe())
 """
 
-from . import core, corpus, detectors, eval, monitor, plant, streaming, synthetic, timeseries
+from . import core, corpus, detectors, eval, monitor, obs, plant, streaming, synthetic, timeseries
 from .core import (
     HierarchicalDetectionPipeline,
     HierarchicalOutlierReport,
@@ -52,6 +54,7 @@ __all__ = [
     "corpus",
     "eval",
     "monitor",
+    "obs",
     "streaming",
     "ProductionLevel",
     "HierarchicalOutlierReport",

@@ -7,6 +7,7 @@ detect     run hierarchical detection over a saved (or fresh) plant
 monitor    condition monitoring / alerts / maintenance over a plant
 table1     print the executable Table-1 capability matrix
 fig3       run the Fig.-3 corpus queries
+trace      pretty-print a span trace written by ``detect --trace-out``
 """
 
 from __future__ import annotations
@@ -52,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "probability before detection")
     det.add_argument("--chaos-seed", type=int, default=0,
                      help="seed of the chaos fault injection")
+    det.add_argument("--metrics-out", metavar="PATH",
+                     help="write Prometheus text-format metrics to this file")
+    det.add_argument("--trace-out", metavar="PATH",
+                     help="write the span trace as JSON to this file")
+    det.add_argument("--log-level", default=None, metavar="LEVEL",
+                     help="emit structured JSON logs at this level "
+                          "(DEBUG/INFO/WARNING/...) to stderr")
 
     mon = sub.add_parser("monitor", help="condition/maintenance summary")
     mon.add_argument("--plant", help=".npz archive from `repro simulate`")
@@ -62,6 +70,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig3 = sub.add_parser("fig3", help="run the Fig.-3 corpus queries")
     fig3.add_argument("--records", type=int, default=60_000)
     fig3.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser(
+        "trace", help="pretty-print a span trace from `detect --trace-out`"
+    )
+    trace.add_argument("trace_file", help="span-trace JSON file")
+    trace.add_argument("--max-depth", type=int, default=None,
+                       help="truncate the rendered tree at this depth")
 
     return parser
 
@@ -107,6 +122,10 @@ def _cmd_detect(args) -> int:
     from .core import HierarchicalDetectionPipeline, ProductionLevel
     from .io import reports_to_json
 
+    if args.log_level:
+        from .obs import configure_logging
+
+        configure_logging(level=args.log_level)
     dataset = _load_or_simulate(args)
     if args.chaos_dropout > 0:
         from .plant import ChaosConfig, inject_chaos
@@ -136,9 +155,60 @@ def _cmd_detect(args) -> int:
         for report in reports[: args.explain]:
             print()
             print(explain_report(report))
+    artifacts = {}
     if args.json:
-        reports_to_json(reports, args.json, health=pipeline.health)
+        reports_to_json(
+            reports, args.json, health=pipeline.health, stats=pipeline.stats()
+        )
+        artifacts["report"] = str(args.json)
         print(f"full reports written to {args.json}")
+    if args.metrics_out:
+        from .obs import write_metrics
+
+        write_metrics(pipeline.telemetry.metrics, args.metrics_out)
+        artifacts["metrics"] = str(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        from .obs import write_trace
+
+        write_trace(pipeline.telemetry.tracer, args.trace_out)
+        artifacts["trace"] = str(args.trace_out)
+        print(f"span trace written to {args.trace_out}")
+    if args.json:
+        from .obs import build_run_manifest, manifest_path_for, write_run_manifest
+
+        manifest = build_run_manifest(
+            command="detect",
+            config=pipeline.config,
+            seed=args.seed,
+            tracer=pipeline.telemetry.tracer,
+            health=pipeline.health,
+            n_reports=len(reports),
+            artifacts=artifacts,
+        )
+        manifest_path = write_run_manifest(manifest, manifest_path_for(args.json))
+        print(f"run manifest written to {manifest_path}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .obs import level_timings, render_span_tree, spans_from_dicts
+
+    with open(args.trace_file) as fh:
+        doc = json.load(fh)
+    spans = spans_from_dicts(doc)
+    if not spans:
+        print("(empty trace)")
+        return 0
+    print(render_span_tree(spans, max_depth=args.max_depth))
+    timings = level_timings(spans)
+    if timings:
+        print()
+        print("per-level timings:")
+        for level, seconds in timings.items():
+            print(f"  {level:16s} {seconds * 1e3:10.3f} ms")
     return 0
 
 
@@ -202,6 +272,7 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
+    "trace": _cmd_trace,
 }
 
 

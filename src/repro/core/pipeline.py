@@ -20,6 +20,7 @@ memoized on the candidate's canonical :attr:`~repro.core.OutlierCandidate.key`
 from __future__ import annotations
 
 import math
+import warnings
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -27,6 +28,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..detectors import make_detector
+from ..obs import Telemetry
+from ..obs.metrics import UNIT_BUCKETS
 from ..plant import PlantDataset
 from .algorithm import HierarchyContext, find_hierarchical_outliers
 from .levels import ProductionLevel
@@ -56,7 +59,12 @@ __all__ = [
     "PipelineStats",
     "PlantHierarchyContext",
     "HierarchicalDetectionPipeline",
+    "STATS_SCHEMA",
 ]
+
+#: Version tag of the nested dict returned by ``stats()`` (see
+#: docs/OBSERVABILITY.md for the full schema).
+STATS_SCHEMA = "repro.stats/2"
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,7 @@ class PipelineConfig:
     candidate_gap: int = 3  # samples merging consecutive flagged runs
     line_history: int = 5  # jobs of temporal context at the line level
     enable_cache: bool = True  # memoize confirm/support/candidate lookups
+    enable_telemetry: bool = True  # spans + metrics + structured logs
     gate_enabled: bool = True  # data-quality gate + trace repair/quarantine
     quality: QualityPolicy = QualityPolicy()  # gate thresholds
     sandbox: SandboxPolicy = SandboxPolicy()  # detector budget/retry policy
@@ -115,6 +124,23 @@ class PipelineStats:
             "candidate_time_hits": self.candidate_time_hits,
             "find_candidates_calls": self.find_candidates_calls,
             "find_candidates_hits": self.find_candidates_hits,
+        }
+
+    def as_nested(self) -> Dict[str, Dict[str, int]]:
+        """The ``cache`` block of the :data:`STATS_SCHEMA` stats dict:
+        one ``{"calls", "hits", "misses"}`` entry per memo table."""
+        def entry(calls: int, hits: int) -> Dict[str, int]:
+            return {"calls": calls, "hits": hits, "misses": calls - hits}
+
+        return {
+            "confirm": entry(self.confirm_calls, self.confirm_hits),
+            "support": entry(self.support_calls, self.support_hits),
+            "candidate_time": entry(
+                self.candidate_time_calls, self.candidate_time_hits
+            ),
+            "find_candidates": entry(
+                self.find_candidates_calls, self.find_candidates_hits
+            ),
         }
 
 
@@ -184,22 +210,40 @@ class PlantHierarchyContext(HierarchyContext):
         dataset: PlantDataset,
         selector: Optional[AlgorithmSelector] = None,
         config: Optional[PipelineConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.dataset = dataset
         self.selector = selector or AlgorithmSelector()
         self.config = config or PipelineConfig()
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(enabled=self.config.enable_telemetry)
+        )
+        self._init_instruments()
+        # deferred detector observations: the per-call hot path appends a
+        # tuple here and publish_stats() folds the batch into the registry
+        self._pending_detector_obs: List[Tuple[str, str, bool, float]] = []
         self.health = RunHealth()
         self._sandbox = DetectorSandbox(self.config.sandbox)
         self._graph = CorrespondenceGraph.from_plant(dataset)
         self._traces: Dict[str, List[_Trace]] = {}
         self._phase_candidates: List[OutlierCandidate] = []
-        self._score_phase_level()
-        self._score_env_level()
-        self._score_job_level()
-        self._score_line_level()
-        self._score_production_level()
-        self._flag_dead_channels()
-        self._build_indexes()
+        tracer = self.telemetry.tracer
+        with tracer.span("pipeline.build"):
+            with tracer.span("score.PHASE", level="PHASE"):
+                self._score_phase_level()
+            with tracer.span("score.ENVIRONMENT", level="ENVIRONMENT"):
+                self._score_env_level()
+            with tracer.span("score.JOB", level="JOB"):
+                self._score_job_level()
+            with tracer.span("score.PRODUCTION_LINE", level="PRODUCTION_LINE"):
+                self._score_line_level()
+            with tracer.span("score.PRODUCTION", level="PRODUCTION"):
+                self._score_production_level()
+            with tracer.span("pipeline.index"):
+                self._flag_dead_channels()
+                self._build_indexes()
         self._support_calc = SupportCalculator(
             self._graph,
             self._lookup_trace,
@@ -263,12 +307,101 @@ class PlantHierarchyContext(HierarchyContext):
     # ------------------------------------------------------------------
     # instrumentation
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
-        """Cache counters per memo table, plus the run-health counters."""
-        return {**self._stats.as_dict(), **self.health.counters()}
+    def _init_instruments(self) -> None:
+        """Register this run's metric instruments (no-ops when disabled)."""
+        m = self.telemetry.metrics
+        self._m_detector_calls = m.counter(
+            "repro_detector_calls_total",
+            "Sandboxed detector invocations by level, detector, and outcome.",
+            labelnames=("level", "detector", "outcome"),
+        )
+        self._m_detector_latency = m.histogram(
+            "repro_detector_latency_seconds",
+            "Wall-clock latency of sandboxed detector calls.",
+            labelnames=("level",),
+        )
+        self._m_fallbacks = m.counter(
+            "repro_fallbacks_total",
+            "Detector failures survived by falling back to the next choice.",
+            labelnames=("level",),
+        )
+        self._m_quarantines = m.counter(
+            "repro_quarantines_total",
+            "Traces (scope=trace) or whole channels (scope=channel) pulled "
+            "from scoring by the data-quality gate.",
+            labelnames=("scope",),
+        )
+        self._m_candidates = m.counter(
+            "repro_candidates_total",
+            "Outlier candidates found per hierarchy level.",
+            labelnames=("level",),
+        )
+        self._m_confirmations = m.counter(
+            "repro_confirmations_total",
+            "Cross-level confirmation computations by level and outcome.",
+            labelnames=("level", "detected"),
+        )
+        self._m_support = m.histogram(
+            "repro_support",
+            "Distribution of computed Algorithm-1 support values.",
+            buckets=UNIT_BUCKETS,
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """The run's telemetry counters as one nested, documented dict.
+
+        Schema (:data:`STATS_SCHEMA`, documented in docs/OBSERVABILITY.md):
+        ``{"schema", "cache": {<memo table>: {"calls", "hits", "misses"}},
+        "health": {"degraded", "fallbacks", "quarantines", "dead_channels",
+        "warnings", "degraded_levels"}}``.  This is the single source the
+        metrics registry consumes (:meth:`publish_stats`) and the
+        ``telemetry`` block of the JSON report export.
+        """
+        health = self.health
+        return {
+            "schema": STATS_SCHEMA,
+            "cache": self._stats.as_nested(),
+            "health": {
+                "degraded": health.degraded,
+                "fallbacks": len(health.fallbacks),
+                "quarantines": len(health.quarantines),
+                "dead_channels": len(health.dead_channels),
+                "warnings": len(health.warnings),
+                "degraded_levels": len(health.level_notes),
+            },
+        }
+
+    def publish_stats(self) -> None:
+        """Fold the :meth:`stats` tree into the metrics registry.
+
+        Cache and health counters become ``repro_stats_*`` gauges plus a
+        ``repro_cache_hit_ratio{cache=...}`` gauge per memo table, so one
+        Prometheus scrape carries the whole run story.
+        """
+        self._flush_detector_observations()
+        tree = self.stats()
+        m = self.telemetry.metrics
+        m.import_nested(
+            "repro_stats", {"cache": tree["cache"], "health": tree["health"]}
+        )
+        ratio = m.gauge(
+            "repro_cache_hit_ratio",
+            "Hit ratio per confirmation/support memo table.",
+            labelnames=("cache",),
+        )
+        for cache_name, entry in tree["cache"].items():
+            if entry["calls"]:
+                ratio.set(entry["hits"] / entry["calls"], cache=cache_name)
 
     @property
     def cache_stats(self) -> PipelineStats:
+        """Deprecated accessor: use ``stats()["cache"]`` instead."""
+        warnings.warn(
+            "PlantHierarchyContext.cache_stats is deprecated and will be "
+            "removed; read stats()['cache'] (one nested schema) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._stats
 
     def reset_stats(self) -> None:
@@ -296,15 +429,26 @@ class PlantHierarchyContext(HierarchyContext):
         degraded, never silent.
         """
         chain = self.selector.fallback_chain(level)
+        tracer = self.telemetry.tracer
+        level_name = level.name
         for pos, name in enumerate(chain):
-            outcome = self._sandbox.call(
-                lambda name=name: make_detector(name).fit_score_series(series),
-                label=name,
-            )
+            with tracer.span(
+                "detector", level=level_name, detector=name, unit=unit
+            ) as sp:
+                outcome = self._sandbox.call(
+                    lambda name=name: make_detector(name).fit_score_series(series),
+                    label=name,
+                )
+                sp.set(
+                    ok=outcome.ok,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+            self._observe_detector_call(level_name, name, outcome)
             if outcome.ok:
                 return np.asarray(outcome.value, dtype=float), name
             fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
-            self.health.record_fallback(
+            self._note_fallback(
                 FallbackEvent(
                     level=level.name,
                     unit=unit,
@@ -315,7 +459,7 @@ class PlantHierarchyContext(HierarchyContext):
                     timed_out=outcome.timed_out,
                 )
             )
-        self.health.note_level(level.name, "scored with the terminal robust baseline")
+        self._note_terminal_baseline(level)
         return robust_fallback_scores(np.asarray(series.values, dtype=float)), "robust-baseline"
 
     def _score_vectors_resilient(
@@ -323,14 +467,25 @@ class PlantHierarchyContext(HierarchyContext):
     ) -> Tuple[np.ndarray, str]:
         """Vector-level twin of :meth:`_score_series_resilient`."""
         chain = self.selector.fallback_chain(level)
+        tracer = self.telemetry.tracer
+        level_name = level.name
         for pos, name in enumerate(chain):
-            outcome = self._sandbox.call(
-                lambda name=name: make_detector(name).fit_score(X), label=name
-            )
+            with tracer.span(
+                "detector", level=level_name, detector=name, unit=unit
+            ) as sp:
+                outcome = self._sandbox.call(
+                    lambda name=name: make_detector(name).fit_score(X), label=name
+                )
+                sp.set(
+                    ok=outcome.ok,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                )
+            self._observe_detector_call(level_name, name, outcome)
             if outcome.ok:
                 return np.asarray(outcome.value, dtype=float), name
             fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
-            self.health.record_fallback(
+            self._note_fallback(
                 FallbackEvent(
                     level=level.name,
                     unit=unit,
@@ -341,8 +496,60 @@ class PlantHierarchyContext(HierarchyContext):
                     timed_out=outcome.timed_out,
                 )
             )
-        self.health.note_level(level.name, "scored with the terminal robust baseline")
+        self._note_terminal_baseline(level)
         return robust_matrix_scores(X), "robust-baseline"
+
+    def _observe_detector_call(self, level_name: str, name: str,
+                               outcome) -> None:
+        if self.telemetry.enabled:
+            self._pending_detector_obs.append(
+                (level_name, name, outcome.ok, outcome.elapsed)
+            )
+
+    def _flush_detector_observations(self) -> None:
+        """Fold deferred detector observations into the metrics registry.
+
+        Batching keeps registry lookups and histogram label resolution off
+        the per-detector hot path: counts aggregate in plain dicts here and
+        land with one ``inc``/``observe_many`` per label set.
+        """
+        pending = self._pending_detector_obs
+        if not pending:
+            return
+        self._pending_detector_obs = []
+        call_counts: Dict[Tuple[str, str, str], int] = {}
+        latencies: Dict[str, List[float]] = {}
+        for level_name, detector, ok, elapsed in pending:
+            key = (level_name, detector, "ok" if ok else "error")
+            call_counts[key] = call_counts.get(key, 0) + 1
+            latencies.setdefault(level_name, []).append(max(0.0, elapsed))
+        for (level_name, detector, outcome_label), n in sorted(call_counts.items()):
+            self._m_detector_calls.inc(
+                n, level=level_name, detector=detector, outcome=outcome_label
+            )
+        for level_name, values in sorted(latencies.items()):
+            self._m_detector_latency.observe_many(values, level=level_name)
+
+    def _note_fallback(self, event: FallbackEvent) -> None:
+        """Record a survived detector failure in health, metrics, and logs."""
+        self.health.record_fallback(event)
+        self._m_fallbacks.inc(level=event.level)
+        self.telemetry.warning(
+            f"detector fallback at {event.level} {event.unit}: "
+            f"{event.failed_detector} -> {event.fallback} ({event.error})",
+            level=event.level,
+            unit=event.unit,
+            failed_detector=event.failed_detector,
+            fallback=event.fallback,
+            timed_out=event.timed_out,
+        )
+
+    def _note_terminal_baseline(self, level: ProductionLevel) -> None:
+        self.health.note_level(level.name, "scored with the terminal robust baseline")
+        self.telemetry.warning(
+            f"level {level.name} scored with the terminal robust baseline",
+            level=level.name,
+        )
 
     def _gate_series(self, channel_id: str, scope: str, series,
                      expected_length: Optional[int] = None):
@@ -356,9 +563,14 @@ class PlantHierarchyContext(HierarchyContext):
         )
         fatal = [i for i in issues if i.fatal]
         if fatal:
-            self.health.record_quarantine(
-                channel_id, scope,
-                "; ".join(f"{i.code}: {i.detail}" for i in fatal),
+            reason = "; ".join(f"{i.code}: {i.detail}" for i in fatal)
+            self.health.record_quarantine(channel_id, scope, reason)
+            self._m_quarantines.inc(scope="trace")
+            self.telemetry.warning(
+                f"quarantined {channel_id} [{scope}]: {reason}",
+                channel_id=channel_id,
+                scope=scope,
+                timestamp=getattr(series, "start", None),
             )
             return None
         repaired, notes = repair_series(
@@ -399,6 +611,13 @@ class PlantHierarchyContext(HierarchyContext):
                 self.health.record_quarantine(
                     channel_id, "channel",
                     "no usable trace survived the quality gate",
+                )
+                self._m_quarantines.inc(scope="channel")
+                self.telemetry.warning(
+                    f"dead channel {channel_id}: no usable trace survived "
+                    "the quality gate; removed from the support divisor",
+                    channel_id=channel_id,
+                    scope="channel",
                 )
 
     # ------------------------------------------------------------------
@@ -636,7 +855,12 @@ class PlantHierarchyContext(HierarchyContext):
         if cached is not None:
             self._stats.find_candidates_hits += 1
             return list(cached)
-        result = self._find_candidates_uncached(level)
+        with self.telemetry.tracer.span(
+            "find_candidates", level=level.name
+        ) as sp:
+            result = self._find_candidates_uncached(level)
+            sp.set(n_candidates=len(result))
+        self._m_candidates.inc(len(result), level=level.name)
         if self._cache_enabled:
             self._candidates_cache[level] = result
             return list(result)
@@ -758,7 +982,15 @@ class PlantHierarchyContext(HierarchyContext):
         if cached is not None:
             self._stats.confirm_hits += 1
             return cached
-        result = self._confirm_uncached(candidate, level)
+        level_name = getattr(level, "name", str(level))
+        with self.telemetry.tracer.span(
+            "confirm", level=level_name, candidate=candidate.location
+        ) as sp:
+            result = self._confirm_uncached(candidate, level)
+            sp.set(detected=result.detected)
+        self._m_confirmations.inc(
+            level=level_name, detected=str(bool(result.detected)).lower()
+        )
         if self._cache_enabled:
             self._confirm_cache[key] = result
         return result
@@ -888,7 +1120,15 @@ class PlantHierarchyContext(HierarchyContext):
         if cached is not None:
             self._stats.support_hits += 1
             return cached
-        result = self._support_uncached(candidate)
+        with self.telemetry.tracer.span(
+            "support", candidate=candidate.location
+        ) as sp:
+            result = self._support_uncached(candidate)
+            sp.set(
+                support=float(result.support),
+                n_corresponding=result.n_corresponding,
+            )
+        self._m_support.observe(float(result.support))
         if self._cache_enabled:
             self._support_cache[key] = result
         return result
@@ -919,10 +1159,18 @@ class HierarchicalDetectionPipeline:
         dataset: PlantDataset,
         selector: Optional[AlgorithmSelector] = None,
         config: Optional[PipelineConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.dataset = dataset
         self.config = config or PipelineConfig()
-        self.context = PlantHierarchyContext(dataset, selector, self.config)
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(enabled=self.config.enable_telemetry)
+        )
+        self.context = PlantHierarchyContext(
+            dataset, selector, self.config, telemetry=self.telemetry
+        )
 
     def run(
         self,
@@ -938,21 +1186,63 @@ class HierarchicalDetectionPipeline:
         Repeated calls reuse the context's confirmation/support caches;
         see :meth:`stats`.
         """
-        reports = find_hierarchical_outliers(
-            self.context,
-            start_level,
-            fusion_strategy=fusion_strategy or self.config.fusion_strategy,
-            unify_method=unify_method,
+        fusion = fusion_strategy or self.config.fusion_strategy
+        with self.telemetry.tracer.span(
+            "alg1.run",
+            start_level=start_level.name,
+            fusion=fusion,
+            unify=unify_method,
+        ) as sp:
+            reports = find_hierarchical_outliers(
+                self.context,
+                start_level,
+                fusion_strategy=fusion,
+                unify_method=unify_method,
+            )
+            ranked = rank_reports(reports)
+            sp.set(n_reports=len(ranked))
+        self._publish_run_metrics(start_level, ranked)
+        return ranked
+
+    def _publish_run_metrics(
+        self,
+        start_level: ProductionLevel,
+        reports: List[HierarchicalOutlierReport],
+    ) -> None:
+        m = self.telemetry.metrics
+        m.counter(
+            "repro_runs_total", "Algorithm-1 runs executed.",
+            labelnames=("start_level",),
+        ).inc(start_level=start_level.name)
+        m.counter(
+            "repro_reports_total", "Hierarchical outlier reports emitted.",
+        ).inc(len(reports))
+        warnings_total = m.counter(
+            "repro_measurement_warnings_total",
+            "Reports carrying the wrong-measurement warning.",
         )
-        return rank_reports(reports)
+        confirmed = m.counter(
+            "repro_confirmed_levels_total",
+            "Level confirmations attached to emitted reports, by outcome.",
+            labelnames=("level", "detected"),
+        )
+        for report in reports:
+            if report.measurement_warning:
+                warnings_total.inc()
+            for conf in report.confirmations:
+                confirmed.inc(
+                    level=conf.level.name,
+                    detected=str(bool(conf.detected)).lower(),
+                )
+        self.context.publish_stats()
 
     @property
     def health(self) -> RunHealth:
         """Structured degradation record of the run (fallbacks, quarantines)."""
         return self.context.health
 
-    def stats(self) -> Dict[str, int]:
-        """Cache counters of the underlying context plus health counters."""
+    def stats(self) -> Dict[str, object]:
+        """The unified nested stats dict (see :data:`STATS_SCHEMA`)."""
         return self.context.stats()
 
     def flat_baseline(self) -> List[HierarchicalOutlierReport]:

@@ -268,16 +268,25 @@ def reports_to_json(
     reports: List[HierarchicalOutlierReport],
     path=None,
     health: RunHealth = None,
+    stats: Dict = None,
 ) -> str:
     """Serialize reports to JSON (optionally writing to ``path``).
 
-    Passing the run's :class:`~repro.core.RunHealth` embeds a
-    ``run_health`` section, so a dashboard consuming the export can tell a
-    pristine run from one that survived on fallbacks and quarantines.
+    Passing the run's :class:`~repro.core.RunHealth` and/or the
+    pipeline's nested ``stats()`` dict embeds a ``telemetry`` section
+    (``telemetry.run_health`` and ``telemetry.stats``), so a dashboard
+    consuming the export can tell a pristine run from one that survived
+    on fallbacks and quarantines — and see the confirmation/support
+    cache counters that earlier exports silently dropped.
     """
     doc: Dict = {"reports": reports_to_rows(reports)}
+    telemetry: Dict = {}
     if health is not None:
-        doc["run_health"] = health_to_dict(health)
+        telemetry["run_health"] = health_to_dict(health)
+    if stats is not None:
+        telemetry["stats"] = stats
+    if telemetry:
+        doc["telemetry"] = telemetry
     payload = json.dumps(doc, indent=2)
     if path is not None:
         pathlib.Path(path).write_text(payload)

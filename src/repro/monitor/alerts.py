@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import enum
 import itertools
+import logging as _logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core import HierarchicalOutlierReport, RunHealth
+from ..obs import Telemetry
 
 __all__ = ["Severity", "AlertState", "Alert", "AlertManager", "triple_severity"]
 
@@ -105,12 +107,49 @@ def _dedup_key(report: HierarchicalOutlierReport) -> str:
 
 
 class AlertManager:
-    """Ingest reports, deduplicate, grade, and track alert lifecycle."""
+    """Ingest reports, deduplicate, grade, and track alert lifecycle.
 
-    def __init__(self, min_severity: Severity = Severity.INFO) -> None:
+    With an enabled :class:`~repro.obs.Telemetry` (the default), every
+    alert that is newly opened, re-opened, or escalated increments the
+    ``repro_alerts_total{severity}`` counter and emits a structured log
+    record (WARNING for WARNING/CRITICAL alerts, INFO otherwise).
+    """
+
+    def __init__(
+        self,
+        min_severity: Severity = Severity.INFO,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.min_severity = min_severity
         self._alerts: Dict[str, Alert] = {}
         self._ids = itertools.count(1)
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(logger_name="alerts")
+        )
+        self._m_alerts = self.telemetry.metrics.counter(
+            "repro_alerts_total",
+            "Alerts newly opened, re-opened, or escalated, by severity.",
+            labelnames=("severity",),
+        )
+
+    def _observe_touched(self, touched: List[Alert]) -> None:
+        for alert in touched:
+            self._m_alerts.inc(severity=alert.severity.name)
+            level = (
+                _logging.WARNING
+                if alert.severity >= Severity.WARNING
+                else _logging.INFO
+            )
+            self.telemetry.log(
+                level,
+                f"alert {alert.key} [{alert.severity.name}]",
+                alert_id=alert.alert_id,
+                key=alert.key,
+                severity=alert.severity.name,
+                occurrences=alert.occurrences,
+            )
 
     # ------------------------------------------------------------------
     def ingest(self, reports) -> List[Alert]:
@@ -148,6 +187,7 @@ class AlertManager:
             if alert.alert_id not in seen:
                 seen.add(alert.alert_id)
                 unique.append(alert)
+        self._observe_touched(unique)
         return unique
 
     def ingest_health(self, health: RunHealth) -> List[Alert]:
@@ -193,6 +233,7 @@ class AlertManager:
             if alert.alert_id not in seen:
                 seen.add(alert.alert_id)
                 unique.append(alert)
+        self._observe_touched(unique)
         return unique
 
     def _touch_health(

@@ -1,0 +1,277 @@
+"""Exporters: Prometheus text exposition, JSON, span trees, run manifests.
+
+One metrics registry and one tracer come out of every pipeline run; this
+module turns them into artifacts something else can ingest:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, escaped label values, cumulative
+  histogram buckets with ``le`` labels plus ``_sum`` / ``_count``);
+* :func:`metrics_to_json` / :func:`trace_to_json` — structured JSON for
+  anything that is not a Prometheus scraper;
+* :func:`render_span_tree` — a human-readable tree with per-span
+  durations, used by ``repro trace``;
+* :func:`build_run_manifest` / :func:`write_run_manifest` — the per-run
+  manifest (config, seed, package version, wall-clock totals, health
+  summary) written next to the JSON report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+from .metrics import Histogram, MetricsRegistry
+from .trace import Span, Tracer, validate_spans
+
+__all__ = [
+    "escape_label_value",
+    "to_prometheus",
+    "metrics_to_json",
+    "trace_to_json",
+    "write_metrics",
+    "write_trace",
+    "render_span_tree",
+    "level_timings",
+    "build_run_manifest",
+    "write_run_manifest",
+    "manifest_path_for",
+]
+
+MANIFEST_SCHEMA = "repro.manifest/1"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(pairs: Sequence) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registered metric in the text exposition format.
+
+    Output is deterministic: metrics sorted by name, label sets sorted by
+    value tuple, histogram buckets in increasing ``le`` order.
+    """
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key in metric.labelsets():
+                labels = dict(key)
+                for bound, count in metric.cumulative(**labels):
+                    le = "+Inf" if math.isinf(bound) else _fmt_value(bound)
+                    pairs = list(key) + [("le", le)]
+                    lines.append(
+                        f"{metric.name}_bucket{_fmt_labels(pairs)} {count}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_fmt_labels(key)} "
+                    f"{_fmt_value(metric.sum(**labels))}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_fmt_labels(key)} "
+                    f"{metric.count(**labels)}"
+                )
+        else:
+            for key, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_fmt_labels(key)} {_fmt_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def metrics_to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    return json.dumps(
+        {"schema": "repro.metrics/1", "metrics": registry.as_dict()},
+        indent=indent,
+    )
+
+
+def trace_to_json(tracer: Tracer, indent: Optional[int] = 2) -> str:
+    return tracer.to_json(indent=indent)
+
+
+def write_metrics(registry: MetricsRegistry, path) -> pathlib.Path:
+    """Write the Prometheus exposition of ``registry`` to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(to_prometheus(registry))
+    return path
+
+
+def write_trace(tracer: Tracer, path) -> pathlib.Path:
+    """Write the tracer's span list as JSON to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(trace_to_json(tracer))
+    return path
+
+
+# ----------------------------------------------------------------------
+# span-tree rendering
+# ----------------------------------------------------------------------
+def _span_label(span: Span) -> str:
+    label = span.name
+    attrs = span.attributes
+    detail = " ".join(
+        f"{k}={attrs[k]}"
+        for k in sorted(attrs)
+        if isinstance(attrs[k], (str, bool, int))
+    )
+    if detail:
+        label += f" [{detail}]"
+    if span.status != "ok":
+        label += f" !{span.error}"
+    return label
+
+
+def render_span_tree(spans: Sequence[Span], max_depth: Optional[int] = None) -> str:
+    """ASCII tree of a span list, one line per span with its duration.
+
+    Spans are attached to their parents via ``parent_id``; orphans (a
+    truncated trace) are rendered as extra roots rather than dropped.
+    """
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    ids = {s.span_id for s in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.start, s.span_id))
+
+    lines: List[str] = []
+
+    def emit(span: Span, prefix: str, is_last: bool, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        connector = "" if not prefix and is_last is None else (
+            "└─ " if is_last else "├─ "
+        )
+        duration = f"{span.duration * 1e3:10.3f} ms"
+        lines.append(f"{prefix}{connector}{_span_label(span)}  {duration}")
+        children = by_parent.get(span.span_id, [])
+        child_prefix = prefix + (
+            "" if is_last is None else ("   " if is_last else "│  ")
+        )
+        for i, child in enumerate(children):
+            emit(child, child_prefix, i == len(children) - 1, depth + 1)
+
+    for root in by_parent.get(None, []):
+        emit(root, "", None, 0)
+    return "\n".join(lines)
+
+
+def level_timings(spans: Sequence[Span]) -> Dict[str, float]:
+    """Seconds spent per hierarchy level (summed ``score.<LEVEL>`` spans)."""
+    out: Dict[str, float] = {}
+    for span in spans:
+        if span.name.startswith("score."):
+            level = span.name.split(".", 1)[1]
+            out[level] = out.get(level, 0.0) + span.duration
+    return out
+
+
+# ----------------------------------------------------------------------
+# run manifest
+# ----------------------------------------------------------------------
+def _package_version() -> str:
+    try:
+        from .. import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - partially initialized package
+        return "unknown"
+
+
+def _config_to_dict(config) -> Dict[str, object]:
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    return dict(config) if isinstance(config, dict) else {"repr": repr(config)}
+
+
+def build_run_manifest(
+    command: str,
+    config=None,
+    seed: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    health=None,
+    n_reports: Optional[int] = None,
+    artifacts: Optional[Dict[str, str]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the JSON-safe per-run manifest.
+
+    ``health`` is a ``RunHealth`` (summarized to its counters plus the
+    degraded flag); ``tracer`` contributes wall-clock totals and
+    per-level timings; ``artifacts`` names the sibling files the run
+    produced (report / metrics / trace paths).
+    """
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "package": {"name": "repro", "version": _package_version()},
+        "command": command,
+        "seed": seed,
+        "config": _config_to_dict(config) if config is not None else None,
+    }
+    if tracer is not None:
+        spans = tracer.spans
+        manifest["wall_clock"] = {
+            "total_seconds": tracer.total_seconds(),
+            "levels": level_timings(spans),
+            "n_spans": len(spans),
+            "trace_well_formed": not validate_spans(spans),
+        }
+    if health is not None:
+        manifest["health"] = {
+            "degraded": bool(health.degraded),
+            **health.counters(),
+        }
+    if n_reports is not None:
+        manifest["reports"] = {"count": int(n_reports)}
+    manifest["artifacts"] = dict(artifacts or {})
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_run_manifest(manifest: Dict[str, object], path) -> pathlib.Path:
+    """Write a manifest built by :func:`build_run_manifest` to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def manifest_path_for(report_path) -> pathlib.Path:
+    """The manifest's canonical location next to a JSON report."""
+    report_path = pathlib.Path(report_path)
+    return report_path.with_name(report_path.stem + ".manifest.json")

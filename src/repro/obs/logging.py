@@ -1,0 +1,96 @@
+"""Structured JSON logging for the ``repro.*`` logger hierarchy.
+
+Previously the pipeline's degradation events (quarantines, fallbacks,
+dead channels, heartbeat stalls) only mutated ``RunHealth`` — invisible
+unless someone parsed the JSON report.  Every such event now also emits
+a :mod:`logging` record through a ``repro.<component>`` logger, carrying
+the active span id so log lines correlate with the trace.
+
+Following stdlib-library convention, the package attaches a
+:class:`logging.NullHandler` to the ``repro`` root logger: nothing is
+printed unless the host application (or :func:`configure_logging`, used
+by the CLI's ``--log-level``) installs a handler.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional, TextIO
+
+__all__ = ["JsonLogFormatter", "get_logger", "configure_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: LogRecord attributes that are plumbing, not user-supplied fields.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: level, logger, message, extra fields.
+
+    Any ``extra={...}`` keys the caller attached (``span_id``,
+    ``channel_id``, ``timestamp``, ...) are emitted verbatim, sorted, so
+    lines are machine-parseable and stable.  Set ``timestamps=False``
+    for deterministic output (tests, golden files).
+    """
+
+    def __init__(self, timestamps: bool = True) -> None:
+        super().__init__()
+        self.timestamps = timestamps
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if self.timestamps:
+            doc["time"] = self.formatTime(record, "%Y-%m-%dT%H:%M:%S")
+        for key in sorted(record.__dict__):
+            if key not in _RESERVED and key not in doc:
+                doc[key] = record.__dict__[key]
+        if record.exc_info:
+            doc["exception"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=str, sort_keys=False)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: str = "INFO",
+    stream: Optional[TextIO] = None,
+    timestamps: bool = True,
+) -> logging.Handler:
+    """Attach a JSON stream handler to the ``repro`` logger.
+
+    Idempotent: a handler installed by a previous call is replaced, so
+    repeated CLI invocations in one process do not double-log.  Returns
+    the installed handler (useful for tests that capture a StringIO).
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter(timestamps=timestamps))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level.upper() if isinstance(level, str) else level)
+    return handler
+
+
+# library default: silent unless the application installs a handler
+get_logger().addHandler(logging.NullHandler())

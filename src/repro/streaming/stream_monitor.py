@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
 
 from ..core.support import CorrespondenceGraph
+from ..obs import Telemetry
 from .detectors import OnlineARDetector
 
 __all__ = ["StreamEvent", "StreamingSensorMonitor"]
@@ -73,6 +74,12 @@ class StreamingSensorMonitor:
         *stalled*: it stops voting in the support divisor (renormalized,
         exactly like the batch pipeline's quarantine) and shows up in
         :meth:`stalled_channels`.  ``None`` disables the heartbeat.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` bundle.  When enabled, the
+        monitor records sample/event/skip counters, wraps
+        :meth:`observe_block` in a span, and emits a WARNING-level
+        structured log record (channel id + stream timestamp) the moment
+        a channel's heartbeat stalls.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class StreamingSensorMonitor:
         threshold: float = 6.0,
         tolerance: float = 8.0,
         heartbeat_patience: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if threshold <= 0:
             raise ValueError("threshold must be positive")
@@ -97,6 +105,25 @@ class StreamingSensorMonitor:
         self._channels: Dict[str, _Channel] = {}
         self._events: List[StreamEvent] = []
         self._now = -math.inf  # latest timestamp seen on any channel
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(logger_name="streaming")
+        )
+        self._reported_stalled: set = set()
+        m = self.telemetry.metrics
+        self._m_samples = m.counter(
+            "repro_stream_samples_total", "Samples fed to the streaming monitor."
+        )
+        self._m_skipped = m.counter(
+            "repro_stream_skipped_total", "Non-finite samples ignored."
+        )
+        self._m_events = m.counter(
+            "repro_stream_events_total", "Flagged samples (stream events)."
+        )
+        self._m_stalls = m.counter(
+            "repro_stream_stalls_total", "Channels whose heartbeat stalled."
+        )
 
     # ------------------------------------------------------------------
     def _channel(self, channel_id: str) -> _Channel:
@@ -116,16 +143,21 @@ class StreamingSensorMonitor:
         """
         state = self._channel(channel_id)
         self._now = max(self._now, time)
+        self._m_samples.inc()
         if not math.isfinite(value):
             state.n_skipped += 1
+            self._m_skipped.inc()
             self._trim(state, time)
+            self._check_stalls()
             return None
         state.last_seen = max(state.last_seen, time)
+        self._reported_stalled.discard(channel_id)  # heartbeat recovered
         score = state.detector.update(value)
         flagged = score >= state.threshold
         if flagged:
             state.recent_flags.append(time)
         self._trim(state, time)
+        self._check_stalls()
         if not flagged:
             return None
         support, n_corr = self._support(channel_id, time)
@@ -138,16 +170,39 @@ class StreamingSensorMonitor:
             n_corresponding=n_corr,
         )
         self._events.append(event)
+        self._m_events.inc()
         return event
 
     def observe_block(self, samples: Sequence[tuple]) -> List[StreamEvent]:
         """Convenience: feed (channel, time, value) triples in order."""
         events = []
-        for channel_id, time, value in samples:
-            event = self.observe(channel_id, time, value)
-            if event is not None:
-                events.append(event)
+        with self.telemetry.tracer.span(
+            "stream.observe_block", n_samples=len(samples)
+        ) as sp:
+            for channel_id, time, value in samples:
+                event = self.observe(channel_id, time, value)
+                if event is not None:
+                    events.append(event)
+            sp.set(n_events=len(events))
         return events
+
+    def _check_stalls(self) -> None:
+        """Emit one WARNING per channel the moment its heartbeat stalls."""
+        if self.heartbeat_patience is None or not self.telemetry.enabled:
+            return
+        for channel_id, state in self._channels.items():
+            if channel_id in self._reported_stalled:
+                continue
+            if self._is_stalled(state, self._now):
+                self._reported_stalled.add(channel_id)
+                self._m_stalls.inc()
+                self.telemetry.warning(
+                    f"heartbeat stalled on {channel_id}",
+                    channel_id=channel_id,
+                    timestamp=self._now,
+                    last_seen=state.last_seen,
+                    patience=self.heartbeat_patience,
+                )
 
     # ------------------------------------------------------------------
     def _trim(self, state: _Channel, now: float) -> None:

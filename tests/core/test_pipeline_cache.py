@@ -77,32 +77,45 @@ class TestCandidateKey:
 class TestCounters:
     def test_first_run_populates_then_second_run_hits(self, pipeline):
         pipeline.run()
-        first = pipeline.stats()
-        assert first["confirm_calls"] > 0
-        assert first["confirm_misses"] > 0
+        first = pipeline.stats()["cache"]["confirm"]
+        assert first["calls"] > 0
+        assert first["misses"] > 0
+        first_support = pipeline.stats()["cache"]["support"]
         pipeline.run()
-        second = pipeline.stats()
+        second = pipeline.stats()["cache"]["confirm"]
         # no new recomputations, only new calls served from cache
-        assert second["confirm_misses"] == first["confirm_misses"]
-        assert second["confirm_calls"] > first["confirm_calls"]
-        assert second["confirm_hits"] > first["confirm_hits"]
-        assert second["support_misses"] == first["support_misses"]
+        assert second["misses"] == first["misses"]
+        assert second["calls"] > first["calls"]
+        assert second["hits"] > first["hits"]
+        assert pipeline.stats()["cache"]["support"]["misses"] == first_support["misses"]
 
     def test_hits_plus_misses_equals_calls(self, pipeline):
         pipeline.run()
         pipeline.run(start_level=L.JOB)
-        s = pipeline.stats()
-        assert s["confirm_hits"] + s["confirm_misses"] == s["confirm_calls"]
-        assert s["support_hits"] + s["support_misses"] == s["support_calls"]
+        cache = pipeline.stats()["cache"]
+        for table in ("confirm", "support"):
+            entry = cache[table]
+            assert entry["hits"] + entry["misses"] == entry["calls"]
 
     def test_reset_stats(self, pipeline):
         pipeline.run()
         pipeline.context.reset_stats()
-        s = pipeline.stats()
-        assert all(v == 0 for v in s.values())
+        cache = pipeline.stats()["cache"]
+        assert all(
+            v == 0 for entry in cache.values() for v in entry.values()
+        )
 
-    def test_stats_object_exposed(self, pipeline):
-        assert isinstance(pipeline.context.cache_stats, PipelineStats)
+    def test_stats_schema_is_stamped(self, pipeline):
+        from repro.core.pipeline import STATS_SCHEMA
+
+        assert pipeline.stats()["schema"] == STATS_SCHEMA
+
+    def test_deprecated_accessor_still_works_but_warns(self, pipeline):
+        import pytest
+
+        with pytest.deprecated_call():
+            stats = pipeline.context.cache_stats
+        assert isinstance(stats, PipelineStats)
 
 
 class TestCacheSemantics:
@@ -112,10 +125,10 @@ class TestCacheSemantics:
         )
         cold.run()
         cold.run()
-        s = cold.stats()
-        assert s["confirm_hits"] == 0
-        assert s["support_hits"] == 0
-        assert s["find_candidates_hits"] == 0
+        cache = cold.stats()["cache"]
+        assert cache["confirm"]["hits"] == 0
+        assert cache["support"]["hits"] == 0
+        assert cache["find_candidates"]["hits"] == 0
 
     def test_cached_reports_identical_to_cold_context(self, dataset, pipeline):
         cold = HierarchicalDetectionPipeline(
@@ -134,10 +147,10 @@ class TestCacheSemantics:
 
     def test_invalidate_caches_recomputes(self, pipeline):
         pipeline.run()
-        before = pipeline.stats()["confirm_misses"]
+        before = pipeline.stats()["cache"]["confirm"]["misses"]
         pipeline.context.invalidate_caches()
         pipeline.run()
-        after = pipeline.stats()["confirm_misses"]
+        after = pipeline.stats()["cache"]["confirm"]["misses"]
         assert after == 2 * before
 
     def test_unify_method_changes_outlierness_scale(self, pipeline):

@@ -49,12 +49,12 @@ class TestCleanRunHealth:
         pipeline = HierarchicalDetectionPipeline(small_plant)
         pipeline.run()
         assert not pipeline.health.degraded
-        stats = pipeline.stats()
+        health = pipeline.stats()["health"]
         for key in (
-            "health_fallbacks", "health_quarantines", "health_dead_channels",
-            "health_warnings", "health_degraded_levels",
+            "fallbacks", "quarantines", "dead_channels",
+            "warnings", "degraded_levels",
         ):
-            assert stats[key] == 0
+            assert health[key] == 0
 
 
 class TestDeadChannelQuarantine:
@@ -65,7 +65,7 @@ class TestDeadChannelQuarantine:
         # every all-NaN trace is quarantined, plus the wholesale record
         assert victim in health.quarantined_channels
         assert victim in health.dead_channels
-        assert pipeline.stats()["health_quarantines"] > 0
+        assert pipeline.stats()["health"]["quarantines"] > 0
         # the dead channel never produces candidates
         assert all(r.candidate.sensor_id != victim for r in reports)
 
@@ -160,11 +160,22 @@ class TestHealthExport:
     def test_reports_to_json_embeds_run_health(self, dead_channel_run):
         __, __, pipeline, reports = dead_channel_run
         doc = json.loads(reports_to_json(reports, health=pipeline.health))
-        assert "run_health" in doc
-        assert doc["run_health"]["degraded"] is True
-        assert doc["run_health"]["counters"]["health_quarantines"] > 0
+        telemetry = doc["telemetry"]
+        assert telemetry["run_health"]["degraded"] is True
+        assert telemetry["run_health"]["counters"]["health_quarantines"] > 0
+
+    def test_reports_to_json_embeds_cache_stats(self, dead_channel_run):
+        __, __, pipeline, reports = dead_channel_run
+        doc = json.loads(
+            reports_to_json(
+                reports, health=pipeline.health, stats=pipeline.stats()
+            )
+        )
+        stats = doc["telemetry"]["stats"]
+        assert stats["cache"]["confirm"]["calls"] >= 0
+        assert stats["health"]["quarantines"] > 0
 
     def test_reports_to_json_without_health(self, dead_channel_run):
         __, __, __, reports = dead_channel_run
         doc = json.loads(reports_to_json(reports))
-        assert "run_health" not in doc
+        assert "telemetry" not in doc

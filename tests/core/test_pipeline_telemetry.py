@@ -1,0 +1,182 @@
+"""Telemetry wiring through the hierarchical pipeline.
+
+The tentpole guarantees: spans cover all five hierarchy levels and every
+detector invocation, metrics mirror the run, traces are deterministic
+under an injected clock, structured WARNING logs fire on degradation
+events, and all of it disappears when ``enable_telemetry=False``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core import (
+    HierarchicalDetectionPipeline,
+    PipelineConfig,
+    ProductionLevel,
+)
+from repro.core.pipeline import STATS_SCHEMA
+from repro.obs import Telemetry, TickClock, validate_spans
+from repro.plant import ChaosConfig, FaultConfig, PlantConfig, inject_chaos, simulate_plant
+
+LEVELS = [level.name for level in ProductionLevel]
+
+
+@pytest.fixture(scope="module")
+def traced_run(request):
+    plant = request.getfixturevalue("small_plant")
+    telemetry = Telemetry(clock=TickClock(step=0.001))
+    pipeline = HierarchicalDetectionPipeline(plant, telemetry=telemetry)
+    reports = pipeline.run()
+    return pipeline, telemetry, reports
+
+
+class TestSpanCoverage:
+    def test_all_five_levels_have_score_spans(self, traced_run):
+        __, telemetry, __reports = traced_run
+        names = {s.name for s in telemetry.tracer.spans}
+        for level in LEVELS:
+            assert f"score.{level}" in names
+
+    def test_every_detector_invocation_has_a_span(self, traced_run):
+        pipeline, telemetry, __ = traced_run
+        detector_spans = telemetry.tracer.find("detector")
+        assert detector_spans
+        calls = pipeline.telemetry.metrics.get("repro_detector_calls_total")
+        total_calls = sum(v for __, v in calls.samples())
+        assert len(detector_spans) == total_calls
+        for span in detector_spans:
+            assert {"level", "detector", "ok"} <= set(span.attributes)
+
+    def test_run_span_wraps_everything(self, traced_run):
+        __, telemetry, reports = traced_run
+        (run_span,) = telemetry.tracer.find("alg1.run")
+        assert run_span.parent_id is None
+        assert run_span.attributes["n_reports"] == len(reports)
+
+    def test_confirm_and_support_spans_present(self, traced_run):
+        __, telemetry, reports = traced_run
+        assert reports  # the fixture plant must produce candidates
+        assert telemetry.tracer.find("confirm")
+        assert telemetry.tracer.find("support")
+        assert telemetry.tracer.find("find_candidates")
+
+    def test_trace_is_well_formed(self, traced_run):
+        __, telemetry, __reports = traced_run
+        assert validate_spans(telemetry.tracer.spans) == []
+
+
+class TestMetrics:
+    def test_candidate_and_confirmation_counters(self, traced_run):
+        pipeline, telemetry, reports = traced_run
+        m = telemetry.metrics
+        candidates = m.get("repro_candidates_total")
+        assert sum(v for __, v in candidates.samples()) > 0
+        assert m.get("repro_reports_total").value() == len(reports)
+        assert m.get("repro_runs_total").value(start_level="PHASE") == 1
+
+    def test_support_histogram_observes_unit_interval(self, traced_run):
+        __, telemetry, __reports = traced_run
+        support = telemetry.metrics.get("repro_support")
+        assert support.count() > 0
+        assert 0.0 <= support.sum() <= support.count()
+
+    def test_latency_histogram_counts_match_detector_calls(self, traced_run):
+        __, telemetry, __reports = traced_run
+        latency = telemetry.metrics.get("repro_detector_latency_seconds")
+        calls = telemetry.metrics.get("repro_detector_calls_total")
+        total = sum(v for __, v in calls.samples())
+        assert sum(latency.count(level=lvl) for lvl in LEVELS) == total
+
+    def test_publish_stats_exports_cache_gauges(self, traced_run):
+        __, telemetry, __reports = traced_run
+        m = telemetry.metrics
+        assert m.get("repro_stats_cache_confirm_calls").value() > 0
+        ratio = m.get("repro_cache_hit_ratio")
+        assert 0.0 <= ratio.value(cache="confirm") <= 1.0
+
+
+class TestDeterminism:
+    def _trace_json(self, plant):
+        telemetry = Telemetry(clock=TickClock(step=0.001))
+        HierarchicalDetectionPipeline(plant, telemetry=telemetry).run()
+        return telemetry.tracer.to_json()
+
+    def test_traces_byte_identical_under_tick_clock(self, small_plant):
+        assert self._trace_json(small_plant) == self._trace_json(small_plant)
+
+
+class TestDisabledTelemetry:
+    def test_config_flag_disables_everything(self, small_plant):
+        pipeline = HierarchicalDetectionPipeline(
+            small_plant, config=PipelineConfig(enable_telemetry=False)
+        )
+        reports = pipeline.run()
+        assert reports  # results unchanged
+        assert pipeline.telemetry.tracer.spans == []
+        assert pipeline.telemetry.metrics.collect() == []
+
+    def test_reports_identical_with_and_without_telemetry(self, small_plant):
+        from repro.io import reports_to_json
+
+        on = HierarchicalDetectionPipeline(small_plant).run()
+        off = HierarchicalDetectionPipeline(
+            small_plant, config=PipelineConfig(enable_telemetry=False)
+        ).run()
+        assert reports_to_json(on) == reports_to_json(off)
+
+
+class TestDegradationLogging:
+    @pytest.fixture(scope="class")
+    def chaotic_plant(self):
+        plant = simulate_plant(
+            PlantConfig(
+                seed=29, n_lines=1, machines_per_line=2, jobs_per_machine=3,
+                faults=FaultConfig(0.2, 0.2, 0.0),
+            )
+        )
+        victim = next(plant.iter_machines()).channels[0].sensor_id
+        chaotic, __ = inject_chaos(
+            plant, ChaosConfig(seed=0, dropout_sensors=(victim,))
+        )
+        return chaotic, victim
+
+    def test_quarantine_emits_warning_with_channel_id(self, chaotic_plant, caplog):
+        chaotic, victim = chaotic_plant
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            pipeline = HierarchicalDetectionPipeline(chaotic)
+            pipeline.run()
+        assert pipeline.health.quarantines
+        quarantine_records = [
+            r for r in caplog.records if getattr(r, "channel_id", None) == victim
+        ]
+        assert quarantine_records
+        assert all(r.levelno == logging.WARNING for r in quarantine_records)
+
+    def test_quarantine_metric_mirrors_health(self, chaotic_plant):
+        chaotic, __ = chaotic_plant
+        pipeline = HierarchicalDetectionPipeline(chaotic)
+        pipeline.run()
+        quarantines = pipeline.telemetry.metrics.get("repro_quarantines_total")
+        assert sum(v for __, v in quarantines.samples()) == len(
+            pipeline.health.quarantines
+        )
+        assert quarantines.value(scope="channel") == len(
+            pipeline.health.dead_channels
+        )
+
+
+class TestStatsSchema:
+    def test_nested_schema_shape(self, traced_run):
+        pipeline, __, __reports = traced_run
+        stats = pipeline.stats()
+        assert stats["schema"] == STATS_SCHEMA
+        assert set(stats) == {"schema", "cache", "health"}
+        for entry in stats["cache"].values():
+            assert entry["hits"] + entry["misses"] == entry["calls"]
+        assert set(stats["health"]) == {
+            "degraded", "fallbacks", "quarantines", "dead_channels",
+            "warnings", "degraded_levels",
+        }

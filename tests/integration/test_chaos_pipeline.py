@@ -145,9 +145,9 @@ class TestSurvival:
     def test_health_counters_surface_in_stats(self, chaos_run):
         __, __, pipeline, __r = chaos_run
         stats = pipeline.stats()
-        assert stats["health_fallbacks"] == len(pipeline.health.fallbacks)
-        assert stats["health_quarantines"] == len(pipeline.health.quarantines)
-        assert stats["health_dead_channels"] >= 1
+        assert stats["health"]["fallbacks"] == len(pipeline.health.fallbacks)
+        assert stats["health"]["quarantines"] == len(pipeline.health.quarantines)
+        assert stats["health"]["dead_channels"] >= 1
 
 
 class TestSupportRenormalization:

@@ -1,0 +1,128 @@
+"""Structured logging: JSON formatter, logger hierarchy, CLI handler."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import JsonLogFormatter, Telemetry, configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_hierarchy_rooted_at_repro(self):
+        assert get_logger().name == "repro"
+        assert get_logger("pipeline").name == "repro.pipeline"
+        assert get_logger("streaming").name == "repro.streaming"
+
+    def test_root_logger_has_null_handler(self):
+        # library convention: silent unless the application opts in
+        assert any(
+            isinstance(h, logging.NullHandler) for h in get_logger().handlers
+        )
+
+
+class TestJsonFormatter:
+    def _record(self, **extra):
+        record = logging.LogRecord(
+            name="repro.pipeline", level=logging.WARNING, pathname=__file__,
+            lineno=1, msg="quarantined %s", args=("line-0/m-0/s-1",),
+            exc_info=None,
+        )
+        record.__dict__.update(extra)
+        return record
+
+    def test_one_json_object_with_extras(self):
+        line = JsonLogFormatter(timestamps=False).format(
+            self._record(channel_id="line-0/m-0/s-1", span_id=7)
+        )
+        doc = json.loads(line)
+        assert doc == {
+            "level": "WARNING",
+            "logger": "repro.pipeline",
+            "message": "quarantined line-0/m-0/s-1",
+            "channel_id": "line-0/m-0/s-1",
+            "span_id": 7,
+        }
+
+    def test_timestamps_on_by_default(self):
+        doc = json.loads(JsonLogFormatter().format(self._record()))
+        assert "time" in doc
+
+    def test_exception_is_embedded(self):
+        try:
+            raise RuntimeError("kaput")
+        except RuntimeError:
+            record = logging.LogRecord(
+                name="repro", level=logging.ERROR, pathname=__file__,
+                lineno=1, msg="failed", args=(), exc_info=True,
+            )
+            import sys
+
+            record.exc_info = sys.exc_info()
+        doc = json.loads(JsonLogFormatter(timestamps=False).format(record))
+        assert "kaput" in doc["exception"]
+
+
+class TestConfigureLogging:
+    def _capture(self, **kwargs):
+        stream = io.StringIO()
+        handler = configure_logging(stream=stream, timestamps=False, **kwargs)
+        return stream, handler
+
+    def teardown_method(self):
+        logger = get_logger()
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+
+    def test_emits_json_lines(self):
+        stream, __ = self._capture(level="INFO")
+        get_logger("pipeline").info("hello", extra={"k": 1})
+        doc = json.loads(stream.getvalue())
+        assert doc["message"] == "hello"
+        assert doc["k"] == 1
+
+    def test_level_filtering(self):
+        stream, __ = self._capture(level="WARNING")
+        get_logger("pipeline").info("dropped")
+        assert stream.getvalue() == ""
+
+    def test_idempotent_replaces_previous_handler(self):
+        self._capture(level="INFO")
+        self._capture(level="INFO")
+        marked = [
+            h for h in get_logger().handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(marked) == 1
+
+
+class TestTelemetryLog:
+    def teardown_method(self):
+        TestConfigureLogging.teardown_method(self)
+
+    def test_log_records_carry_span_id(self, caplog):
+        tel = Telemetry(clock=lambda: 0.0)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with tel.tracer.span("outer"):
+                tel.warning("degraded", channel_id="c1")
+        (record,) = caplog.records
+        assert record.channel_id == "c1"
+        assert record.span_id == 1
+        assert record.name == "repro.pipeline"
+
+    def test_disabled_telemetry_logs_nothing(self, caplog):
+        tel = Telemetry(enabled=False)
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            tel.warning("never")
+        assert caplog.records == []
+
+    def test_field_names_cannot_collide_with_parameters(self, caplog):
+        tel = Telemetry()
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            tel.warning("fallback", level="PHASE", severity="WARNING")
+        (record,) = caplog.records
+        assert record.level == "PHASE"
+        assert record.severity == "WARNING"

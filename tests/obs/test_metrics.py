@@ -1,0 +1,139 @@
+"""Metrics registry: instrument semantics, labels, histogram binning."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, UNIT_BUCKETS
+
+
+class TestCounter:
+    def test_inc_accumulates_per_labelset(self):
+        c = Counter("c_total", "help", labelnames=("level",))
+        c.inc(level="PHASE")
+        c.inc(2, level="PHASE")
+        c.inc(level="JOB")
+        assert c.value(level="PHASE") == 3
+        assert c.value(level="JOB") == 1
+        assert c.value(level="NEVER") == 0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("c_total", "help")
+        with pytest.raises(ValueError, match="decrease"):
+            c.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("c_total", "help", labelnames=("level",))
+        with pytest.raises(ValueError):
+            c.inc(wrong="x")
+        with pytest.raises(ValueError):
+            c.inc()  # missing the declared label
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("0bad", "help")
+        with pytest.raises(ValueError):
+            Counter("ok_total", "help", labelnames=("le",))  # reserved
+        with pytest.raises(ValueError):
+            Counter("ok_total", "help", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("g", "help")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value() == 3.0
+
+    def test_non_finite_rejected(self):
+        g = Gauge("g", "help")
+        with pytest.raises(ValueError):
+            g.set(math.nan)
+
+
+class TestHistogram:
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=())
+
+    def test_binning_and_cumulativity(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 99.0):
+            h.observe(v)
+        cum = h.cumulative()
+        assert cum == [(1.0, 2), (2.0, 3), (5.0, 4), (math.inf, 5)]
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(105.0)
+        # cumulative counts never decrease and end at the total
+        counts = [n for _, n in cum]
+        assert counts == sorted(counts)
+        assert counts[-1] == h.count()
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        h = Histogram("h", "help", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive
+        assert h.cumulative()[0] == (1.0, 1)
+
+    def test_labeled_series_are_independent(self):
+        h = Histogram("h", "help", buckets=UNIT_BUCKETS, labelnames=("level",))
+        h.observe(0.5, level="PHASE")
+        h.observe(0.9, level="JOB")
+        assert h.count(level="PHASE") == 1
+        assert h.count(level="JOB") == 1
+        assert h.labelsets() == [
+            (("level", "JOB"),), (("level", "PHASE"),)
+        ]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total", "other help ignored")
+        assert a is b
+
+    def test_shape_change_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help")
+        with pytest.raises(ValueError, match="different shape"):
+            reg.gauge("x_total", "help")
+        with pytest.raises(ValueError, match="different shape"):
+            reg.counter("x_total", "help", labelnames=("level",))
+
+    def test_collect_is_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total", "")
+        reg.gauge("a_gauge", "")
+        assert [m.name for m in reg.collect()] == ["a_gauge", "z_total"]
+
+    def test_disabled_registry_hands_out_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x_total", "help")
+        c.inc(5)
+        assert c.value() == 0.0
+        assert reg.collect() == []
+
+    def test_import_nested_flattens_to_gauges(self):
+        reg = MetricsRegistry()
+        reg.import_nested(
+            "repro_stats",
+            {"cache": {"confirm": {"calls": 3, "hits": 1}},
+             "health": {"degraded": True}},
+        )
+        assert reg.get("repro_stats_cache_confirm_calls").value() == 3.0
+        assert reg.get("repro_stats_cache_confirm_hits").value() == 1.0
+        assert reg.get("repro_stats_health_degraded").value() == 1.0
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c_total", "h", labelnames=("k",)).inc(k="v")
+        reg.histogram("h_seconds", "h", buckets=(1.0,)).observe(0.5)
+        doc = json.loads(json.dumps(reg.as_dict()))
+        assert doc["c_total"]["series"][0] == {"labels": {"k": "v"}, "value": 1.0}
+        assert doc["h_seconds"]["series"][0]["count"] == 1

@@ -1,0 +1,147 @@
+"""Tracer: span nesting, clocks, error capture, (de)serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Span, TickClock, Tracer, spans_from_dicts, validate_spans
+
+
+class TestTickClock:
+    def test_monotonic_fixed_step(self):
+        clock = TickClock(start=10.0, step=0.5)
+        assert clock() == 10.0
+        assert clock() == 10.5
+        assert clock() == 11.0
+
+    def test_two_clocks_are_independent(self):
+        a, b = TickClock(), TickClock()
+        a()
+        a()
+        assert b() == 0.0
+
+
+class TestSpans:
+    def test_single_span_records_timing_and_attributes(self):
+        tracer = Tracer(clock=TickClock(step=1.0))
+        with tracer.span("work", level="PHASE") as sp:
+            sp.set(n=3)
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.attributes == {"level": "PHASE", "n": 3}
+        assert span.parent_id is None
+        assert span.duration == 1.0
+        assert span.status == "ok"
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner2"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer(clock=TickClock())
+        assert tracer.current_span_id is None
+        with tracer.span("outer"):
+            outer_id = tracer.current_span_id
+            with tracer.span("inner"):
+                assert tracer.current_span_id != outer_id
+            assert tracer.current_span_id == outer_id
+        assert tracer.current_span_id is None
+
+    def test_exception_is_captured_and_reraised(self):
+        tracer = Tracer(clock=TickClock())
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("explodes"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert "boom" in span.error
+        assert span.end is not None  # closed despite the exception
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored") as sp:
+            sp.set(anything="goes")
+        assert tracer.spans == []
+        assert tracer.current_span_id is None
+
+    def test_deterministic_trace_under_tick_clock(self):
+        def run():
+            tracer = Tracer(clock=TickClock(step=0.25))
+            with tracer.span("a"):
+                with tracer.span("b", k=1):
+                    pass
+            return tracer.to_json()
+
+        assert run() == run()
+
+    def test_find_and_total_seconds(self):
+        tracer = Tracer(clock=TickClock(step=1.0))
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        assert [s.name for s in tracer.find("leaf")] == ["leaf"]
+        # only root spans count toward the wall-clock total
+        assert tracer.total_seconds() == tracer.spans[0].duration
+
+
+class TestSerialization:
+    def _traced(self):
+        tracer = Tracer(clock=TickClock(step=0.5))
+        with tracer.span("outer", level="JOB"):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_round_trip_through_json(self):
+        tracer = self._traced()
+        doc = json.loads(tracer.to_json())
+        assert doc["schema"] == "repro.trace/1"
+        spans = spans_from_dicts(doc)
+        assert [s.name for s in spans] == [s.name for s in tracer.spans]
+        assert validate_spans(spans) == []
+
+    def test_spans_from_dicts_accepts_bare_list(self):
+        tracer = self._traced()
+        bare = [s.as_dict() for s in tracer.spans]
+        assert len(spans_from_dicts(bare)) == len(bare)
+
+
+class TestValidation:
+    def test_clean_trace_validates(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("a"):
+            pass
+        assert validate_spans(tracer.spans) == []
+
+    def test_duplicate_ids_rejected(self):
+        a = Span(name="a", span_id=1, parent_id=None, start=0.0)
+        a.end = 1.0
+        b = Span(name="b", span_id=1, parent_id=None, start=0.0)
+        b.end = 1.0
+        assert any("duplicate" in p for p in validate_spans([a, b]))
+
+    def test_unknown_parent_rejected(self):
+        s = Span(name="s", span_id=2, parent_id=99, start=0.0)
+        s.end = 1.0
+        assert any("orphaned" in p for p in validate_spans([s]))
+
+    def test_unclosed_span_rejected(self):
+        s = Span(name="s", span_id=1, parent_id=None, start=0.0)
+        assert any("never closed" in p for p in validate_spans([s]))
+
+    def test_child_outside_parent_window_rejected(self):
+        parent = Span(name="p", span_id=1, parent_id=None, start=0.0)
+        parent.end = 1.0
+        child = Span(name="c", span_id=2, parent_id=1, start=0.5)
+        child.end = 2.0  # ends after the parent
+        assert any("outlives" in p for p in validate_spans([parent, child]))

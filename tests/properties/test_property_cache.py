@@ -72,7 +72,8 @@ def test_memoized_reports_equal_cold_context(seed, start_level, strategy,
 def test_cache_counters_are_consistent(seed, start_level):
     warm, __ = _pipelines(seed)
     warm.run(start_level=start_level)
-    stats = warm.stats()
-    assert stats["confirm_hits"] + stats["confirm_misses"] == stats["confirm_calls"]
-    assert stats["support_hits"] + stats["support_misses"] == stats["support_calls"]
-    assert 0 <= stats["confirm_hits"] <= stats["confirm_calls"]
+    cache = warm.stats()["cache"]
+    for table in ("confirm", "support"):
+        entry = cache[table]
+        assert entry["hits"] + entry["misses"] == entry["calls"]
+    assert 0 <= cache["confirm"]["hits"] <= cache["confirm"]["calls"]

@@ -1,0 +1,118 @@
+"""Property: pipeline traces are always structurally well-formed.
+
+Two halves: hypothesis-generated span forests exercise the validator
+itself (well-formed inputs pass, mutations are caught), and real
+pipeline/chaos runs must always produce traces the validator accepts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HierarchicalDetectionPipeline, PipelineConfig, ProductionLevel
+from repro.core.resilience import SandboxPolicy
+from repro.core.selection import AlgorithmSelector
+from repro.obs import Span, Telemetry, TickClock, spans_from_dicts, validate_spans
+from repro.plant import ChaosConfig, FaultConfig, PlantConfig, inject_chaos, simulate_plant
+
+L = ProductionLevel
+
+
+# ----------------------------------------------------------------------
+# validator properties on generated span forests
+# ----------------------------------------------------------------------
+@st.composite
+def span_forests(draw):
+    """A well-formed span forest built by simulating nested execution."""
+    clock = TickClock(step=draw(st.floats(min_value=1e-6, max_value=2.0)))
+    tracer_spans = []
+    next_id = [1]
+
+    def build(parent_id, depth):
+        n_children = draw(st.integers(min_value=0, max_value=3 if depth < 3 else 0))
+        for __ in range(n_children):
+            span = Span(
+                name=draw(st.sampled_from(["a", "b", "score.PHASE", "detector"])),
+                span_id=next_id[0],
+                parent_id=parent_id,
+                start=clock(),
+            )
+            next_id[0] += 1
+            tracer_spans.append(span)
+            build(span.span_id, depth + 1)
+            span.end = clock()
+
+    build(None, 0)
+    return tracer_spans
+
+
+@given(spans=span_forests())
+@settings(max_examples=50, deadline=None)
+def test_simulated_execution_always_validates(spans):
+    assert validate_spans(spans) == []
+
+
+@given(spans=span_forests(), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_mutations_are_caught(spans, data):
+    if not spans:
+        return
+    victim = data.draw(st.sampled_from(spans))
+    mutation = data.draw(st.sampled_from(["unclose", "orphan", "invert"]))
+    if mutation == "unclose":
+        victim.end = None
+    elif mutation == "orphan":
+        victim.parent_id = 10_000  # no such span
+    else:
+        victim.end = victim.start - 1.0
+    assert validate_spans(spans) != []
+
+
+@given(spans=span_forests())
+@settings(max_examples=25, deadline=None)
+def test_serialization_preserves_well_formedness(spans):
+    rebuilt = spans_from_dicts([s.as_dict() for s in spans])
+    assert validate_spans(rebuilt) == []
+
+
+# ----------------------------------------------------------------------
+# real pipeline and chaos runs
+# ----------------------------------------------------------------------
+def _plant(seed):
+    return simulate_plant(
+        PlantConfig(
+            seed=seed, n_lines=1, machines_per_line=2, jobs_per_machine=4,
+            faults=FaultConfig(0.3, 0.2, 0.05),
+        )
+    )
+
+
+@given(seed=st.sampled_from([3, 17]), start_level=st.sampled_from(list(L)))
+@settings(max_examples=8, deadline=None)
+def test_pipeline_traces_are_well_formed(seed, start_level):
+    telemetry = Telemetry(clock=TickClock(step=0.001))
+    pipeline = HierarchicalDetectionPipeline(_plant(seed), telemetry=telemetry)
+    pipeline.run(start_level=start_level)
+    assert validate_spans(telemetry.tracer.spans) == []
+
+
+@given(chaos_seed=st.sampled_from([0, 1, 2]))
+@settings(max_examples=3, deadline=None)
+def test_chaos_run_traces_are_well_formed(chaos_seed):
+    chaotic, __ = inject_chaos(
+        _plant(23), ChaosConfig(seed=chaos_seed, sensor_dropout_rate=0.2)
+    )
+    selector = AlgorithmSelector()
+    selector.override(L.PHASE, ["chaos-raise", "ar", "deviants", "zscore"])
+    telemetry = Telemetry(clock=TickClock(step=0.001))
+    pipeline = HierarchicalDetectionPipeline(
+        chaotic, selector=selector,
+        config=PipelineConfig(sandbox=SandboxPolicy(max_attempts=1)),
+        telemetry=telemetry,
+    )
+    pipeline.run()
+    spans = telemetry.tracer.spans
+    assert validate_spans(spans) == []
+    # failed detector attempts still close their spans
+    assert any(s.attributes.get("ok") is False for s in spans if s.name == "detector")

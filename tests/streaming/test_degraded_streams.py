@@ -170,3 +170,78 @@ class TestStreamMonitorHeartbeat:
         monitor = StreamingSensorMonitor(_pair_graph())
         _warm(monitor, ["a"])
         assert monitor.stalled_channels() == []
+
+
+class TestStreamMonitorTelemetry:
+    def _monitor(self, **kwargs):
+        from repro.obs import Telemetry, TickClock
+
+        telemetry = Telemetry(clock=TickClock(step=0.001), logger_name="streaming")
+        monitor = StreamingSensorMonitor(
+            _pair_graph(),
+            detector_factory=OnlineZScore,
+            threshold=4.0,
+            tolerance=8.0,
+            telemetry=telemetry,
+            **kwargs,
+        )
+        return monitor, telemetry
+
+    def test_stall_emits_warning_with_channel_and_timestamp(self, caplog):
+        import logging
+
+        monitor, __ = self._monitor(heartbeat_patience=10.0)
+        t = _warm(monitor, ["a", "b"])
+        with caplog.at_level(logging.WARNING, logger="repro.streaming"):
+            for __ in range(20):  # b goes silent past its patience
+                monitor.observe("a", t, 0.0)
+                t += 1.0
+        stall_records = [
+            r for r in caplog.records if getattr(r, "channel_id", None) == "b"
+        ]
+        assert len(stall_records) == 1  # reported once, not per sample
+        record = stall_records[0]
+        assert record.levelno == logging.WARNING
+        assert record.timestamp > record.last_seen
+
+    def test_recovered_channel_can_stall_and_warn_again(self, caplog):
+        import logging
+
+        monitor, __ = self._monitor(heartbeat_patience=10.0)
+        t = _warm(monitor, ["a", "b"])
+        with caplog.at_level(logging.WARNING, logger="repro.streaming"):
+            for __ in range(20):
+                monitor.observe("a", t, 0.0)
+                t += 1.0
+            monitor.observe("b", t, 0.0)  # b recovers
+            for __ in range(20):  # ...then stalls again
+                monitor.observe("a", t, 0.0)
+                t += 1.0
+        stalls = [
+            r for r in caplog.records if getattr(r, "channel_id", None) == "b"
+        ]
+        assert len(stalls) == 2
+
+    def test_counters_track_samples_events_skips(self):
+        monitor, telemetry = self._monitor()
+        t = _warm(monitor, ["a", "b"])
+        monitor.observe("a", t, float("nan"))
+        event = monitor.observe("a", t + 1, 50.0)
+        assert event is not None
+        m = telemetry.metrics
+        assert m.get("repro_stream_samples_total").value() == 122
+        assert m.get("repro_stream_skipped_total").value() == 1
+        assert m.get("repro_stream_events_total").value() >= 1
+
+    def test_observe_block_opens_a_span(self):
+        monitor, telemetry = self._monitor()
+        monitor.observe_block([("a", 0.0, 1.0), ("b", 0.0, 1.0)])
+        (span,) = telemetry.tracer.find("stream.observe_block")
+        assert span.attributes["n_samples"] == 2
+        assert "n_events" in span.attributes
+
+    def test_default_telemetry_is_enabled_and_isolated(self):
+        first = StreamingSensorMonitor(_pair_graph())
+        second = StreamingSensorMonitor(_pair_graph())
+        assert first.telemetry.enabled
+        assert first.telemetry is not second.telemetry

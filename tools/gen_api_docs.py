@@ -80,6 +80,27 @@ seeded fault-injection harness (`inject_chaos` + `ChaosConfig`:
 dropout, NaN bursts, stuck-at, truncation) and the always-raising /
 flaky / hanging detector wrappers used by the `-m chaos` test suite and
 `benchmarks/test_bench_chaos_degradation.py`.
+
+### Telemetry (`repro.obs`)
+
+Default-on, stdlib-only observability: every pipeline run records
+nestable spans (one per hierarchy level, detector invocation,
+confirmation/support computation) in a `Tracer`, counts into a
+`MetricsRegistry` (counters/gauges/fixed-bucket histograms), and emits
+structured JSON logs under the `repro.*` logger hierarchy.  One
+`Telemetry` object bundles the three; `Telemetry(enabled=False)` (or
+`PipelineConfig(enable_telemetry=False)`) swaps in shared no-op
+instruments so the disabled path is effectively free, and the enabled
+path is budgeted at <5% wall-clock overhead
+(`benchmarks/test_bench_observability_overhead.py`).  Span ids are
+sequential and the clock injectable (`TickClock`), so traces serialize
+byte-identically across seeded reruns — the chaos rerun guarantee
+extends to telemetry.  Exporters live in `repro.obs.export`
+(`to_prometheus` text exposition, `metrics_to_json` / `trace_to_json`,
+`render_span_tree`, `build_run_manifest`); the CLI surfaces them via
+`repro detect --metrics-out/--trace-out/--log-level` and
+`repro trace <trace.json>`.  See `docs/OBSERVABILITY.md` for the span
+taxonomy, metric catalog, and manifest schema.
 """
 
 SUBPACKAGES = [
@@ -89,6 +110,7 @@ SUBPACKAGES = [
     "repro.plant",
     "repro.corpus",
     "repro.eval",
+    "repro.obs",
     "repro.core",
     "repro.monitor",
     "repro.streaming",
