@@ -8,6 +8,7 @@ monitor    condition monitoring / alerts / maintenance over a plant
 table1     print the executable Table-1 capability matrix
 fig3       run the Fig.-3 corpus queries
 trace      pretty-print a span trace written by ``detect --trace-out``
+lint       run the repro-lint static contract checkers (tools.lint)
 """
 
 from __future__ import annotations
@@ -78,12 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--max-depth", type=int, default=None,
                        help="truncate the rendered tree at this depth")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint static contract checkers (requires a "
+        "repo checkout; see docs/STATIC_ANALYSIS.md)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to check (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--manifest", default=None, metavar="PATH",
+                      help="Table-1 capability manifest JSON")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule-id prefixes to run")
+    lint.add_argument("--list-rules", action="store_true")
+
     return parser
 
 
 def _load_or_simulate(args) -> "object":
     from .io import load_plant
-    from .plant import FaultConfig, PlantConfig, simulate_plant
+    from .plant import PlantConfig, simulate_plant
 
     if getattr(args, "plant", None):
         return load_plant(args.plant)
@@ -266,6 +281,38 @@ def _cmd_fig3(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Forward to ``tools.lint`` (the suite lives in the repo, not the package)."""
+    import os
+
+    try:
+        from tools.lint.__main__ import run
+    except ImportError:
+        # Installed-package invocation outside a checkout: the tools/
+        # directory sits next to src/, so try the current directory the
+        # way `python -m tools.lint` would.
+        sys.path.insert(0, os.getcwd())
+        try:
+            from tools.lint.__main__ import run
+        except ImportError:
+            print(
+                "repro lint: cannot import tools.lint — run from a repository "
+                "checkout (the linter lives in tools/lint/, not in the "
+                "installed package)",
+                file=sys.stderr,
+            )
+            return 2
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.manifest:
+        argv += ["--manifest", args.manifest]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return run(argv)
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "detect": _cmd_detect,
@@ -273,6 +320,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 

@@ -9,7 +9,7 @@ support is the fraction of corresponding sensors agreeing at the same time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..synthetic import OutlierType
 from .levels import ProductionLevel
@@ -133,7 +133,10 @@ class HierarchicalOutlierReport:
         )
 
 
-def rank_reports(reports, weights: Dict[str, float] | None = None):
+def rank_reports(
+    reports: Sequence["HierarchicalOutlierReport"],
+    weights: Dict[str, float] | None = None,
+) -> List["HierarchicalOutlierReport"]:
     """Sort reports by the fused hierarchical evidence, best first.
 
     The default ranking follows the paper's reading of the triple: more

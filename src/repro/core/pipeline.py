@@ -30,7 +30,8 @@ import numpy as np
 from ..detectors import make_detector
 from ..obs import Telemetry
 from ..obs.metrics import UNIT_BUCKETS
-from ..plant import PlantDataset
+from ..plant import LineRecord, PlantDataset
+from ..timeseries import TimeSeries
 from .algorithm import HierarchyContext, find_hierarchical_outliers
 from .levels import ProductionLevel
 from .outlier import (
@@ -44,6 +45,7 @@ from .resilience import (
     FallbackEvent,
     QualityPolicy,
     RunHealth,
+    SandboxOutcome,
     SandboxPolicy,
     assess_series,
     repair_series,
@@ -418,7 +420,7 @@ class PlantHierarchyContext(HierarchyContext):
     # resilient scoring primitives (sandbox + fallback chain + gate)
     # ------------------------------------------------------------------
     def _score_series_resilient(
-        self, level: ProductionLevel, unit: str, series
+        self, level: ProductionLevel, unit: str, series: TimeSeries
     ) -> Tuple[np.ndarray, str]:
         """Score one series through the level's fallback chain.
 
@@ -500,7 +502,7 @@ class PlantHierarchyContext(HierarchyContext):
         return robust_matrix_scores(X), "robust-baseline"
 
     def _observe_detector_call(self, level_name: str, name: str,
-                               outcome) -> None:
+                               outcome: SandboxOutcome) -> None:
         if self.telemetry.enabled:
             self._pending_detector_obs.append(
                 (level_name, name, outcome.ok, outcome.elapsed)
@@ -551,8 +553,8 @@ class PlantHierarchyContext(HierarchyContext):
             level=level.name,
         )
 
-    def _gate_series(self, channel_id: str, scope: str, series,
-                     expected_length: Optional[int] = None):
+    def _gate_series(self, channel_id: str, scope: str, series: TimeSeries,
+                     expected_length: Optional[int] = None) -> Optional[TimeSeries]:
         """Quality-gate one trace: repaired series, or None when quarantined."""
         if not self.config.gate_enabled:
             return series
@@ -838,7 +840,7 @@ class PlantHierarchyContext(HierarchyContext):
         any_series = phase.series[candidate.sensor_id]
         return any_series.start + candidate.index * any_series.step
 
-    def _line_of_candidate(self, candidate: OutlierCandidate):
+    def _line_of_candidate(self, candidate: OutlierCandidate) -> Optional[LineRecord]:
         """The line a candidate belongs to (environment candidates carry the
         line id in the machine_id field)."""
         line = self._line_by_id.get(candidate.machine_id)
@@ -926,7 +928,7 @@ class PlantHierarchyContext(HierarchyContext):
     def _is_line_scoped(self, candidate: OutlierCandidate) -> bool:
         return candidate.machine_id in self._line_by_id
 
-    def _jobs_in_window(self, candidate: OutlierCandidate):
+    def _jobs_in_window(self, candidate: OutlierCandidate) -> List[Tuple[str, int]]:
         """(machine, job) keys of the candidate line's jobs near its time."""
         line = self._line_of_candidate(candidate)
         if line is None:

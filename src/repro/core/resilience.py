@@ -324,7 +324,7 @@ class DetectorSandbox:
             timed_out=timed_out,
         )
 
-    def _invoke(self, fn: Callable[[], object], label: str):
+    def _invoke(self, fn: Callable[[], object], label: str) -> object:
         if self.policy.time_budget is None or not self.policy.hard_timeout:
             return fn()
         box: Dict[str, object] = {}

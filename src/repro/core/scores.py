@@ -9,20 +9,25 @@ fused across levels.
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Sequence, Union
+
 import numpy as np
 from scipy.stats import norm
+
+#: Anything a unifier accepts: a 1-D array or any sequence of floats.
+ScoreVector = Union[np.ndarray, Sequence[float]]
 
 __all__ = ["unify_rank", "unify_gaussian", "unify_minmax", "unify"]
 
 
-def _validate(scores) -> np.ndarray:
+def _validate(scores: ScoreVector) -> np.ndarray:
     arr = np.asarray(scores, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError("scores must be 1-D")
     return arr
 
 
-def unify_rank(scores) -> np.ndarray:
+def unify_rank(scores: ScoreVector) -> np.ndarray:
     """Rank-based unification: score -> (rank - 0.5) / n, ties averaged.
 
     Distribution-free; the output is uniform on (0, 1) whatever the raw
@@ -45,7 +50,7 @@ def unify_rank(scores) -> np.ndarray:
     return ranks / n
 
 
-def unify_gaussian(scores) -> np.ndarray:
+def unify_gaussian(scores: ScoreVector) -> np.ndarray:
     """Gaussian-tail unification: robust z-score -> Phi(z).
 
     Assumes the normal mass of scores is roughly Gaussian; outliers land in
@@ -65,7 +70,7 @@ def unify_gaussian(scores) -> np.ndarray:
     return norm.cdf(z)
 
 
-def unify_minmax(scores) -> np.ndarray:
+def unify_minmax(scores: ScoreVector) -> np.ndarray:
     """Affine rescale to [0, 1]; constant inputs map to 0.5."""
     s = _validate(scores)
     if len(s) == 0:
@@ -76,14 +81,14 @@ def unify_minmax(scores) -> np.ndarray:
     return (s - lo) / (hi - lo)
 
 
-_UNIFIERS = {
+_UNIFIERS: Dict[str, Callable[[ScoreVector], np.ndarray]] = {
     "rank": unify_rank,
     "gaussian": unify_gaussian,
     "minmax": unify_minmax,
 }
 
 
-def unify(scores, method: str = "gaussian") -> np.ndarray:
+def unify(scores: ScoreVector, method: str = "gaussian") -> np.ndarray:
     """Dispatch to a unifier by name (``rank`` / ``gaussian`` / ``minmax``)."""
     try:
         fn = _UNIFIERS[method]

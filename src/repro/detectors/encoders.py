@@ -18,6 +18,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+from .errors import NotFittedError
 from ..timeseries import (
     DiscreteSequence,
     TimeSeries,
@@ -66,7 +67,7 @@ class NGramVectorizer:
 
     def transform(self, sequences: Sequence[DiscreteSequence]) -> np.ndarray:
         if not self._fitted:
-            raise RuntimeError("NGramVectorizer used before fit")
+            raise NotFittedError("ngram-vectorizer (transform before fit)")
         oov = len(self._vocabulary)
         out = np.zeros((len(sequences), self.dimension))
         for row, seq in enumerate(sequences):

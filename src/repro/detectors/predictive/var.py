@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import NotFittedError
+
 __all__ = ["VARDetector"]
 
 
@@ -61,7 +63,7 @@ class VARDetector:
     def score(self, X: np.ndarray) -> np.ndarray:
         """Per-time-step Mahalanobis residual magnitude (first p steps are 0)."""
         if not self._fitted:
-            raise RuntimeError("VARDetector must be fitted before scoring")
+            raise NotFittedError("var")
         X = np.nan_to_num(np.asarray(X, dtype=np.float64), nan=0.0)
         if X.ndim != 2 or X.shape[1] != self._d:
             raise ValueError(f"expected (time, {self._d}) matrix")

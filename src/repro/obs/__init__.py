@@ -27,6 +27,12 @@ import logging as _logging
 import time
 from typing import Callable, Optional
 
+from .catalog import (
+    DYNAMIC_METRIC_PREFIXES,
+    METRIC_CATALOG,
+    MetricSpec,
+    catalog_problems,
+)
 from .logging import JsonLogFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -65,6 +71,10 @@ __all__ = [
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
     "UNIT_BUCKETS",
+    "MetricSpec",
+    "METRIC_CATALOG",
+    "DYNAMIC_METRIC_PREFIXES",
+    "catalog_problems",
     "to_prometheus",
     "metrics_to_json",
     "trace_to_json",

@@ -1,0 +1,161 @@
+"""Central metric catalog: the closed namespace of emitted metric names.
+
+Every metric family the codebase emits through
+:class:`repro.obs.metrics.MetricsRegistry` is declared here once — name,
+instrument kind, label names, and help text.  The repro-lint telemetry
+checker (rule TEL001/TEL004 in ``tools/lint``) statically verifies that
+every ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call
+site in ``src/repro`` uses a catalogued name with the catalogued shape,
+and ``tests/lint`` verifies the catalog against a real pipeline run and
+the golden Prometheus exposition (``tests/obs/golden_metrics.prom``).
+
+Names produced *dynamically* by
+:meth:`~repro.obs.metrics.MetricsRegistry.import_nested` (the
+``stats()`` tree folded into gauges) are covered by
+:data:`DYNAMIC_METRIC_PREFIXES` instead of individual entries.
+
+Keep ``METRIC_CATALOG`` a literal dict of :class:`MetricSpec` calls with
+literal keyword arguments — the lint rule reads it with ``ast``, never
+by import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["MetricSpec", "METRIC_CATALOG", "DYNAMIC_METRIC_PREFIXES", "catalog_problems"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declared shape of one metric family."""
+
+    kind: str
+    labels: Tuple[str, ...] = ()
+    help: str = ""
+
+
+METRIC_CATALOG: Dict[str, MetricSpec] = {
+    # -- hierarchical pipeline (repro.core.pipeline) -------------------
+    "repro_detector_calls_total": MetricSpec(
+        kind="counter",
+        labels=("level", "detector", "outcome"),
+        help="Sandboxed detector invocations by level, detector, and outcome.",
+    ),
+    "repro_detector_latency_seconds": MetricSpec(
+        kind="histogram",
+        labels=("level",),
+        help="Wall-clock latency of sandboxed detector calls.",
+    ),
+    "repro_fallbacks_total": MetricSpec(
+        kind="counter",
+        labels=("level",),
+        help="Detector failures survived by falling back to the next choice.",
+    ),
+    "repro_quarantines_total": MetricSpec(
+        kind="counter",
+        labels=("scope",),
+        help="Traces or whole channels pulled from scoring by the quality gate.",
+    ),
+    "repro_candidates_total": MetricSpec(
+        kind="counter",
+        labels=("level",),
+        help="Outlier candidates found per hierarchy level.",
+    ),
+    "repro_confirmations_total": MetricSpec(
+        kind="counter",
+        labels=("level", "detected"),
+        help="Cross-level confirmation computations by level and outcome.",
+    ),
+    "repro_support": MetricSpec(
+        kind="histogram",
+        labels=(),
+        help="Distribution of computed Algorithm-1 support values.",
+    ),
+    "repro_cache_hit_ratio": MetricSpec(
+        kind="gauge",
+        labels=("cache",),
+        help="Hit ratio per confirmation/support memo table.",
+    ),
+    "repro_runs_total": MetricSpec(
+        kind="counter",
+        labels=("start_level",),
+        help="Algorithm-1 runs executed.",
+    ),
+    "repro_reports_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Hierarchical outlier reports emitted.",
+    ),
+    "repro_measurement_warnings_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Reports carrying the wrong-measurement warning.",
+    ),
+    "repro_confirmed_levels_total": MetricSpec(
+        kind="counter",
+        labels=("level", "detected"),
+        help="Level confirmations attached to emitted reports, by outcome.",
+    ),
+    # -- streaming monitor (repro.streaming.stream_monitor) ------------
+    "repro_stream_samples_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Samples fed to the streaming monitor.",
+    ),
+    "repro_stream_skipped_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Non-finite samples ignored.",
+    ),
+    "repro_stream_events_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Flagged samples (stream events).",
+    ),
+    "repro_stream_stalls_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Channels whose heartbeat stalled.",
+    ),
+    # -- alerting (repro.monitor.alerts) -------------------------------
+    "repro_alerts_total": MetricSpec(
+        kind="counter",
+        labels=("severity",),
+        help="Alerts newly opened, re-opened, or escalated, by severity.",
+    ),
+}
+
+#: Prefixes of metric families created dynamically (one gauge per numeric
+#: leaf of the ``stats()`` tree, via ``MetricsRegistry.import_nested``).
+DYNAMIC_METRIC_PREFIXES: Tuple[str, ...] = ("repro_stats_",)
+
+
+def catalog_problems(registry: "object") -> Tuple[str, ...]:
+    """Check a live :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+    Returns one human-readable problem string per metric whose name is
+    not catalogued (and not covered by a dynamic prefix) or whose
+    kind/labels contradict the catalog — the runtime twin of lint rules
+    TEL001/TEL004, used by the self-check tests.
+    """
+    problems = []
+    for metric in registry.collect():  # type: ignore[attr-defined]
+        name = metric.name
+        spec = METRIC_CATALOG.get(name)
+        if spec is None:
+            if any(name.startswith(prefix) for prefix in DYNAMIC_METRIC_PREFIXES):
+                continue
+            problems.append(f"metric {name!r} is not in METRIC_CATALOG")
+            continue
+        if metric.kind != spec.kind:
+            problems.append(
+                f"metric {name!r} is a {metric.kind} but catalogued as {spec.kind}"
+            )
+        if tuple(metric.labelnames) != spec.labels:
+            problems.append(
+                f"metric {name!r} has labels {tuple(metric.labelnames)!r} but "
+                f"catalogued {spec.labels!r}"
+            )
+    return tuple(problems)

@@ -21,7 +21,10 @@ import dataclasses
 import json
 import math
 import pathlib
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+#: Anything accepted where a filesystem path is expected.
+PathLike = Union[str, pathlib.Path]
 
 from .metrics import Histogram, MetricsRegistry
 from .trace import Span, Tracer, validate_spans
@@ -123,14 +126,14 @@ def trace_to_json(tracer: Tracer, indent: Optional[int] = 2) -> str:
     return tracer.to_json(indent=indent)
 
 
-def write_metrics(registry: MetricsRegistry, path) -> pathlib.Path:
+def write_metrics(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
     """Write the Prometheus exposition of ``registry`` to ``path``."""
     path = pathlib.Path(path)
     path.write_text(to_prometheus(registry))
     return path
 
 
-def write_trace(tracer: Tracer, path) -> pathlib.Path:
+def write_trace(tracer: Tracer, path: PathLike) -> pathlib.Path:
     """Write the tracer's span list as JSON to ``path``."""
     path = pathlib.Path(path)
     path.write_text(trace_to_json(tracer))
@@ -209,11 +212,11 @@ def _package_version() -> str:
         from .. import __version__
 
         return __version__
-    except Exception:  # pragma: no cover - partially initialized package
+    except ImportError:  # pragma: no cover - partially initialized package
         return "unknown"
 
 
-def _config_to_dict(config) -> Dict[str, object]:
+def _config_to_dict(config: object) -> Dict[str, object]:
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
         return dataclasses.asdict(config)
     return dict(config) if isinstance(config, dict) else {"repr": repr(config)}
@@ -221,10 +224,10 @@ def _config_to_dict(config) -> Dict[str, object]:
 
 def build_run_manifest(
     command: str,
-    config=None,
+    config: Optional[object] = None,
     seed: Optional[int] = None,
     tracer: Optional[Tracer] = None,
-    health=None,
+    health: Optional[Any] = None,
     n_reports: Optional[int] = None,
     artifacts: Optional[Dict[str, str]] = None,
     extra: Optional[Dict[str, object]] = None,
@@ -264,14 +267,14 @@ def build_run_manifest(
     return manifest
 
 
-def write_run_manifest(manifest: Dict[str, object], path) -> pathlib.Path:
+def write_run_manifest(manifest: Dict[str, object], path: PathLike) -> pathlib.Path:
     """Write a manifest built by :func:`build_run_manifest` to ``path``."""
     path = pathlib.Path(path)
     path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
     return path
 
 
-def manifest_path_for(report_path) -> pathlib.Path:
+def manifest_path_for(report_path: PathLike) -> pathlib.Path:
     """The manifest's canonical location next to a JSON report."""
     report_path = pathlib.Path(report_path)
     return report_path.with_name(report_path.stem + ".manifest.json")

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import re
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 __all__ = [
     "Counter",
@@ -256,7 +256,9 @@ class MetricsRegistry:
         self.enabled = enabled
         self._metrics: Dict[str, _Metric] = {}
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+    def _get_or_create(
+        self, cls: Type[_Metric], name: str, help: str, **kwargs: Any
+    ) -> Any:
         if not self.enabled:
             return _NULL_INSTRUMENT
         existing = self._metrics.get(name)

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from types import TracebackType
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 __all__ = [
     "Span",
@@ -114,7 +115,12 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         if exc is not None:
             self.status = "error"
             self.error = f"{type(exc).__name__}: {exc}"
@@ -154,7 +160,12 @@ class _NullContext:
     def __enter__(self) -> _NullSpan:
         return _NULL_SPAN
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 

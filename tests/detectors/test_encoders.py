@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.detectors import NGramVectorizer, SeriesFeaturizer, SeriesSymbolizer
+from repro.detectors import NGramVectorizer, NotFittedError, SeriesFeaturizer, SeriesSymbolizer
 from repro.timeseries import DiscreteSequence, TimeSeries
 
 
@@ -27,7 +27,7 @@ class TestNGramVectorizer:
         assert vec.dimension == 4
 
     def test_transform_before_fit_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotFittedError):
             NGramVectorizer().transform([DiscreteSequence(("a",))])
 
     def test_empty_fit_raises(self):

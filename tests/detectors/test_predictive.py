@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.detectors import ARDetector, VARDetector, fit_ar_coefficients
+from repro.detectors import ARDetector, NotFittedError, VARDetector, fit_ar_coefficients
 from repro.eval import roc_auc
 from repro.synthetic import ar_process, inject_additive, inject_level_shift
 from repro.timeseries import TimeSeries
@@ -96,7 +96,7 @@ class TestVARDetector:
             VARDetector(order=3).fit(np.zeros((4, 3)))
 
     def test_score_before_fit(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotFittedError):
             VARDetector().score(np.zeros((5, 2)))
 
     def test_channel_count_checked(self, rng):

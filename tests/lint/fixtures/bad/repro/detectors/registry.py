@@ -1,0 +1,14 @@
+"""Fixture registry whose single row drifts from manifest_bad.json."""
+
+from .widget import GadgetDetector
+
+
+def _entry(technique, citation, cls):
+    return (technique, citation, cls)
+
+
+TABLE1_ROWS = (
+    _entry("Gadget analysis", "[99]", GadgetDetector),
+)
+
+BASELINE_ROWS = ()

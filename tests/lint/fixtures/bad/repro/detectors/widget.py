@@ -1,0 +1,18 @@
+"""Fixture detectors: one drifted from the manifest, one unregistered."""
+
+
+class BaseDetector:
+    name = ""
+
+
+class GadgetDetector(BaseDetector):
+    name = "gadget"
+    family = Family.DISCRIMINATIVE
+    supports = frozenset({DataShape.POINTS})
+
+
+class RogueDetector(BaseDetector):
+    name = "rogue"
+
+    def score(self, X):
+        raise RuntimeError("boom")

@@ -1,0 +1,17 @@
+"""Miniature metric catalog for the bad fixture tree."""
+
+
+class MetricSpec:
+    def __init__(self, kind="", labels=(), help=""):
+        self.kind = kind
+        self.labels = labels
+        self.help = help
+
+
+METRIC_CATALOG = {
+    "fixture_runs_total": MetricSpec(
+        kind="counter", labels=("stage",), help="Fixture run counter."
+    ),
+}
+
+DYNAMIC_METRIC_PREFIXES = ("fixture_dyn_",)

@@ -1,0 +1,10 @@
+"""Telemetry emissions violating every TEL contract once."""
+
+
+def emit(registry, tracer, dynamic_name):
+    registry.counter("fixture_unknown_total", "Not in the catalog.")
+    registry.gauge("fixture_runs_total", "Kind drift.", ("stage",))
+    registry.counter("fixture_runs_total", "Label drift.", labelnames=("other",))
+    registry.counter(dynamic_name, "Dynamic family name.")
+    span = tracer.span("dangling")
+    return span

@@ -1,0 +1,14 @@
+"""Fixture registry in lockstep with manifest_good.json."""
+
+from .widget import GadgetDetector
+
+
+def _entry(technique, citation, cls):
+    return (technique, citation, cls)
+
+
+TABLE1_ROWS = (
+    _entry("Gadget analysis", "[99]", GadgetDetector),
+)
+
+BASELINE_ROWS = ()

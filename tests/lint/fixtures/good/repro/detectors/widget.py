@@ -1,0 +1,18 @@
+"""Fixture detector consistent with registry and manifest_good.json."""
+
+
+class NotFittedError(Exception):
+    pass
+
+
+class BaseDetector:
+    name = ""
+
+
+class GadgetDetector(BaseDetector):
+    name = "gadget"
+    family = Family.UNSUPERVISED_PARAMETRIC
+    supports = frozenset({DataShape.POINTS, DataShape.SUBSEQUENCES})
+
+    def score(self, X):
+        raise NotFittedError("gadget")

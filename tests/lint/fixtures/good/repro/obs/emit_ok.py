@@ -1,0 +1,9 @@
+"""Telemetry emissions honouring every TEL contract."""
+
+
+def emit(registry, tracer):
+    registry.counter("fixture_runs_total", "Fixture run counter.", ("stage",))
+    registry.gauge("fixture_depth", "Fixture depth.")
+    registry.counter("fixture_dyn_widgets", "Dynamic-prefix family.")
+    with tracer.span("tick") as span:
+        span.set(ok=True)

@@ -1,0 +1,28 @@
+"""Clean mirror of util_bad: seeded RNG, typed excepts, suppressions."""
+
+import math
+import time
+
+import numpy as np
+
+RNG = np.random.default_rng(7)
+SAMPLES = RNG.normal(0.0, 1.0, 8)
+STARTED = time.monotonic()  # repro-lint: disable=DET003
+
+
+def load(values=None, options=None):
+    values = [] if values is None else values
+    options = {} if options is None else options
+    try:
+        return values[0], options
+    except IndexError:
+        return None
+
+
+def fuse(weight):
+    if math.isclose(weight, 0.25):
+        return 1.0
+    try:
+        return 1.0 / weight
+    except ZeroDivisionError:
+        return 0.0

@@ -5,13 +5,18 @@ Walks every ``repro`` subpackage, lists the names it exports in
 its docstring).  Run after changing any public API:
 
     python tools/gen_api_docs.py
+
+``--check`` regenerates in memory and exits 1 if docs/API.md on disk has
+drifted (CI runs this in the lint job).
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import inspect
 import pathlib
+import sys
 
 #: Hand-written notes appended after the generated tables so they survive
 #: regeneration.  Keep these short and about *cross-cutting* API behaviour
@@ -170,12 +175,31 @@ def render() -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if docs/API.md is stale instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
     out = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    rendered = render()
+    if args.check:
+        current = out.read_text() if out.exists() else ""
+        if current != rendered:
+            print(
+                f"{out} is stale — regenerate with `python tools/gen_api_docs.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{out} is up to date")
+        return 0
     out.parent.mkdir(exist_ok=True)
-    out.write_text(render())
+    out.write_text(rendered)
     print(f"wrote {out}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""repro-lint: AST-based contract checkers for the repro codebase.
+
+The paper's contributions are *structural contracts* — 21 Table-1
+techniques with declared PTS/SSQ/TSS applicability, a five-level
+hierarchy, and Algorithm 1's ``(global score, outlierness, support)``
+triple — and PRs 1-3 added matching *runtime* contracts (the error
+taxonomy, seeded chaos, metric/span discipline).  This package makes
+those contracts machine-checked on every commit instead of
+reviewer-enforced:
+
+* **REG0xx** — detector-registry completeness: every concrete detector
+  class is registered and its capabilities match the machine-readable
+  Table-1 manifest (``tools/lint/table1_manifest.json``);
+* **EXC0xx** — exception-taxonomy discipline: no bare/broad ``except``
+  outside the sandbox, only ``repro.detectors.errors`` types across the
+  detector API boundary;
+* **DET0xx** — determinism discipline: all randomness flows through
+  seeded ``numpy.random.Generator`` objects, all clocks through the
+  injection points;
+* **TEL0xx** — telemetry discipline: every metric name appears in the
+  central catalog (``repro.obs.catalog``), spans are only opened as
+  context managers;
+* **HYG0xx** — generic hygiene: mutable default arguments, float-literal
+  equality on data paths.
+
+Run as ``python -m tools.lint src/`` or ``repro lint src/``.  Findings
+can be suppressed per line with ``# repro-lint: disable=RULE`` (see
+``docs/STATIC_ANALYSIS.md``).  The suite is pure stdlib ``ast`` — it
+never imports the code under analysis.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Finding,
+    LintConfig,
+    ParsedFile,
+    Rule,
+    collect_files,
+    format_findings,
+    run_lint,
+)
+from .rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "ParsedFile",
+    "Rule",
+    "collect_files",
+    "format_findings",
+    "main",
+    "run_lint",
+    "rules_by_id",
+]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Console entry point shared by ``python -m tools.lint`` and ``repro lint``."""
+    from .__main__ import run
+
+    return run(argv)

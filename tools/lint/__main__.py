@@ -1,0 +1,96 @@
+"""``python -m tools.lint [paths...]`` — run the repro-lint suite.
+
+Exit codes: 0 clean, 1 findings, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core import LintConfig, collect_files, format_findings, run_lint
+from .rules import make_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based contract checkers for the repro codebase "
+        "(registry completeness, exception taxonomy, determinism, "
+        "telemetry, hygiene).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="Table-1 capability manifest "
+        "(default: tools/lint/table1_manifest.json)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule-id prefixes to run (e.g. DET,TEL001)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id and exit",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = make_rules()
+    if args.list_rules:
+        for rule in rules:
+            for rule_id in rule.rule_ids:
+                print(f"{rule_id}  ({rule.name})")
+        return 0
+    if args.select:
+        prefixes = tuple(
+            token.strip().upper() for token in args.select.split(",") if token.strip()
+        )
+        rules = [
+            rule
+            for rule in rules
+            if any(rid.startswith(prefixes) for rid in rule.rule_ids)
+        ]
+        if not rules:
+            print(f"repro-lint: --select {args.select!r} matches no rules",
+                  file=sys.stderr)
+            return 2
+    paths: List[Path] = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "repro-lint: no such path(s): "
+            + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+    config = LintConfig()
+    if args.manifest:
+        config.manifest_path = Path(args.manifest)
+    findings = run_lint(paths, rules, config)
+    print(format_findings(findings, args.format, checked=len(collect_files(paths))))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

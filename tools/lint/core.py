@@ -1,0 +1,279 @@
+"""Shared findings/reporting core of the repro-lint suite.
+
+One :class:`ParsedFile` per source file (text + AST + suppression table),
+one :class:`Finding` per violation, one :class:`Rule` base class that
+per-file checkers subclass and one :class:`ProjectRule` for whole-tree
+checkers (the registry/manifest cross-check needs every detector module
+at once).  ``run_lint`` wires them together and ``format_findings``
+renders text or JSON.
+
+Suppressions
+------------
+* ``# repro-lint: disable=RULE1,RULE2`` on the finding's line silences
+  those rules (``disable=all`` silences everything on the line);
+* ``# repro-lint: disable-file=RULE1,RULE2`` anywhere in a file silences
+  the rules for the whole file.
+
+Exit codes: 0 clean, 1 findings (including unparseable files, reported
+as rule ``LNT000``), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ParsedFile",
+    "ProjectRule",
+    "Rule",
+    "collect_files",
+    "format_findings",
+    "run_lint",
+]
+
+#: Rule id of the pseudo-finding emitted for files that fail to parse.
+PARSE_ERROR_RULE = "LNT000"
+
+_SUPPRESS_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {token.strip().upper() for token in raw.split(",") if token.strip()}
+
+
+@dataclass
+class ParsedFile:
+    """A source file with its AST and suppression table."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, root: Optional[Path] = None) -> "ParsedFile":
+        text = path.read_text(encoding="utf-8")
+        display = _display_path(path, root)
+        tree = ast.parse(text, filename=str(path))
+        line_suppressions: Dict[int, Set[str]] = {}
+        file_suppressions: Set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_LINE_RE.search(line)
+            if match:
+                line_suppressions.setdefault(lineno, set()).update(
+                    _parse_rule_list(match.group(1))
+                )
+            match = _SUPPRESS_FILE_RE.search(line)
+            if match:
+                file_suppressions.update(_parse_rule_list(match.group(1)))
+        return cls(
+            path=path,
+            display_path=display,
+            text=text,
+            tree=tree,
+            line_suppressions=line_suppressions,
+            file_suppressions=file_suppressions,
+        )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rule = rule.upper()
+        if rule in self.file_suppressions or "ALL" in self.file_suppressions:
+            return True
+        active = self.line_suppressions.get(line, ())
+        return rule in active or "ALL" in active
+
+    def matches(self, *suffixes: str) -> bool:
+        """True when the file's posix path ends with any given suffix."""
+        posix = self.path.as_posix()
+        return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+@dataclass
+class LintConfig:
+    """Knobs threaded through a lint run (defaults fit the real tree)."""
+
+    #: Table-1 manifest consumed by the registry checker; defaults to the
+    #: one shipped next to this package.
+    manifest_path: Path = field(
+        default_factory=lambda: Path(__file__).resolve().parent / "table1_manifest.json"
+    )
+    #: Repo-root used to shorten displayed paths; autodetected when None.
+    root: Optional[Path] = None
+
+
+class Rule:
+    """A per-file checker: visit one AST, yield findings.
+
+    Subclasses set ``rule_ids`` (every id they can emit — used by
+    ``--list-rules`` and the docs drift test) and implement
+    :meth:`check`.  Path-scoped exemptions live in the rules themselves
+    as posix-path suffixes, so fixture trees that mirror the repo layout
+    exercise them.
+    """
+
+    rule_ids: Tuple[str, ...] = ()
+    name: str = ""
+
+    def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _finding(
+        self,
+        rule: str,
+        src: ParsedFile,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        return Finding(
+            rule=rule,
+            path=src.display_path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+            hint=hint,
+        )
+
+
+class ProjectRule(Rule):
+    """A whole-tree checker: sees every parsed file at once."""
+
+    def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, files: Sequence[ParsedFile], config: LintConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    resolved = path.resolve()
+    for base in filter(None, (root, Path.cwd())):
+        try:
+            return resolved.relative_to(Path(base).resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run ``rules`` over every python file under ``paths``.
+
+    Returns findings sorted by (path, line, rule); suppressed findings
+    are dropped.  Unparseable files surface as ``LNT000`` findings
+    rather than aborting the run.
+    """
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    parsed: List[ParsedFile] = []
+    for path in collect_files(paths):
+        try:
+            parsed.append(ParsedFile.parse(path, config.root))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=_display_path(path, config.root),
+                    line=getattr(exc, "lineno", None) or 1,
+                    message=f"cannot parse file: {exc.__class__.__name__}: {exc}",
+                )
+            )
+    for src in parsed:
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            for finding in rule.check(src, config):
+                if not src.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    by_display = {src.display_path: src for src in parsed}
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            for finding in rule.check_project(parsed, config):
+                src = by_display.get(finding.path)
+                if src is None or not src.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def format_findings(
+    findings: Iterable[Finding], fmt: str = "text", checked: int = 0
+) -> str:
+    """Render findings as human text or a JSON document."""
+    findings = list(findings)
+    if fmt == "json":
+        return json.dumps(
+            {
+                "tool": "repro-lint",
+                "checked_files": checked,
+                "findings": [f.as_dict() for f in findings],
+                "summary": _summary(findings),
+            },
+            indent=2,
+        )
+    lines = [f.render() for f in findings]
+    counts = _summary(findings)
+    if findings:
+        per_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+        lines.append(f"repro-lint: {len(findings)} finding(s) in {checked} file(s): {per_rule}")
+    else:
+        lines.append(f"repro-lint: clean ({checked} file(s) checked)")
+    return "\n".join(lines)
+
+
+def _summary(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts

@@ -1,0 +1,38 @@
+"""Rule registry: every checker the repro-lint suite runs, in id order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core import Rule
+from .determinism import DeterminismRule
+from .exceptions import ExceptionDisciplineRule
+from .hygiene import HygieneRule
+from .registry_rules import RegistryCompletenessRule
+from .telemetry import TelemetryDisciplineRule
+
+__all__ = ["ALL_RULES", "make_rules", "rules_by_id"]
+
+
+def make_rules() -> List[Rule]:
+    """Fresh rule instances (project rules carry per-run state)."""
+    return [
+        RegistryCompletenessRule(),
+        ExceptionDisciplineRule(),
+        DeterminismRule(),
+        TelemetryDisciplineRule(),
+        HygieneRule(),
+    ]
+
+
+#: Default rule set used by ``python -m tools.lint``.
+ALL_RULES: Tuple[Rule, ...] = tuple(make_rules())
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """Map every emittable rule id to the checker that owns it."""
+    out: Dict[str, Rule] = {}
+    for rule in ALL_RULES:
+        for rule_id in rule.rule_ids:
+            out[rule_id] = rule
+    return out

@@ -1,0 +1,148 @@
+"""DET0xx — determinism discipline.
+
+Every experiment, the chaos suite's rerun guarantee, and the
+byte-identical trace serialization all rest on one invariant: *no hidden
+entropy sources*.  Randomness flows through seeded
+``numpy.random.Generator`` objects passed (or constructed from an
+explicit seed) at injection points; clocks flow through the injectable
+callables of ``repro.obs`` / ``repro.core.resilience``.
+
+* **DET001** module-level ``np.random.<fn>(...)`` calls (global-state
+  RNG: ``np.random.seed``, ``np.random.normal``, ...) — only
+  ``default_rng`` / ``Generator`` / ``SeedSequence`` construction is
+  allowed;
+* **DET002** stdlib ``random`` usage (import or call);
+* **DET003** wall-clock reads or sleeps (``time.time``,
+  ``time.monotonic``, ``time.perf_counter``, ``time.sleep``,
+  ``datetime.now`` / ``utcnow`` / ``today``) outside the clock injection
+  points;
+* **DET004** ``np.random.default_rng()`` *without a seed argument* —
+  an unseeded generator is hidden entropy with a reassuring name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..core import Finding, LintConfig, ParsedFile, Rule
+
+__all__ = ["DeterminismRule"]
+
+#: Modules allowed to touch real clocks: the tracer/telemetry defaults,
+#: the sandbox's timeout machinery, and the chaos harness's hanging
+#: detector (whose whole point is to block).
+_CLOCK_INJECTION_POINTS = (
+    "repro/obs/trace.py",
+    "repro/obs/__init__.py",
+    "repro/core/resilience.py",
+    "repro/plant/chaos.py",
+)
+
+#: np.random attributes that are constructors, not global-state RNG calls.
+_ALLOWED_NP_RANDOM = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+)
+
+_WALL_CLOCK_CALLS = {
+    "time": frozenset(
+        {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+         "perf_counter_ns", "sleep", "localtime", "gmtime"}
+    ),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+
+class DeterminismRule(Rule):
+    name = "determinism-discipline"
+    rule_ids: Tuple[str, ...] = ("DET001", "DET002", "DET003", "DET004")
+
+    def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        clock_ok = src.matches(*_CLOCK_INJECTION_POINTS)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self._finding(
+                    "DET002",
+                    src,
+                    node,
+                    "stdlib 'random' import: global-state RNG breaks seeded reruns",
+                    hint="take a seeded np.random.Generator parameter instead",
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self._finding(
+                            "DET002",
+                            src,
+                            node,
+                            "stdlib 'random' import: global-state RNG breaks "
+                            "seeded reruns",
+                            hint="take a seeded np.random.Generator parameter instead",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(node, src, clock_ok)
+
+    def _check_call(
+        self, node: ast.Call, src: ParsedFile, clock_ok: bool
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        chain = _attribute_chain(func)
+        if chain is None:
+            return
+        # np.random.<fn>(...) / numpy.random.<fn>(...)
+        if len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            fn = chain[2]
+            if fn == "default_rng" and not (node.args or node.keywords):
+                yield self._finding(
+                    "DET004",
+                    src,
+                    node,
+                    "np.random.default_rng() without a seed is hidden entropy",
+                    hint="pass an explicit seed (or thread a Generator parameter)",
+                )
+            elif fn not in _ALLOWED_NP_RANDOM:
+                yield self._finding(
+                    "DET001",
+                    src,
+                    node,
+                    f"module-level np.random.{fn}() uses numpy's global RNG state",
+                    hint="use a seeded np.random.Generator (rng = "
+                    "np.random.default_rng(seed); rng.<fn>(...))",
+                )
+        # random.<fn>(...)
+        elif len(chain) == 2 and chain[0] == "random":
+            yield self._finding(
+                "DET002",
+                src,
+                node,
+                f"stdlib random.{chain[1]}() is unseeded global-state RNG",
+                hint="take a seeded np.random.Generator parameter instead",
+            )
+        # time.<fn>() / datetime.<fn>() outside the injection points
+        elif not clock_ok and len(chain) >= 2:
+            owner, fn = chain[-2], chain[-1]
+            if fn in _WALL_CLOCK_CALLS.get(owner, ()):
+                yield self._finding(
+                    "DET003",
+                    src,
+                    node,
+                    f"wall-clock call {owner}.{fn}() outside the clock "
+                    "injection points",
+                    hint="accept an injectable clock callable (see "
+                    "repro.obs.TickClock / DetectorSandbox)",
+                )
+
+
+def _attribute_chain(node: ast.expr) -> "Tuple[str, ...] | None":
+    """``np.random.normal`` -> ("np", "random", "normal"); None if not names."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None

@@ -1,0 +1,117 @@
+"""EXC0xx — exception-taxonomy discipline.
+
+The resilience layer (PR 2) dispatches on the ``repro.detectors.errors``
+taxonomy: retry transient :class:`DetectorError`\\ s, fail over on
+permanent ones, quarantine bad inputs.  That only works if (a) nothing
+swallows exceptions wholesale outside the sandbox boundary and (b) the
+detector package raises taxonomy types — a stray ``RuntimeError`` passes
+straight through :meth:`BaseDetector._run_hook` and breaks every caller
+that catches ``DetectorError``.
+
+* **EXC001** bare ``except:``;
+* **EXC002** ``except Exception`` / ``except BaseException`` outside the
+  sandbox module (``repro/core/resilience.py``);
+* **EXC003** ``raise RuntimeError/Exception/BaseException`` inside
+  ``repro/detectors/`` — the public API boundary promises
+  ``DetectorError`` subclasses (``ValueError``/``KeyError`` etc. are
+  wrapped by ``_run_hook``; ``RuntimeError`` is not).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..core import Finding, LintConfig, ParsedFile, Rule
+
+__all__ = ["ExceptionDisciplineRule"]
+
+#: The sandbox is the one legitimate broad-catch boundary.
+_BROAD_EXCEPT_ALLOWED = ("repro/core/resilience.py",)
+
+#: Exception names whose *raise* inside the detector package leaks past
+#: the ``_run_hook`` wrapping (it only wraps ValueError / ArithmeticError
+#: / IndexError / KeyError into the taxonomy).
+_FORBIDDEN_RAISES = frozenset({"RuntimeError", "Exception", "BaseException"})
+
+#: The taxonomy module itself defines (and may construct) anything.
+_TAXONOMY_SCOPE = "repro/detectors/"
+_TAXONOMY_EXEMPT = ("repro/detectors/errors.py",)
+
+
+class ExceptionDisciplineRule(Rule):
+    name = "exception-discipline"
+    rule_ids: Tuple[str, ...] = ("EXC001", "EXC002", "EXC003")
+
+    def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        in_sandbox = src.matches(*_BROAD_EXCEPT_ALLOWED)
+        in_detectors = _TAXONOMY_SCOPE in src.path.as_posix() and not src.matches(
+            *_TAXONOMY_EXEMPT
+        )
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(node, src, in_sandbox)
+            elif isinstance(node, ast.Raise) and in_detectors:
+                yield from self._check_raise(node, src)
+
+    def _check_handler(
+        self, node: ast.ExceptHandler, src: ParsedFile, in_sandbox: bool
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self._finding(
+                "EXC001",
+                src,
+                node,
+                "bare 'except:' swallows everything, including KeyboardInterrupt",
+                hint="catch the specific DetectorError subclass (or at most Exception)",
+            )
+            return
+        if in_sandbox:
+            return
+        for name in _exception_names(node.type):
+            if name in ("Exception", "BaseException"):
+                yield self._finding(
+                    "EXC002",
+                    src,
+                    node,
+                    f"broad 'except {name}' outside the DetectorSandbox boundary",
+                    hint="catch specific types; broad catches belong to "
+                    "repro.core.resilience.DetectorSandbox only",
+                )
+
+    def _check_raise(self, node: ast.Raise, src: ParsedFile) -> Iterator[Finding]:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call):
+            name = _last_name(exc.func)
+        elif isinstance(exc, (ast.Name, ast.Attribute)):
+            name = _last_name(exc)
+        if name in _FORBIDDEN_RAISES:
+            yield self._finding(
+                "EXC003",
+                src,
+                node,
+                f"'raise {name}' crosses the detector API boundary untyped "
+                "(not wrapped into the repro.detectors.errors taxonomy)",
+                hint="raise a DetectorError subclass (NotFittedError, "
+                "DataQualityError, ...) instead",
+            )
+
+
+def _exception_names(node: ast.expr) -> Iterator[str]:
+    """Names of the exception classes an ``except`` clause catches."""
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _exception_names(element)
+    else:
+        name = _last_name(node)
+        if name is not None:
+            yield name
+
+
+def _last_name(node: ast.expr) -> "str | None":
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

@@ -1,0 +1,81 @@
+"""HYG0xx — generic hygiene checks.
+
+* **HYG001** mutable default arguments (``def f(x=[])`` and the
+  call-expression variants ``list()`` / ``dict()`` / ``set()``): the
+  default is evaluated once and shared across calls;
+* **HYG002** ``==`` / ``!=`` against a *non-zero* float literal on a
+  data path: after any arithmetic the comparison is a coin flip — use a
+  tolerance (``math.isclose`` / ``np.isclose``).  Comparisons against
+  ``0.0`` are exempt: exact zero is a well-defined IEEE-754 sentinel
+  (e.g. Algorithm 1's "no corresponding sensor agreed" support value)
+  and the codebase uses it as such.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..core import Finding, LintConfig, ParsedFile, Rule
+
+__all__ = ["HygieneRule"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+class HygieneRule(Rule):
+    name = "generic-hygiene"
+    rule_ids: Tuple[str, ...] = ("HYG001", "HYG002")
+
+    def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(node, src)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_float_eq(node, src)
+
+    def _check_defaults(self, node: ast.AST, src: ParsedFile) -> Iterator[Finding]:
+        args = node.args  # type: ignore[attr-defined]
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+                and not default.args
+                and not default.keywords
+            )
+            if mutable:
+                kind = (
+                    default.func.id + "()"
+                    if isinstance(default, ast.Call)
+                    else type(default).__name__.lower() + " literal"
+                )
+                yield self._finding(
+                    "HYG001",
+                    src,
+                    default,
+                    f"mutable default argument ({kind}) is shared across calls",
+                    hint="default to None and create the container in the body",
+                )
+
+    def _check_float_eq(self, node: ast.Compare, src: ParsedFile) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (left, right):
+                if (
+                    isinstance(operand, ast.Constant)
+                    and isinstance(operand.value, float)
+                    and operand.value != 0.0
+                ):
+                    yield self._finding(
+                        "HYG002",
+                        src,
+                        node,
+                        f"exact float comparison against {operand.value!r}",
+                        hint="use math.isclose / np.isclose with an explicit "
+                        "tolerance (exact-zero checks are exempt)",
+                    )
+                    break

@@ -1,0 +1,491 @@
+"""REG0xx — detector-registry completeness against the Table-1 manifest.
+
+Table 1 is the paper's central artifact: 21 techniques, each with
+declared PTS/SSQ/TSS applicability.  The code's executable form is
+``repro.detectors.registry`` (21 Table-1 rows + 8 baselines); the
+*review* form is the machine-readable manifest
+``tools/lint/table1_manifest.json``.  This checker keeps the three in
+lockstep without importing anything:
+
+* **REG001** a concrete detector class (transitively derives from
+  ``BaseDetector`` and declares its own ``name``) is not referenced in
+  any registry row;
+* **REG002** registry rows and manifest entries disagree — an entry is
+  missing on either side, or technique/citation/row-kind drifted;
+* **REG003** a class's statically-declared ``supports`` capabilities
+  contradict the manifest's pts/ssq/tss checkmarks;
+* **REG004** a registered class is missing (or hides from static
+  analysis) its ``name`` / ``family`` / ``supports`` declaration, its
+  family contradicts the manifest, or two classes share a detector name.
+
+The checker activates only when the scanned tree contains a file ending
+in ``repro/detectors/registry.py``, so fixture trees can carry a
+miniature detectors package plus their own manifest
+(``LintConfig.manifest_path``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core import Finding, LintConfig, ParsedFile, ProjectRule
+
+__all__ = ["RegistryCompletenessRule"]
+
+_REGISTRY_SUFFIX = "repro/detectors/registry.py"
+_DETECTORS_DIR = "repro/detectors/"
+_ROW_CONTAINERS = {"TABLE1_ROWS": "table1", "BASELINE_ROWS": "baseline"}
+_SHAPE_TO_FLAG = {"POINTS": "pts", "SUBSEQUENCES": "ssq", "SERIES": "tss"}
+
+
+@dataclass
+class _ClassInfo:
+    """Statically-extracted facts about one class in the detectors tree."""
+
+    cls_name: str
+    src: ParsedFile
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    name_attr: Optional[str] = None
+    family_attr: Optional[str] = None
+    #: pts/ssq/tss flags, or None when ``supports`` is missing/unreadable.
+    capabilities: Optional[Dict[str, bool]] = None
+    has_supports: bool = False
+
+
+@dataclass
+class _RegistryRow:
+    technique: str
+    citation: str
+    cls_name: str
+    row: str
+    lineno: int
+
+
+@dataclass
+class _ManifestEntry:
+    detector: str
+    cls_name: str
+    technique: str
+    citation: str
+    family: str
+    row: str
+    flags: Dict[str, bool] = field(default_factory=dict)
+
+
+class RegistryCompletenessRule(ProjectRule):
+    name = "registry-completeness"
+    rule_ids: Tuple[str, ...] = ("REG001", "REG002", "REG003", "REG004")
+
+    def check_project(
+        self, files: Sequence[ParsedFile], config: LintConfig
+    ) -> Iterator[Finding]:
+        registry_src = next((f for f in files if f.matches(_REGISTRY_SUFFIX)), None)
+        if registry_src is None:
+            return
+        detector_files = [f for f in files if _DETECTORS_DIR in f.path.as_posix()]
+        classes = _collect_classes(detector_files)
+        rows, row_problems = _parse_registry(registry_src)
+        for message in row_problems:
+            yield Finding(
+                rule="REG002",
+                path=registry_src.display_path,
+                line=1,
+                message=message,
+            )
+        try:
+            manifest = _load_manifest(config.manifest_path)
+        except (OSError, ValueError, KeyError) as exc:
+            yield Finding(
+                rule="REG002",
+                path=registry_src.display_path,
+                line=1,
+                message=f"cannot load Table-1 manifest "
+                f"{config.manifest_path}: {exc.__class__.__name__}: {exc}",
+                hint="regenerate tools/lint/table1_manifest.json from the registry",
+            )
+            return
+        yield from self._check_unregistered(classes, rows)
+        yield from self._check_rows_vs_manifest(rows, manifest, registry_src)
+        yield from self._check_classes_vs_manifest(classes, rows, manifest)
+        yield from self._check_duplicate_names(classes, rows)
+
+    # ------------------------------------------------------------------
+    def _check_unregistered(
+        self, classes: Dict[str, _ClassInfo], rows: List[_RegistryRow]
+    ) -> Iterator[Finding]:
+        registered = {row.cls_name for row in rows}
+        concrete = _concrete_detectors(classes)
+        for cls_name in sorted(concrete):
+            if cls_name not in registered:
+                info = classes[cls_name]
+                yield self._finding(
+                    "REG001",
+                    info.src,
+                    info.node,
+                    f"detector class {cls_name} (name="
+                    f"{info.name_attr!r}) is not registered in "
+                    "TABLE1_ROWS/BASELINE_ROWS",
+                    hint="add an _entry(...) row (and a manifest entry), or "
+                    "register it via register_detector for out-of-tree use",
+                )
+
+    def _check_rows_vs_manifest(
+        self,
+        rows: List[_RegistryRow],
+        manifest: Dict[str, _ManifestEntry],
+        registry_src: ParsedFile,
+    ) -> Iterator[Finding]:
+        row_classes = {row.cls_name for row in rows}
+        for row in rows:
+            entry = manifest.get(row.cls_name)
+            if entry is None:
+                yield Finding(
+                    rule="REG002",
+                    path=registry_src.display_path,
+                    line=row.lineno,
+                    message=f"registered class {row.cls_name} has no entry in "
+                    "the Table-1 manifest",
+                    hint="add the row to tools/lint/table1_manifest.json",
+                )
+                continue
+            for label, got, want in (
+                ("technique", row.technique, entry.technique),
+                ("citation", row.citation, entry.citation),
+                ("row kind", row.row, entry.row),
+            ):
+                if got != want:
+                    yield Finding(
+                        rule="REG002",
+                        path=registry_src.display_path,
+                        line=row.lineno,
+                        message=f"{row.cls_name}: {label} {got!r} in the "
+                        f"registry but {want!r} in the manifest",
+                    )
+        for cls_name in sorted(set(manifest) - row_classes):
+            yield Finding(
+                rule="REG002",
+                path=registry_src.display_path,
+                line=1,
+                message=f"manifest entry {cls_name} has no registry row",
+                hint="register the detector or drop the manifest entry",
+            )
+        if len(rows) != len(manifest):
+            yield Finding(
+                rule="REG002",
+                path=registry_src.display_path,
+                line=1,
+                message=f"registry declares {len(rows)} detectors but the "
+                f"manifest has {len(manifest)} entries",
+            )
+
+    def _check_classes_vs_manifest(
+        self,
+        classes: Dict[str, _ClassInfo],
+        rows: List[_RegistryRow],
+        manifest: Dict[str, _ManifestEntry],
+    ) -> Iterator[Finding]:
+        for row in rows:
+            info = classes.get(row.cls_name)
+            entry = manifest.get(row.cls_name)
+            if info is None or entry is None:
+                continue  # REG002 already reported missing pieces
+            if info.name_attr is None or info.family_attr is None or not info.has_supports:
+                missing = [
+                    label
+                    for label, present in (
+                        ("name", info.name_attr is not None),
+                        ("family", info.family_attr is not None),
+                        ("supports", info.has_supports),
+                    )
+                    if not present
+                ]
+                yield self._finding(
+                    "REG004",
+                    info.src,
+                    info.node,
+                    f"registered detector {row.cls_name} does not declare "
+                    f"{', '.join(missing)} as class attribute(s)",
+                    hint="declare the Table-1 contract statically on the class",
+                )
+            if info.name_attr is not None and info.name_attr != entry.detector:
+                yield self._finding(
+                    "REG004",
+                    info.src,
+                    info.node,
+                    f"{row.cls_name}.name is {info.name_attr!r} but the "
+                    f"manifest says {entry.detector!r}",
+                )
+            if info.family_attr is not None and info.family_attr != entry.family:
+                yield self._finding(
+                    "REG004",
+                    info.src,
+                    info.node,
+                    f"{row.cls_name}.family is Family.{info.family_attr} but "
+                    f"the manifest says {entry.family!r}",
+                    hint="family values in the manifest use the Family enum "
+                    "*member name* resolved to its value via the alias table",
+                )
+            if info.has_supports and info.capabilities is None:
+                yield self._finding(
+                    "REG004",
+                    info.src,
+                    info.node,
+                    f"{row.cls_name}.supports cannot be resolved statically",
+                    hint="declare supports = frozenset({DataShape...}) or a "
+                    "module-level frozenset alias",
+                )
+            elif info.capabilities is not None:
+                for flag in ("pts", "ssq", "tss"):
+                    got = info.capabilities[flag]
+                    want = entry.flags.get(flag)
+                    if want is not None and got != want:
+                        yield self._finding(
+                            "REG003",
+                            info.src,
+                            info.node,
+                            f"{row.cls_name}: class declares "
+                            f"{flag}={got} but the Table-1 manifest says "
+                            f"{flag}={want}",
+                            hint="fix the supports frozenset or correct the "
+                            "manifest row (EXPERIMENTS.md records the "
+                            "column inference)",
+                        )
+
+    def _check_duplicate_names(
+        self, classes: Dict[str, _ClassInfo], rows: List[_RegistryRow]
+    ) -> Iterator[Finding]:
+        seen: Dict[str, str] = {}
+        for row in rows:
+            info = classes.get(row.cls_name)
+            if info is None or info.name_attr is None:
+                continue
+            if info.name_attr in seen:
+                yield self._finding(
+                    "REG004",
+                    info.src,
+                    info.node,
+                    f"detector name {info.name_attr!r} is declared by both "
+                    f"{seen[info.name_attr]} and {row.cls_name}",
+                )
+            else:
+                seen[info.name_attr] = row.cls_name
+
+
+# ----------------------------------------------------------------------
+# static extraction helpers
+# ----------------------------------------------------------------------
+def _collect_classes(files: Sequence[ParsedFile]) -> Dict[str, _ClassInfo]:
+    classes: Dict[str, _ClassInfo] = {}
+    for src in files:
+        module_aliases = _module_frozenset_aliases(src.tree)
+        for node in src.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                name
+                for name in (_last_name(base) for base in node.bases)
+                if name is not None
+            )
+            info = _ClassInfo(
+                cls_name=node.name, src=src, node=node, bases=bases
+            )
+            for stmt in node.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "name" and isinstance(stmt.value, ast.Constant):
+                        if isinstance(stmt.value.value, str):
+                            info.name_attr = stmt.value.value
+                    elif target.id == "family":
+                        info.family_attr = _last_name(stmt.value)
+                    elif target.id == "supports":
+                        info.has_supports = True
+                        shapes = _resolve_shapes(stmt.value, module_aliases)
+                        if shapes is not None:
+                            info.capabilities = {
+                                flag: shape in shapes
+                                for shape, flag in _SHAPE_TO_FLAG.items()
+                            }
+            classes[node.name] = info
+    return classes
+
+
+def _concrete_detectors(classes: Dict[str, _ClassInfo]) -> Set[str]:
+    """Classes transitively deriving from BaseDetector that declare ``name``."""
+    derived: Set[str] = {"BaseDetector"}
+    changed = True
+    while changed:
+        changed = False
+        for info in classes.values():
+            if info.cls_name not in derived and any(b in derived for b in info.bases):
+                derived.add(info.cls_name)
+                changed = True
+    return {
+        name
+        for name in derived
+        if name != "BaseDetector"
+        and name in classes
+        and classes[name].name_attr is not None
+    }
+
+
+def _module_frozenset_aliases(tree: ast.Module) -> Dict[str, ast.expr]:
+    out: Dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                out[target.id] = node.value
+    return out
+
+
+def _resolve_shapes(
+    node: ast.expr, aliases: Dict[str, ast.expr], depth: int = 0
+) -> Optional[Set[str]]:
+    """``frozenset({DataShape.X, ...})`` (possibly via alias) -> {"X", ...}."""
+    if depth > 4:
+        return None
+    if isinstance(node, ast.Name):
+        alias = aliases.get(node.id)
+        return None if alias is None else _resolve_shapes(alias, aliases, depth + 1)
+    if (
+        isinstance(node, ast.Call)
+        and _last_name(node.func) == "frozenset"
+        and len(node.args) <= 1
+        and not node.keywords
+    ):
+        if not node.args:
+            return set()
+        return _resolve_shapes(node.args[0], aliases, depth + 1)
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        shapes: Set[str] = set()
+        for element in node.elts:
+            name = _last_name(element)
+            if name not in _SHAPE_TO_FLAG:
+                return None
+            shapes.add(name)
+        return shapes
+    return None
+
+
+def _parse_registry(
+    src: ParsedFile,
+) -> Tuple[List[_RegistryRow], List[str]]:
+    rows: List[_RegistryRow] = []
+    problems: List[str] = []
+    seen_containers: Set[str] = set()
+    for node in src.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name) or target.id not in _ROW_CONTAINERS:
+                continue
+            seen_containers.add(target.id)
+            row_kind = _ROW_CONTAINERS[target.id]
+            if not isinstance(value, (ast.Tuple, ast.List)):
+                problems.append(
+                    f"{target.id} is not a literal tuple of _entry(...) rows"
+                )
+                continue
+            for element in value.elts:
+                row = _parse_entry(element, row_kind)
+                if row is None:
+                    problems.append(
+                        f"{target.id} contains a row that is not a statically "
+                        f"readable _entry(...) call (line {element.lineno})"
+                    )
+                else:
+                    rows.append(row)
+    for container in _ROW_CONTAINERS:
+        if container not in seen_containers:
+            problems.append(f"registry does not define {container}")
+    return rows, problems
+
+
+def _parse_entry(node: ast.expr, row_kind: str) -> Optional[_RegistryRow]:
+    if not (
+        isinstance(node, ast.Call)
+        and _last_name(node.func) == "_entry"
+        and len(node.args) >= 3
+    ):
+        return None
+    technique, citation, cls = node.args[:3]
+    if not (
+        isinstance(technique, ast.Constant)
+        and isinstance(technique.value, str)
+        and isinstance(citation, ast.Constant)
+        and isinstance(citation.value, str)
+    ):
+        return None
+    cls_name = _last_name(cls)
+    if cls_name is None:
+        return None
+    return _RegistryRow(
+        technique=technique.value,
+        citation=citation.value,
+        cls_name=cls_name,
+        row=row_kind,
+        lineno=node.lineno,
+    )
+
+
+#: ``Family`` enum member name -> value, mirrored from repro.detectors.base
+#: so the checker never imports the code under analysis.  REG004 catches a
+#: drifted mirror indirectly (family mismatches on every row).
+_FAMILY_VALUES = {
+    "DISCRIMINATIVE": "DA",
+    "UNSUPERVISED_PARAMETRIC": "UPA",
+    "UNSUPERVISED_OLAP": "UOA",
+    "SUPERVISED": "SA",
+    "NORMAL_PATTERN_DB": "NPD",
+    "NEGATIVE_PATTERN_DB": "NMD",
+    "OUTLIER_SUBSEQUENCE": "OS",
+    "PREDICTIVE": "PM",
+    "INFORMATION_THEORETIC": "ITM",
+    "BASELINE": "BL",
+}
+
+
+def _load_manifest(path) -> Dict[str, _ManifestEntry]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    rows = doc["detectors"] if isinstance(doc, dict) else doc
+    out: Dict[str, _ManifestEntry] = {}
+    for raw in rows:
+        entry = _ManifestEntry(
+            detector=str(raw["detector"]),
+            cls_name=str(raw["class"]),
+            technique=str(raw["technique"]),
+            citation=str(raw["citation"]),
+            family=_family_member_name(str(raw["family"])),
+            row=str(raw["row"]),
+            flags={flag: bool(raw[flag]) for flag in ("pts", "ssq", "tss")},
+        )
+        out[entry.cls_name] = entry
+    return out
+
+
+def _family_member_name(value: str) -> str:
+    """Manifest stores the Family *value* ("DA"); classes use member names."""
+    for member, val in _FAMILY_VALUES.items():
+        if value in (member, val):
+            return member
+    return value
+
+
+def _last_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

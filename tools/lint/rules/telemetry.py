@@ -1,0 +1,234 @@
+"""TEL0xx — telemetry discipline.
+
+PR 3 made telemetry default-on; its dashboards, the golden Prometheus
+file, and the run manifests all assume a *closed* metric namespace and
+well-nested spans.  The contracts:
+
+* **TEL001** every metric name emitted via ``repro.obs.metrics``
+  (``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``) appears in
+  the central catalog ``repro.obs.catalog.METRIC_CATALOG`` (or matches a
+  declared dynamic prefix such as ``repro_stats_``);
+* **TEL002** spans are only opened as context managers (``with
+  tracer.span(...)``) — a dangling ``.span()`` call leaves the tracer
+  stack unbalanced and every later span mis-parented;
+* **TEL003** metric names are string literals, so TEL001 is statically
+  checkable (dynamic names are confined to ``repro/obs/metrics.py``);
+* **TEL004** the emission's kind and ``labelnames`` match the catalog
+  entry — one metric family cannot change shape between call sites.
+
+The catalog is read from the scanned tree itself (the file ending in
+``repro/obs/catalog.py``), so fixture trees carry their own miniature
+catalogs.  When no catalog file is in scope, TEL001/TEL004 are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core import Finding, LintConfig, ParsedFile, ProjectRule
+
+__all__ = ["TelemetryDisciplineRule", "parse_catalog_ast"]
+
+_CATALOG_SUFFIX = "repro/obs/catalog.py"
+#: The registry implementation itself (incl. ``import_nested``) and the
+#: catalog module may name metrics dynamically.
+_METRIC_EXEMPT = ("repro/obs/metrics.py", _CATALOG_SUFFIX)
+#: The tracer implementation constructs spans outside ``with``.
+_SPAN_EXEMPT = ("repro/obs/trace.py",)
+
+_EMIT_METHODS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+
+
+def parse_catalog_ast(
+    tree: ast.Module,
+) -> Tuple[Dict[str, Tuple[str, Tuple[str, ...]]], Tuple[str, ...]]:
+    """Statically read ``METRIC_CATALOG`` / ``DYNAMIC_METRIC_PREFIXES``.
+
+    Returns ``({name: (kind, labels)}, prefixes)``.  Entries whose kind
+    or labels cannot be read statically get ``("?", ())`` and are
+    treated as name-only matches.
+    """
+    catalog: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+    prefixes: Tuple[str, ...] = ()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "METRIC_CATALOG" and isinstance(value, ast.Dict):
+                for key, spec in zip(value.keys, value.values):
+                    if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                        continue
+                    catalog[key.value] = _parse_spec(spec)
+            elif target.id == "DYNAMIC_METRIC_PREFIXES" and isinstance(
+                value, (ast.Tuple, ast.List)
+            ):
+                prefixes = tuple(
+                    element.value
+                    for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+    return catalog, prefixes
+
+
+def _parse_spec(node: ast.expr) -> Tuple[str, Tuple[str, ...]]:
+    if not isinstance(node, ast.Call):
+        return "?", ()
+    kind = "?"
+    labels: Tuple[str, ...] = ()
+    for keyword in node.keywords:
+        if keyword.arg == "kind" and isinstance(keyword.value, ast.Constant):
+            kind = str(keyword.value.value)
+        elif keyword.arg == "labels" and isinstance(
+            keyword.value, (ast.Tuple, ast.List)
+        ):
+            labels = tuple(
+                element.value
+                for element in keyword.value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            )
+    return kind, labels
+
+
+class TelemetryDisciplineRule(ProjectRule):
+    name = "telemetry-discipline"
+    rule_ids: Tuple[str, ...] = ("TEL001", "TEL002", "TEL003", "TEL004")
+
+    def check_project(
+        self, files: Sequence[ParsedFile], config: LintConfig
+    ) -> Iterator[Finding]:
+        catalog: Optional[Dict[str, Tuple[str, Tuple[str, ...]]]] = None
+        prefixes: Tuple[str, ...] = ()
+        for src in files:
+            if src.matches(_CATALOG_SUFFIX):
+                catalog, prefixes = parse_catalog_ast(src.tree)
+                break
+        for src in files:
+            yield from self._check_file(src, catalog, prefixes)
+
+    def _check_file(
+        self,
+        src: ParsedFile,
+        catalog: Optional[Dict[str, Tuple[str, Tuple[str, ...]]]],
+        prefixes: Tuple[str, ...],
+    ) -> Iterator[Finding]:
+        metric_exempt = src.matches(*_METRIC_EXEMPT)
+        span_exempt = src.matches(*_SPAN_EXEMPT)
+        with_spans = _context_managed_calls(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "span" and not span_exempt:
+                if id(node) not in with_spans:
+                    yield self._finding(
+                        "TEL002",
+                        src,
+                        node,
+                        ".span() call outside a 'with' statement leaves the "
+                        "span open and the tracer stack unbalanced",
+                        hint="write 'with tracer.span(...) as sp:'",
+                    )
+            elif func.attr in _EMIT_METHODS and not metric_exempt:
+                yield from self._check_metric_call(node, src, catalog, prefixes)
+
+    def _check_metric_call(
+        self,
+        node: ast.Call,
+        src: ParsedFile,
+        catalog: Optional[Dict[str, Tuple[str, Tuple[str, ...]]]],
+        prefixes: Tuple[str, ...],
+    ) -> Iterator[Finding]:
+        kind = _EMIT_METHODS[node.func.attr]  # type: ignore[union-attr]
+        if not node.args:
+            return
+        name_node = node.args[0]
+        if not (isinstance(name_node, ast.Constant) and isinstance(name_node.value, str)):
+            yield self._finding(
+                "TEL003",
+                src,
+                node,
+                f"metric name passed to .{kind}() is not a string literal",
+                hint="dynamic metric names are confined to repro.obs.metrics "
+                "(import_nested); name the family statically",
+            )
+            return
+        name = name_node.value
+        if catalog is None:
+            return
+        if name not in catalog:
+            if any(name.startswith(prefix) for prefix in prefixes):
+                return
+            yield self._finding(
+                "TEL001",
+                src,
+                node,
+                f"metric {name!r} is not in repro.obs.catalog.METRIC_CATALOG",
+                hint="add a MetricSpec entry (and keep "
+                "tests/obs/golden_metrics.prom consistent)",
+            )
+            return
+        want_kind, want_labels = catalog[name]
+        if want_kind not in ("?", kind):
+            yield self._finding(
+                "TEL004",
+                src,
+                node,
+                f"metric {name!r} emitted as {kind} but catalogued as {want_kind}",
+                hint="one metric family cannot change kind between call sites",
+            )
+        got_labels = _call_labelnames(node)
+        if got_labels is not None and tuple(got_labels) != want_labels:
+            yield self._finding(
+                "TEL004",
+                src,
+                node,
+                f"metric {name!r} emitted with labels {tuple(got_labels)!r} "
+                f"but catalogued with {want_labels!r}",
+                hint="align the labelnames with the catalog entry",
+            )
+
+
+def _call_labelnames(node: ast.Call) -> Optional[List[str]]:
+    """The literal ``labelnames`` of an emission call; None if unreadable."""
+    label_node: Optional[ast.expr] = None
+    for keyword in node.keywords:
+        if keyword.arg == "labelnames":
+            label_node = keyword.value
+    if label_node is None:
+        # counter(name, help, labelnames) / histogram(name, help, buckets, labelnames)
+        position = 3 if node.func.attr == "histogram" else 2  # type: ignore[union-attr]
+        if len(node.args) > position:
+            label_node = node.args[position]
+    if label_node is None:
+        return []
+    if isinstance(label_node, (ast.Tuple, ast.List)):
+        out = []
+        for element in label_node.elts:
+            if not (
+                isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ):
+                return None
+            out.append(element.value)
+        return out
+    return None
+
+
+def _context_managed_calls(tree: ast.Module) -> Set[int]:
+    """ids of Call nodes used as a ``with`` item's context expression."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    out.add(id(item.context_expr))
+    return out
