@@ -1,0 +1,109 @@
+"""Collect benchmark text reports into machine-readable JSON.
+
+The benchmarks under this directory each write one human-readable table
+to ``benchmarks/out/<name>.txt`` (see ``conftest.py``); those tables
+feed EXPERIMENTS.md but are opaque to tooling.  This collector re-emits
+every text report — plus a parsed form of the parallel-speedup table —
+as ``benchmarks/out/BENCH_parallel.json``, so the perf trajectory is
+trackable across PRs (CI uploads the file as an artifact).
+
+Usage::
+
+    python benchmarks/to_json.py [--out PATH]
+
+Exits non-zero when no benchmark output exists yet (run the benches
+first: ``PYTHONPATH=src python -m pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+DEFAULT_TARGET = OUT_DIR / "BENCH_parallel.json"
+
+#: Columns of the parallel_speedup.txt table, in order.
+_SPEEDUP_COLUMNS = (
+    "executor", "workers", "tasks", "wall_s", "speedup", "vs_serial"
+)
+
+
+def parse_speedup_table(text: str) -> dict:
+    """Parse ``parallel_speedup.txt`` into per-executor rows.
+
+    Returns ``{"rows": [{executor, workers, tasks, wall_s, speedup,
+    vs_serial}], "identical_reports": bool}``; tolerant of the header
+    and trailing prose lines.
+    """
+    rows = []
+    identical = None
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == len(_SPEEDUP_COLUMNS) and parts[0] in (
+            "serial", "thread", "process"
+        ):
+            rows.append(
+                {
+                    "executor": parts[0],
+                    "workers": int(parts[1]),
+                    "tasks": int(parts[2]),
+                    "wall_s": float(parts[3]),
+                    "speedup": float(parts[4]),
+                    "vs_serial": float(parts[5]),
+                }
+            )
+        elif line.startswith("reports byte-identical"):
+            identical = line.rsplit(":", 1)[1].strip() == "True"
+    return {"rows": rows, "identical_reports": identical}
+
+
+def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
+    """Bundle every ``*.txt`` bench report, parsing the speedup table."""
+    reports = sorted(out_dir.glob("*.txt"))
+    doc: dict = {
+        "schema": "repro.bench/1",
+        "benches": {},
+    }
+    for path in reports:
+        text = path.read_text().rstrip("\n")
+        entry: dict = {"text": text}
+        if path.stem == "parallel_speedup":
+            entry["parsed"] = parse_speedup_table(text)
+        doc["benches"][path.stem] = entry
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_TARGET,
+        help=f"target JSON path (default: {DEFAULT_TARGET})",
+    )
+    args = parser.parse_args(argv)
+    doc = collect()
+    if not doc["benches"]:
+        print(
+            "no benchmark output under benchmarks/out/ — run "
+            "`PYTHONPATH=src python -m pytest benchmarks/` first",
+            file=sys.stderr,
+        )
+        return 1
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(
+        f"wrote {args.out} ({len(doc['benches'])} bench report(s)"
+        + (
+            ", parallel_speedup parsed"
+            if "parallel_speedup" in doc["benches"]
+            else ""
+        )
+        + ")"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

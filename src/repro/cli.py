@@ -61,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--log-level", default=None, metavar="LEVEL",
                      help="emit structured JSON logs at this level "
                           "(DEBUG/INFO/WARNING/...) to stderr")
+    det.add_argument("--executor", default="serial",
+                     choices=("serial", "thread", "process"),
+                     help="level-DAG execution engine backend; reports are "
+                          "byte-identical across all three")
+    det.add_argument("--max-workers", type=int, default=None, metavar="N",
+                     help="worker-pool cap for --executor thread/process "
+                          "(default: available cpu cores)")
+    det.add_argument("--batch-scoring", action="store_true",
+                     help="stack same-length sensor traces and score them "
+                          "with one batched detector call per group")
 
     mon = sub.add_parser("monitor", help="condition/maintenance summary")
     mon.add_argument("--plant", help=".npz archive from `repro simulate`")
@@ -134,7 +144,7 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_detect(args) -> int:
-    from .core import HierarchicalDetectionPipeline, ProductionLevel
+    from .core import HierarchicalDetectionPipeline, PipelineConfig, ProductionLevel
     from .io import reports_to_json
 
     if args.log_level:
@@ -152,11 +162,23 @@ def _cmd_detect(args) -> int:
             ),
         )
         print(f"chaos: injected {len(chaos_events)} infrastructure fault(s)")
-    pipeline = HierarchicalDetectionPipeline(dataset)
+    config = PipelineConfig(
+        executor=args.executor,
+        max_workers=args.max_workers,
+        batch_scoring=args.batch_scoring,
+    )
+    pipeline = HierarchicalDetectionPipeline(dataset, config=config)
     reports = pipeline.run(
         start_level=ProductionLevel(args.start_level),
         fusion_strategy=args.fusion,
     )
+    engine = pipeline.context.engine_stats()
+    if args.executor != "serial":
+        print(
+            f"engine: {engine.executor} x{engine.workers} — "
+            f"{engine.n_tasks} tasks, wall {engine.wall_seconds:.2f}s, "
+            f"speedup {engine.speedup:.2f}x"
+        )
     print(f"{len(reports)} hierarchical reports (start level {args.start_level}, "
           f"fusion={args.fusion}); top {min(args.top, len(reports))}:")
     for report in reports[: args.top]:
@@ -200,6 +222,7 @@ def _cmd_detect(args) -> int:
             health=pipeline.health,
             n_reports=len(reports),
             artifacts=artifacts,
+            extra={"engine": engine.as_dict()},
         )
         manifest_path = write_run_manifest(manifest, manifest_path_for(args.json))
         print(f"run manifest written to {manifest_path}")

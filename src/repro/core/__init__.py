@@ -29,6 +29,15 @@ from .outlier import (
     OutlierCandidate,
     rank_reports,
 )
+from .parallel import (
+    EXECUTORS,
+    EngineStats,
+    ParallelEngine,
+    Task,
+    TaskGraph,
+    derive_task_seed,
+    resolve_workers,
+)
 from .pipeline import (
     HierarchicalDetectionPipeline,
     PipelineConfig,
@@ -96,6 +105,13 @@ __all__ = [
     "PipelineStats",
     "PlantHierarchyContext",
     "HierarchicalDetectionPipeline",
+    "ParallelEngine",
+    "TaskGraph",
+    "Task",
+    "EngineStats",
+    "EXECUTORS",
+    "derive_task_seed",
+    "resolve_workers",
     "RunHealth",
     "FallbackEvent",
     "QuarantineEvent",

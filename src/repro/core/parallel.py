@@ -1,0 +1,316 @@
+"""Parallel level-DAG execution engine for the hierarchical pipeline.
+
+Section 5 of the paper singles out *calculation speed* as a core
+challenge of hierarchical outlier detection.  The scoring work of one
+plant run decomposes naturally into a small DAG — phase scoring per
+machine, environment scoring per line, the global job table, the per-line
+jobs-over-time matrices, and the production panel — and the tasks inside
+one level are embarrassingly parallel.  This module provides the generic
+machinery; :mod:`repro.core.pipeline` builds the concrete graph.
+
+Design constraints, in order:
+
+* **determinism first** — results are merged *by task key in graph
+  insertion order*, never in completion order; per-task RNG seeds are a
+  pure function of the task key (:func:`derive_task_seed`); the serial
+  executor and both parallel executors therefore produce bit-identical
+  pipeline results;
+* **one construction site** — this module is the only place in
+  ``src/repro`` allowed to construct ``ThreadPoolExecutor`` /
+  ``ProcessPoolExecutor`` (enforced statically by repro-lint rule
+  DET005), so executor policy, worker sizing, and shutdown discipline
+  live in exactly one file;
+* **measurable** — :class:`EngineStats` records per-task wall latency,
+  the maximum number of simultaneously ready tasks (queue depth), and
+  the compute/wall speedup estimate the pipeline folds into metrics.
+
+The worker callable passed to :meth:`ParallelEngine.run` must be a
+module-level function (or a :func:`functools.partial` of one) when the
+``process`` executor is used — it crosses the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "EngineStats",
+    "ParallelEngine",
+    "EXECUTORS",
+    "derive_task_seed",
+    "resolve_workers",
+]
+
+#: The configurable executor kinds (``PipelineConfig.executor``).
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+def derive_task_seed(root_seed: int, key: str) -> int:
+    """Deterministic per-task RNG child seed.
+
+    A pure function of ``(root_seed, key)`` — independent of scheduling
+    order, worker identity, and executor kind — so stochastic detectors
+    seeded from it behave identically under every executor.  The key is
+    folded through CRC-32 into a :class:`numpy.random.SeedSequence` so
+    sibling tasks get statistically independent streams.
+    """
+    entropy = [int(root_seed) & 0xFFFFFFFF, zlib.crc32(key.encode("utf-8"))]
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
+def resolve_workers(executor: str, max_workers: Optional[int]) -> int:
+    """Worker count for an executor: explicit cap, else auto from the host.
+
+    Auto-sizing prefers the scheduling affinity mask (container CPU
+    quotas) over the raw core count; the serial executor always reports
+    a single worker.
+    """
+    if executor == "serial":
+        return 1
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        return int(max_workers)
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux: no affinity API
+        available = os.cpu_count() or 1
+    return max(1, available)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    ``deps`` name tasks that must complete before this one may start;
+    they must already be in the graph when the task is added, which
+    keeps every :class:`TaskGraph` topologically ordered by construction.
+    """
+
+    key: str
+    payload: object
+    deps: Tuple[str, ...] = ()
+
+
+class TaskGraph:
+    """An insertion-ordered DAG of :class:`Task` objects.
+
+    Insertion order is the canonical merge order: the engine returns
+    results keyed and ordered by it, so replaying side effects over the
+    result dict reproduces the serial pipeline's event sequence exactly.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, Task] = {}
+
+    def add(self, task: Task) -> None:
+        if task.key in self._tasks:
+            raise ValueError(f"duplicate task key {task.key!r}")
+        for dep in task.deps:
+            if dep not in self._tasks:
+                raise ValueError(
+                    f"task {task.key!r} depends on unknown task {dep!r} "
+                    "(dependencies must be added first)"
+                )
+        self._tasks[task.key] = task
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):  # type: ignore[no-untyped-def]  # Iterator[Task]
+        return iter(self._tasks.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._tasks
+
+    @property
+    def keys(self) -> List[str]:
+        return list(self._tasks)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(t.deps) for t in self._tasks.values())
+
+
+@dataclass
+class EngineStats:
+    """What one engine run cost, and how parallel it actually was."""
+
+    executor: str
+    workers: int
+    n_tasks: int = 0
+    wall_seconds: float = 0.0
+    task_seconds: Dict[str, float] = field(default_factory=dict)
+    max_queue_depth: int = 0
+
+    @property
+    def compute_seconds(self) -> float:
+        """Summed in-worker task latencies (the serial-equivalent cost)."""
+        return float(sum(self.task_seconds.values()))
+
+    @property
+    def speedup(self) -> float:
+        """Compute/wall ratio: ~1.0 serial, > 1 under effective parallelism."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.compute_seconds / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe summary for run manifests."""
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "tasks": self.n_tasks,
+            "wall_seconds": self.wall_seconds,
+            "compute_seconds": self.compute_seconds,
+            "speedup": self.speedup,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+def _timed_call(
+    worker: Callable[[object], object], payload: object
+) -> Tuple[object, float]:
+    """Run one task in the worker, timing it locally.
+
+    Module-level so it pickles for the process executor; timing inside
+    the worker keeps IPC/queue wait out of the compute-seconds estimate.
+    """
+    started = time.perf_counter()
+    result = worker(payload)
+    return result, time.perf_counter() - started
+
+
+class ParallelEngine:
+    """Schedules a :class:`TaskGraph` onto a configurable executor.
+
+    ``executor`` is one of :data:`EXECUTORS`; ``max_workers`` caps the
+    pool (default: auto-sized, see :func:`resolve_workers`).  ``clock``
+    measures engine wall time and is injectable for tests.
+
+    :meth:`run` returns ``(results, stats)`` where ``results`` maps task
+    key to worker return value **in graph insertion order** regardless of
+    completion order — the determinism contract callers merge against.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self.executor = executor
+        self.workers = resolve_workers(executor, max_workers)
+        self._clock = clock
+
+    def run(
+        self, graph: TaskGraph, worker: Callable[[object], object]
+    ) -> Tuple[Dict[str, object], EngineStats]:
+        stats = EngineStats(
+            executor=self.executor, workers=self.workers, n_tasks=len(graph)
+        )
+        started = self._clock()
+        if self.executor == "serial":
+            results = self._run_serial(graph, worker, stats)
+        else:
+            results = self._run_pooled(graph, worker, stats)
+        stats.wall_seconds = self._clock() - started
+        # canonical order: graph insertion order, never completion order
+        return {key: results[key] for key in graph.keys}, stats
+
+    # -- serial ---------------------------------------------------------
+    def _run_serial(
+        self,
+        graph: TaskGraph,
+        worker: Callable[[object], object],
+        stats: EngineStats,
+    ) -> Dict[str, object]:
+        results: Dict[str, object] = {}
+        pending = {t.key: set(t.deps) for t in graph}
+        for task in graph:
+            # the graph is topologically ordered by construction, so a
+            # blocked task here is an internal invariant violation
+            ready = [k for k, deps in pending.items() if not deps]
+            stats.max_queue_depth = max(stats.max_queue_depth, len(ready))
+            if pending.pop(task.key):
+                raise RuntimeError(
+                    f"task {task.key!r} ran before its dependencies"
+                )
+            value, elapsed = _timed_call(worker, task.payload)
+            results[task.key] = value
+            stats.task_seconds[task.key] = elapsed
+            for deps in pending.values():
+                deps.discard(task.key)
+        return results
+
+    # -- thread / process ----------------------------------------------
+    def _make_pool(self):  # type: ignore[no-untyped-def]  # Executor
+        # The ONLY pool construction site in src/repro (repro-lint DET005).
+        if self.executor == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            return ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-task"
+            )
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        # fork keeps per-worker startup cheap (no re-import of numpy and
+        # the detector registry); fall back to the platform default where
+        # fork is unavailable (Windows / macOS spawn-only builds)
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+
+    def _run_pooled(
+        self,
+        graph: TaskGraph,
+        worker: Callable[[object], object],
+        stats: EngineStats,
+    ) -> Dict[str, object]:
+        results: Dict[str, object] = {}
+        pending: Dict[str, set] = {t.key: set(t.deps) for t in graph}
+        tasks = {t.key: t for t in graph}
+        in_flight: Dict[Future, str] = {}  # type: ignore[type-arg]
+        pool = self._make_pool()
+        try:
+            while pending or in_flight:
+                ready = [k for k, deps in pending.items() if not deps]
+                stats.max_queue_depth = max(
+                    stats.max_queue_depth, len(ready) + len(in_flight)
+                )
+                for key in ready:
+                    del pending[key]
+                    future = pool.submit(_timed_call, worker, tasks[key].payload)
+                    in_flight[future] = key
+                if not in_flight:
+                    raise RuntimeError(
+                        f"deadlocked task graph; blocked: {sorted(pending)}"
+                    )
+                done, __ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = in_flight.pop(future)
+                    value, elapsed = future.result()  # propagates worker errors
+                    results[key] = value
+                    stats.task_seconds[key] = elapsed
+                    for deps in pending.values():
+                        deps.discard(key)
+        finally:
+            # join workers before returning: a later process-pool fork in
+            # the same interpreter must not inherit live pool threads
+            pool.shutdown(wait=True, cancel_futures=True)
+        return results

@@ -19,17 +19,22 @@ memoized on the candidate's canonical :attr:`~repro.core.OutlierCandidate.key`
 
 from __future__ import annotations
 
+import functools
 import math
+import os
+import threading
+import time
 import warnings
 from bisect import bisect_right
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, cast
 
 import numpy as np
 
 from ..detectors import make_detector
 from ..obs import Telemetry
 from ..obs.metrics import UNIT_BUCKETS
+from ..obs.trace import Tracer
 from ..plant import LineRecord, PlantDataset
 from ..timeseries import TimeSeries
 from .algorithm import HierarchyContext, find_hierarchical_outliers
@@ -40,12 +45,12 @@ from .outlier import (
     OutlierCandidate,
     rank_reports,
 )
+from .parallel import EngineStats, ParallelEngine, Task, TaskGraph, derive_task_seed
 from .resilience import (
     DetectorSandbox,
     FallbackEvent,
     QualityPolicy,
     RunHealth,
-    SandboxOutcome,
     SandboxPolicy,
     assess_series,
     repair_series,
@@ -66,7 +71,7 @@ __all__ = [
 
 #: Version tag of the nested dict returned by ``stats()`` (see
 #: docs/OBSERVABILITY.md for the full schema).
-STATS_SCHEMA = "repro.stats/2"
+STATS_SCHEMA = "repro.stats/3"
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,9 @@ class PipelineConfig:
     gate_enabled: bool = True  # data-quality gate + trace repair/quarantine
     quality: QualityPolicy = QualityPolicy()  # gate thresholds
     sandbox: SandboxPolicy = SandboxPolicy()  # detector budget/retry policy
+    executor: str = "serial"  # scoring DAG executor: serial | thread | process
+    max_workers: Optional[int] = None  # pool size; None = auto from CPU affinity
+    batch_scoring: bool = False  # batch same-length traces through one detector fit
 
 
 @dataclass
@@ -204,6 +212,496 @@ def _peak_indices(scores: np.ndarray, threshold: float, gap: int,
     return [idx for __, idx in peaks[:max_peaks]]
 
 
+def _modal_expected_length(
+    items: Tuple[Tuple[str, TimeSeries], ...]
+) -> Optional[int]:
+    """Majority sample count among sibling channels (None when no majority)."""
+    if len(items) < 2:
+        return None
+    counts: Dict[int, int] = {}
+    for __, series in items:
+        n = len(series.values)
+        counts[n] = counts.get(n, 0) + 1
+    expected = max(counts, key=lambda n: (counts[n], n))
+    return None if counts[expected] == 1 else expected
+
+
+# ----------------------------------------------------------------------
+# scoring tasks (executed by repro.core.parallel, possibly out-of-process)
+# ----------------------------------------------------------------------
+#
+# The five `_score_*_level` walks of the serial pipeline are decomposed
+# into per-machine / per-line tasks.  A task is a pure function of its
+# picklable payload: it records health/metric side effects as an ordered
+# *event list* and its spans on a worker-local tracer, and the context
+# replays both at merge time in graph insertion order — so the health
+# record, the metrics, and the exported reports are bit-identical across
+# the serial, thread, and process executors.
+
+_EventList = List[Tuple[str, object]]
+
+
+@dataclass(frozen=True)
+class _ScoreTask:
+    """Picklable payload of one scoring task.
+
+    ``seed`` is a deterministic per-task RNG child derived from the task
+    key (:func:`repro.core.parallel.derive_task_seed`) — available to
+    stochastic detectors so determinism never depends on scheduling
+    order (the built-in detectors additionally self-seed).
+    """
+
+    kind: str  # "phase" | "env" | "job" | "line" | "production"
+    key: str
+    level: ProductionLevel
+    chain: Tuple[str, ...]
+    config: PipelineConfig
+    seed: int
+    telemetry_enabled: bool
+    executor: str
+    data: Tuple[object, ...]
+
+
+@dataclass
+class _TaskResult:
+    """What one scoring task ships back to the merge step."""
+
+    key: str
+    kind: str
+    events: _EventList
+    spans: List[Dict[str, object]]
+    output: object
+    batch_groups: int = 0
+
+
+@dataclass
+class _WorkerState:
+    """Mutable per-task scratch shared by the worker-side helpers."""
+
+    config: PipelineConfig
+    level: ProductionLevel
+    chain: Tuple[str, ...]
+    tracer: Tracer
+    sandbox: DetectorSandbox
+    telemetry_enabled: bool
+    events: _EventList = field(default_factory=list)
+    batch_groups: int = 0
+
+
+def _worker_label(executor: str) -> str:
+    """Human-readable worker attribution for task root spans."""
+    if executor == "thread":
+        return threading.current_thread().name
+    if executor == "process":
+        return f"pid-{os.getpid()}"
+    return "main"
+
+
+def _gate_series_w(
+    state: _WorkerState,
+    channel_id: str,
+    scope: str,
+    series: TimeSeries,
+    expected_length: Optional[int] = None,
+) -> Optional[TimeSeries]:
+    """Quality-gate one trace: repaired series, or None when quarantined."""
+    cfg = state.config
+    if not cfg.gate_enabled:
+        return series
+    issues = assess_series(
+        np.asarray(series.values, dtype=float),
+        cfg.quality,
+        expected_length=expected_length,
+    )
+    fatal = [i for i in issues if i.fatal]
+    if fatal:
+        reason = "; ".join(f"{i.code}: {i.detail}" for i in fatal)
+        state.events.append(
+            ("quarantine", (channel_id, scope, reason, getattr(series, "start", None)))
+        )
+        return None
+    repaired, notes = repair_series(
+        np.asarray(series.values, dtype=float), cfg.quality
+    )
+    if notes:
+        state.events.append(
+            ("warn", f"repaired {channel_id} at {scope}: " + "; ".join(notes))
+        )
+        return series.replace(values=repaired)
+    return series
+
+
+def _gate_matrix_w(state: _WorkerState, X: np.ndarray, label: str) -> np.ndarray:
+    """Impute non-finite cells of a vector-level matrix (column median)."""
+    X = np.asarray(X, dtype=float)
+    bad = ~np.isfinite(X)
+    if not bad.any() or not state.config.gate_enabled:
+        return X
+    masked = np.where(bad, np.nan, X)
+    dead_cols = ~np.isfinite(masked).any(axis=0)
+    if dead_cols.any():
+        masked[:, dead_cols] = 0.0  # keep nanmedian off empty slices
+    med = np.nanmedian(masked, axis=0)
+    state.events.append(
+        ("warn", f"imputed {int(bad.sum())} non-finite cell(s) in the {label} matrix")
+    )
+    return np.where(bad, med[None, :], X)
+
+
+def _observe_outcome(
+    state: _WorkerState, name: str, outcome: object
+) -> None:
+    if state.telemetry_enabled:
+        state.events.append(
+            ("obs", (state.level.name, name, outcome.ok, outcome.elapsed))  # type: ignore[attr-defined]
+        )
+
+
+def _score_series_resilient(
+    state: _WorkerState, unit: str, series: TimeSeries
+) -> Tuple[np.ndarray, str]:
+    """Score one series through the level's fallback chain.
+
+    Each ``ChooseAlgorithm`` candidate runs inside the sandbox (budget +
+    bounded retry); on failure the next chain entry takes over and a
+    :class:`FallbackEvent` is queued for the merge step.  If the whole
+    chain fails, the robust z/MAD baseline scores the trace — a level is
+    degraded, never silent.
+    """
+    level_name = state.level.name
+    chain = state.chain
+    for pos, name in enumerate(chain):
+        with state.tracer.span(
+            "detector", level=level_name, detector=name, unit=unit
+        ) as sp:
+            outcome = state.sandbox.call(
+                lambda name=name: make_detector(name).fit_score_series(series),
+                label=name,
+            )
+            sp.set(
+                ok=outcome.ok,
+                attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+            )
+        _observe_outcome(state, name, outcome)
+        if outcome.ok:
+            return np.asarray(outcome.value, dtype=float), name
+        fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
+        state.events.append(
+            (
+                "fallback",
+                FallbackEvent(
+                    level=level_name,
+                    unit=unit,
+                    failed_detector=name,
+                    error=outcome.error_text,
+                    fallback=fallback,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                ),
+            )
+        )
+    state.events.append(("terminal", level_name))
+    return robust_fallback_scores(np.asarray(series.values, dtype=float)), "robust-baseline"
+
+
+def _score_vectors_resilient(
+    state: _WorkerState, unit: str, X: np.ndarray
+) -> Tuple[np.ndarray, str]:
+    """Vector-level twin of :func:`_score_series_resilient`."""
+    level_name = state.level.name
+    chain = state.chain
+    for pos, name in enumerate(chain):
+        with state.tracer.span(
+            "detector", level=level_name, detector=name, unit=unit
+        ) as sp:
+            outcome = state.sandbox.call(
+                lambda name=name: make_detector(name).fit_score(X), label=name
+            )
+            sp.set(
+                ok=outcome.ok,
+                attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+            )
+        _observe_outcome(state, name, outcome)
+        if outcome.ok:
+            return np.asarray(outcome.value, dtype=float), name
+        fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
+        state.events.append(
+            (
+                "fallback",
+                FallbackEvent(
+                    level=level_name,
+                    unit=unit,
+                    failed_detector=name,
+                    error=outcome.error_text,
+                    fallback=fallback,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                ),
+            )
+        )
+    state.events.append(("terminal", level_name))
+    return robust_matrix_scores(X), "robust-baseline"
+
+
+def _score_series_group(
+    state: _WorkerState, unit: str, series_list: List[TimeSeries]
+) -> Tuple[List[np.ndarray], str]:
+    """One fallback-chain walk scoring a whole same-length group at once."""
+    level_name = state.level.name
+    chain = state.chain
+    for pos, name in enumerate(chain):
+        with state.tracer.span(
+            "detector", level=level_name, detector=name, unit=unit,
+            batch=len(series_list),
+        ) as sp:
+            outcome = state.sandbox.call(
+                lambda name=name: make_detector(name).fit_score_series_batch(
+                    series_list
+                ),
+                label=name,
+            )
+            sp.set(
+                ok=outcome.ok,
+                attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+            )
+        _observe_outcome(state, name, outcome)
+        if outcome.ok:
+            return [np.asarray(v, dtype=float) for v in outcome.value], name
+        fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
+        state.events.append(
+            (
+                "fallback",
+                FallbackEvent(
+                    level=level_name,
+                    unit=unit,
+                    failed_detector=name,
+                    error=outcome.error_text,
+                    fallback=fallback,
+                    attempts=outcome.attempts,
+                    timed_out=outcome.timed_out,
+                ),
+            )
+        )
+    state.events.append(("terminal", level_name))
+    return [
+        robust_fallback_scores(np.asarray(s.values, dtype=float))
+        for s in series_list
+    ], "robust-baseline"
+
+
+def _score_series_batch(
+    state: _WorkerState,
+    scope: str,
+    gated: List[Tuple[str, TimeSeries]],
+) -> List[Tuple[np.ndarray, str]]:
+    """Batched scoring: stack same-length channels through one detector fit.
+
+    Channels are grouped by sample count in first-occurrence order and
+    each group walks the fallback chain once via ``fit_score_series_batch``
+    — amortizing detector construction, sandbox overhead, and (for
+    vectorizing detectors such as ``ar``) the model fit itself.  Results
+    come back in the original channel order.
+    """
+    groups: Dict[int, List[int]] = {}
+    for i, (__, series) in enumerate(gated):
+        groups.setdefault(len(series.values), []).append(i)
+    results: List[Optional[Tuple[np.ndarray, str]]] = [None] * len(gated)
+    for length, idxs in groups.items():
+        series_list = [gated[i][1] for i in idxs]
+        unit = f"{scope}/batch[len={length},n={len(idxs)}]"
+        scores_list, name = _score_series_group(state, unit, series_list)
+        for i, scores in zip(idxs, scores_list):
+            results[i] = (scores, name)
+    state.batch_groups += len(groups)
+    return cast(List[Tuple[np.ndarray, str]], results)
+
+
+def _run_phase_task(state: _WorkerState, data: Tuple[object, ...]) -> object:
+    machine_id, jobs = cast(
+        Tuple[str, Tuple[Tuple[int, Tuple[Tuple[str, Tuple[Tuple[str, TimeSeries], ...]], ...]], ...]],
+        data,
+    )
+    cfg = state.config
+    traces: List[Tuple[str, _Trace]] = []
+    candidates: List[OutlierCandidate] = []
+    for job_index, phases in jobs:
+        for phase_name, items in phases:
+            expected = _modal_expected_length(items)
+            scope = f"{machine_id}/job{job_index}/{phase_name}"
+            gated: List[Tuple[str, TimeSeries]] = []
+            scored: List[Tuple[np.ndarray, str]] = []
+            if cfg.batch_scoring:
+                for sensor_id, series in items:
+                    kept = _gate_series_w(
+                        state, sensor_id, scope, series, expected_length=expected
+                    )
+                    if kept is not None:
+                        gated.append((sensor_id, kept))
+                scored = _score_series_batch(state, scope, gated)
+            else:
+                for sensor_id, series in items:
+                    kept = _gate_series_w(
+                        state, sensor_id, scope, series, expected_length=expected
+                    )
+                    if kept is None:
+                        continue
+                    gated.append((sensor_id, kept))
+                    scored.append(
+                        _score_series_resilient(state, f"{scope}/{sensor_id}", kept)
+                    )
+            for (sensor_id, series), (scores, detector_name) in zip(gated, scored):
+                trace = _Trace(
+                    channel_id=sensor_id,
+                    start=series.start,
+                    step=series.step,
+                    scores=scores,
+                    threshold=_robust_threshold(scores, cfg.phase_sigma),
+                )
+                traces.append((sensor_id, trace))
+                for idx in _peak_indices(
+                    scores, trace.threshold, cfg.candidate_gap,
+                    cfg.max_candidates_per_trace,
+                ):
+                    candidates.append(
+                        OutlierCandidate(
+                            level=ProductionLevel.PHASE,
+                            outlierness=float(scores[idx]),
+                            machine_id=machine_id,
+                            job_index=job_index,
+                            phase_name=phase_name,
+                            sensor_id=sensor_id,
+                            index=idx,
+                            detector=detector_name,
+                        )
+                    )
+    return traces, candidates
+
+
+def _run_env_task(state: _WorkerState, data: Tuple[object, ...]) -> object:
+    line_id, items = cast(Tuple[str, Tuple[Tuple[str, TimeSeries], ...]], data)
+    cfg = state.config
+    gated: List[Tuple[str, TimeSeries]] = []
+    scored: List[Tuple[np.ndarray, str]] = []
+    if cfg.batch_scoring:
+        for channel_id, series in items:
+            kept = _gate_series_w(state, channel_id, line_id, series)
+            if kept is not None:
+                gated.append((channel_id, kept))
+        scored = _score_series_batch(state, f"{line_id}/env", gated)
+    else:
+        for channel_id, series in items:
+            kept = _gate_series_w(state, channel_id, line_id, series)
+            if kept is None:
+                continue
+            gated.append((channel_id, kept))
+            scored.append(_score_series_resilient(state, channel_id, kept))
+    traces: List[Tuple[str, _Trace]] = []
+    ids: List[str] = []
+    for (channel_id, series), (scores, __) in zip(gated, scored):
+        trace = _Trace(
+            channel_id=channel_id,
+            start=series.start,
+            step=series.step,
+            scores=scores,
+            threshold=_robust_threshold(scores, cfg.env_sigma),
+        )
+        traces.append((channel_id, trace))
+        ids.append(channel_id)
+    return traces, ids
+
+
+def _run_job_task(state: _WorkerState, data: Tuple[object, ...]) -> object:
+    keys, raw = cast(Tuple[Tuple[Tuple[str, int], ...], np.ndarray], data)
+    X = _robust_standardize(_gate_matrix_w(state, raw, "job"))
+    scores, detector_name = _score_vectors_resilient(state, "job-table", X)
+    return keys, scores, detector_name
+
+
+def _run_line_task(state: _WorkerState, data: Tuple[object, ...]) -> object:
+    line_id, mat, identity = cast(
+        Tuple[str, np.ndarray, Tuple[Tuple[str, int], ...]], data
+    )
+    cfg = state.config
+    mat = _gate_matrix_w(state, mat, f"{line_id}/jobs-over-time")
+    # jobs-over-time: augment each row with its deviation from the
+    # trailing robust baseline so the level sees temporal change,
+    # not just static position
+    history = cfg.line_history
+    deltas = np.zeros_like(mat)
+    for i in range(mat.shape[0]):
+        lo = max(0, i - history)
+        context = mat[lo:i]
+        if context.shape[0] >= 2:
+            med = np.median(context, axis=0)
+            mad = np.median(np.abs(context - med), axis=0) * 1.4826
+            mad[mad <= 1e-12] = 1.0
+            deltas[i] = (mat[i] - med) / mad
+    augmented = np.hstack([_robust_standardize(mat), deltas])
+    scores, __ = _score_vectors_resilient(
+        state, f"{line_id}/jobs-over-time", augmented
+    )
+    return identity, scores
+
+
+def _run_production_task(state: _WorkerState, data: Tuple[object, ...]) -> object:
+    panel, machine_ids = cast(Tuple[np.ndarray, Tuple[str, ...]], data)
+    panel = _robust_standardize(_gate_matrix_w(state, panel, "production"))
+    scores, __ = _score_vectors_resilient(state, "production-panel", panel)
+    return machine_ids, scores
+
+
+_TASK_RUNNERS: Dict[str, Callable[[_WorkerState, Tuple[object, ...]], object]] = {
+    "phase": _run_phase_task,
+    "env": _run_env_task,
+    "job": _run_job_task,
+    "line": _run_line_task,
+    "production": _run_production_task,
+}
+
+
+def _run_scoring_task(
+    task: _ScoreTask, clock: Optional[Callable[[], float]] = None
+) -> _TaskResult:
+    """Execute one scoring task (module-level: crosses the pickle boundary).
+
+    Serial and thread executors inject the run's shared telemetry clock;
+    process workers fall back to ``time.monotonic`` and their span trees
+    are grafted as roots (worker clocks are not comparable with an
+    injected main-process clock).
+    """
+    tracer = Tracer(
+        clock=clock if clock is not None else time.monotonic,
+        enabled=task.telemetry_enabled,
+    )
+    state = _WorkerState(
+        config=task.config,
+        level=task.level,
+        chain=task.chain,
+        tracer=tracer,
+        sandbox=DetectorSandbox(task.config.sandbox),
+        telemetry_enabled=task.telemetry_enabled,
+    )
+    with tracer.span(
+        f"score.{task.level.name}",
+        level=task.level.name,
+        task=task.key,
+        executor=task.executor,
+        worker=_worker_label(task.executor),
+    ):
+        output = _TASK_RUNNERS[task.kind](state, task.data)
+    return _TaskResult(
+        key=task.key,
+        kind=task.kind,
+        events=state.events,
+        spans=[s.as_dict() for s in tracer.spans],
+        output=output,
+        batch_groups=state.batch_groups,
+    )
+
+
 class PlantHierarchyContext(HierarchyContext):
     """Hierarchy oracle over one plant dataset (see module docstring)."""
 
@@ -231,21 +729,36 @@ class PlantHierarchyContext(HierarchyContext):
         self._graph = CorrespondenceGraph.from_plant(dataset)
         self._traces: Dict[str, List[_Trace]] = {}
         self._phase_candidates: List[OutlierCandidate] = []
+        self._env_channels: Dict[str, List[str]] = {}
+        self._line_scores: Dict[Tuple[str, int], float] = {}
+        self._line_unified: Dict[Tuple[str, int], float] = {}
+        self._line_flags: set = set()
+        self._batch_group_count = 0
         tracer = self.telemetry.tracer
-        with tracer.span("pipeline.build"):
-            with tracer.span("score.PHASE", level="PHASE"):
-                self._score_phase_level()
-            with tracer.span("score.ENVIRONMENT", level="ENVIRONMENT"):
-                self._score_env_level()
-            with tracer.span("score.JOB", level="JOB"):
-                self._score_job_level()
-            with tracer.span("score.PRODUCTION_LINE", level="PRODUCTION_LINE"):
-                self._score_line_level()
-            with tracer.span("score.PRODUCTION", level="PRODUCTION"):
-                self._score_production_level()
+        with tracer.span("pipeline.build", executor=self.config.executor) as build_span:
+            graph = self._build_task_graph()
+            engine = ParallelEngine(self.config.executor, self.config.max_workers)
+            if self.config.executor == "process":
+                # worker clocks are not comparable with an injected
+                # main-process clock: ship the bare worker and graft the
+                # returned span trees as roots
+                worker: Callable[[object], object] = cast(
+                    Callable[[object], object], _run_scoring_task
+                )
+                parent_id: Optional[int] = None
+            else:
+                worker = cast(
+                    Callable[[object], object],
+                    functools.partial(_run_scoring_task, clock=self.telemetry.clock),
+                )
+                parent_id = build_span.span_id if tracer.enabled else None
+            results, engine_stats = engine.run(graph, worker)
+            self._engine_stats = engine_stats
+            self._merge_results(results, parent_id)
             with tracer.span("pipeline.index"):
                 self._flag_dead_channels()
                 self._build_indexes()
+        self._publish_engine_metrics()
         self._support_calc = SupportCalculator(
             self._graph,
             self._lookup_trace,
@@ -305,6 +818,257 @@ class PlantHierarchyContext(HierarchyContext):
         self._phase_scores_sorted = np.sort(
             np.array([c.outlierness for c in self._phase_candidates], dtype=float)
         )
+        # channels with exactly one trace (every environment channel, and
+        # most sensors) resolve candidate timestamps without scanning
+        self._primary_trace: Dict[str, _Trace] = {
+            channel_id: traces[0]
+            for channel_id, traces in self._traces.items()
+            if len(traces) == 1
+        }
+
+    # ------------------------------------------------------------------
+    # task graph construction and merge (see repro.core.parallel)
+    # ------------------------------------------------------------------
+    def _build_task_graph(self) -> TaskGraph:
+        """Decompose the run into the level DAG.
+
+        Phase scoring per machine, environment scoring per line, the
+        global job table, jobs-over-time per line (after the job table,
+        per the paper's hierarchy), and the production panel (after all
+        lines).  Insertion order mirrors the serial pipeline's historical
+        method order — the merge step replays events in this order, which
+        is what makes the health record executor-invariant.
+        """
+        cfg = self.config
+        graph = TaskGraph()
+        enabled = self.telemetry.enabled
+
+        def add(
+            kind: str,
+            key: str,
+            level: ProductionLevel,
+            data: Tuple[object, ...],
+            deps: Tuple[str, ...] = (),
+        ) -> None:
+            graph.add(
+                Task(
+                    key=key,
+                    deps=deps,
+                    payload=_ScoreTask(
+                        kind=kind,
+                        key=key,
+                        level=level,
+                        chain=tuple(self.selector.fallback_chain(level)),
+                        config=cfg,
+                        seed=derive_task_seed(0, key),
+                        telemetry_enabled=enabled,
+                        executor=cfg.executor,
+                        data=data,
+                    ),
+                )
+            )
+
+        for machine in self.dataset.iter_machines():
+            jobs = tuple(
+                (
+                    job.job_index,
+                    tuple(
+                        (phase.name, tuple(sorted(phase.series.items())))
+                        for phase in job.phases
+                    ),
+                )
+                for job in machine.jobs
+            )
+            add(
+                "phase", f"phase/{machine.machine_id}", ProductionLevel.PHASE,
+                (machine.machine_id, jobs),
+            )
+        for line in self.dataset.lines:
+            items = tuple(
+                (f"{line.line_id}/env/{kind}", series)
+                for kind, series in sorted(line.environment.items())
+            )
+            add(
+                "env", f"env/{line.line_id}", ProductionLevel.ENVIRONMENT,
+                (line.line_id, items),
+            )
+        rows: List[np.ndarray] = []
+        keys: List[Tuple[str, int]] = []
+        for machine in self.dataset.iter_machines():
+            table = self.dataset.job_table(machine.machine_id)
+            for job, row in zip(machine.jobs, table):
+                rows.append(row)
+                keys.append((machine.machine_id, job.job_index))
+        add("job", "job", ProductionLevel.JOB, (tuple(keys), np.vstack(rows)))
+        line_keys: List[str] = []
+        for line in self.dataset.lines:
+            mat, identity = self.dataset.jobs_over_time(line.line_id)
+            if mat.shape[0] == 0:
+                continue
+            key = f"line/{line.line_id}"
+            line_keys.append(key)
+            add(
+                "line", key, ProductionLevel.PRODUCTION_LINE,
+                (line.line_id, mat, tuple(identity)), deps=("job",),
+            )
+        panel, machine_ids = self.dataset.production_panel()
+        add(
+            "production", "production", ProductionLevel.PRODUCTION,
+            (panel, tuple(machine_ids)), deps=tuple(line_keys),
+        )
+        return graph
+
+    def _merge_results(
+        self, results: Dict[str, object], parent_id: Optional[int]
+    ) -> None:
+        """Fold task results into the context in graph insertion order.
+
+        Completion order never matters: the engine returns results keyed
+        in insertion order, worker event lists replay through the same
+        health/metrics/log paths the serial pipeline used, and span trees
+        graft under the open ``pipeline.build`` span (or as roots for
+        process workers).
+        """
+        line_outputs: List[Tuple[Tuple[Tuple[str, int], ...], np.ndarray]] = []
+        for result in results.values():
+            assert isinstance(result, _TaskResult)
+            self.telemetry.tracer.graft(result.spans, parent_id=parent_id)
+            for event_kind, payload in result.events:
+                self._apply_event(event_kind, payload)
+            self._batch_group_count += result.batch_groups
+            output = result.output
+            if result.kind == "phase":
+                traces, candidates = cast(
+                    Tuple[List[Tuple[str, _Trace]], List[OutlierCandidate]], output
+                )
+                for sensor_id, trace in traces:
+                    self._traces.setdefault(sensor_id, []).append(trace)
+                self._phase_candidates.extend(candidates)
+            elif result.kind == "env":
+                env_traces, ids = cast(
+                    Tuple[List[Tuple[str, _Trace]], List[str]], output
+                )
+                for channel_id, trace in env_traces:
+                    self._traces.setdefault(channel_id, []).append(trace)
+                self._env_channels[result.key.split("/", 1)[1]] = list(ids)
+            elif result.kind == "job":
+                job_keys, scores, detector_name = cast(
+                    Tuple[Tuple[Tuple[str, int], ...], np.ndarray, str], output
+                )
+                threshold = _robust_threshold(scores, self.config.vector_sigma)
+                unified = unify_rank(scores)
+                self._job_scores = {
+                    k: float(s) for k, s in zip(job_keys, scores)
+                }
+                self._job_unified = {
+                    k: float(u) for k, u in zip(job_keys, unified)
+                }
+                self._job_flags = {
+                    k for k, s in zip(job_keys, scores) if s >= threshold
+                }
+                self._job_detector = detector_name
+            elif result.kind == "line":
+                line_outputs.append(
+                    cast(Tuple[Tuple[Tuple[str, int], ...], np.ndarray], output)
+                )
+            elif result.kind == "production":
+                machine_ids, scores = cast(
+                    Tuple[Tuple[str, ...], np.ndarray], output
+                )
+                threshold = _robust_threshold(scores, self.config.vector_sigma)
+                unified = unify_rank(scores)
+                self._machine_scores = {
+                    m: float(s) for m, s in zip(machine_ids, scores)
+                }
+                self._machine_unified = {
+                    m: float(u) for m, u in zip(machine_ids, unified)
+                }
+                self._machine_flags = {
+                    m for m, s in zip(machine_ids, scores) if s >= threshold
+                }
+            else:  # pragma: no cover - graph construction is exhaustive
+                raise ValueError(f"unknown task kind {result.kind!r}")
+        self._finalize_line_level(line_outputs)
+
+    def _finalize_line_level(
+        self,
+        outputs: List[Tuple[Tuple[Tuple[str, int], ...], np.ndarray]],
+    ) -> None:
+        """Pool per-line scores, then threshold and unify globally.
+
+        The line level is flagged against the *production-wide* score
+        distribution (one line must not look normal just because its
+        siblings are worse), so this stage needs every line task's output
+        — the one genuine barrier in the merge.
+        """
+        all_scores: List[Tuple[Tuple[str, int], float]] = []
+        for identity, scores in outputs:
+            for key, s in zip(identity, scores):
+                all_scores.append((key, float(s)))
+        if not all_scores:
+            return
+        raw = np.array([s for __, s in all_scores])
+        threshold = _robust_threshold(raw, self.config.vector_sigma)
+        unified = unify_rank(raw)
+        for (key, s), u in zip(all_scores, unified):
+            self._line_scores[key] = s
+            self._line_unified[key] = float(u)
+            if s >= threshold:
+                self._line_flags.add(key)
+
+    def _apply_event(self, kind: str, payload: object) -> None:
+        """Replay one worker-recorded side effect on the main process.
+
+        Event replay happens in graph insertion order, so the resulting
+        health record (which is insertion-ordered and first-wins for
+        warnings) is identical to the serial pipeline's regardless of the
+        executor or scheduling order.
+        """
+        if kind == "quarantine":
+            channel_id, scope, reason, timestamp = cast(
+                Tuple[str, str, str, Optional[float]], payload
+            )
+            self.health.record_quarantine(channel_id, scope, reason)
+            self._m_quarantines.inc(scope="trace")
+            self.telemetry.warning(
+                f"quarantined {channel_id} [{scope}]: {reason}",
+                channel_id=channel_id,
+                scope=scope,
+                timestamp=timestamp,
+            )
+        elif kind == "warn":
+            self.health.warn(cast(str, payload))
+        elif kind == "fallback":
+            self._note_fallback(cast(FallbackEvent, payload))
+        elif kind == "terminal":
+            self._note_terminal_baseline(cast(str, payload))
+        elif kind == "obs":
+            self._pending_detector_obs.append(
+                cast(Tuple[str, str, bool, float], payload)
+            )
+        else:  # pragma: no cover - the worker emits a closed event set
+            raise ValueError(f"unknown task event {kind!r}")
+
+    def engine_stats(self) -> EngineStats:
+        """Execution-engine cost of the scoring DAG (executor, timings)."""
+        return self._engine_stats
+
+    def _publish_engine_metrics(self) -> None:
+        """Emit the engine's cost counters (once, at construction time)."""
+        es = self._engine_stats
+        counts: Dict[str, int] = {}
+        latencies: Dict[str, List[float]] = {}
+        for key, seconds in es.task_seconds.items():
+            kind = key.split("/", 1)[0]
+            counts[kind] = counts.get(kind, 0) + 1
+            latencies.setdefault(kind, []).append(max(0.0, seconds))
+        for kind in sorted(counts):
+            self._m_tasks.inc(counts[kind], kind=kind)
+            self._m_task_latency.observe_many(latencies[kind], kind=kind)
+        self._m_queue_depth.set(float(es.max_queue_depth))
+        self._m_parallel_workers.set(float(es.workers), executor=es.executor)
+        if math.isfinite(es.speedup):
+            self._m_parallel_speedup.set(es.speedup)
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -348,6 +1112,29 @@ class PlantHierarchyContext(HierarchyContext):
             "Distribution of computed Algorithm-1 support values.",
             buckets=UNIT_BUCKETS,
         )
+        self._m_tasks = m.counter(
+            "repro_tasks_total",
+            "Scoring tasks executed by the level-DAG engine, by task kind.",
+            labelnames=("kind",),
+        )
+        self._m_task_latency = m.histogram(
+            "repro_task_latency_seconds",
+            "In-worker wall-clock latency of one scoring task.",
+            labelnames=("kind",),
+        )
+        self._m_queue_depth = m.gauge(
+            "repro_task_queue_depth",
+            "Peak number of simultaneously ready or in-flight tasks.",
+        )
+        self._m_parallel_workers = m.gauge(
+            "repro_parallel_workers",
+            "Worker-pool size the execution engine resolved for this run.",
+            labelnames=("executor",),
+        )
+        self._m_parallel_speedup = m.gauge(
+            "repro_parallel_speedup",
+            "Compute-seconds over wall-seconds of the scoring task graph.",
+        )
 
     def stats(self) -> Dict[str, object]:
         """The run's telemetry counters as one nested, documented dict.
@@ -355,9 +1142,14 @@ class PlantHierarchyContext(HierarchyContext):
         Schema (:data:`STATS_SCHEMA`, documented in docs/OBSERVABILITY.md):
         ``{"schema", "cache": {<memo table>: {"calls", "hits", "misses"}},
         "health": {"degraded", "fallbacks", "quarantines", "dead_channels",
-        "warnings", "degraded_levels"}}``.  This is the single source the
-        metrics registry consumes (:meth:`publish_stats`) and the
-        ``telemetry`` block of the JSON report export.
+        "warnings", "degraded_levels"}, "parallel": {"tasks",
+        "batch_groups"}}``.  This is the single source the metrics
+        registry consumes (:meth:`publish_stats`) and the ``telemetry``
+        block of the JSON report export.  Every entry is
+        executor-invariant — wall-clock numbers live in
+        :meth:`engine_stats` and the metrics registry instead, so stats
+        (and therefore serialized reports) stay byte-identical across
+        ``serial``/``thread``/``process`` runs.
         """
         health = self.health
         return {
@@ -370,6 +1162,10 @@ class PlantHierarchyContext(HierarchyContext):
                 "dead_channels": len(health.dead_channels),
                 "warnings": len(health.warnings),
                 "degraded_levels": len(health.level_notes),
+            },
+            "parallel": {
+                "tasks": self._engine_stats.n_tasks,
+                "batch_groups": self._batch_group_count,
             },
         }
 
@@ -384,7 +1180,12 @@ class PlantHierarchyContext(HierarchyContext):
         tree = self.stats()
         m = self.telemetry.metrics
         m.import_nested(
-            "repro_stats", {"cache": tree["cache"], "health": tree["health"]}
+            "repro_stats",
+            {
+                "cache": tree["cache"],
+                "health": tree["health"],
+                "parallel": tree["parallel"],
+            },
         )
         ratio = m.gauge(
             "repro_cache_hit_ratio",
@@ -415,98 +1216,6 @@ class PlantHierarchyContext(HierarchyContext):
         self._support_cache.clear()
         self._candidate_time_cache.clear()
         self._candidates_cache.clear()
-
-    # ------------------------------------------------------------------
-    # resilient scoring primitives (sandbox + fallback chain + gate)
-    # ------------------------------------------------------------------
-    def _score_series_resilient(
-        self, level: ProductionLevel, unit: str, series: TimeSeries
-    ) -> Tuple[np.ndarray, str]:
-        """Score one series through the level's fallback chain.
-
-        Each ``ChooseAlgorithm`` candidate runs inside the sandbox (budget +
-        bounded retry); on failure the next chain entry takes over and a
-        :class:`FallbackEvent` lands in :attr:`health`.  If the whole chain
-        fails, the robust z/MAD baseline scores the trace — a level is
-        degraded, never silent.
-        """
-        chain = self.selector.fallback_chain(level)
-        tracer = self.telemetry.tracer
-        level_name = level.name
-        for pos, name in enumerate(chain):
-            with tracer.span(
-                "detector", level=level_name, detector=name, unit=unit
-            ) as sp:
-                outcome = self._sandbox.call(
-                    lambda name=name: make_detector(name).fit_score_series(series),
-                    label=name,
-                )
-                sp.set(
-                    ok=outcome.ok,
-                    attempts=outcome.attempts,
-                    timed_out=outcome.timed_out,
-                )
-            self._observe_detector_call(level_name, name, outcome)
-            if outcome.ok:
-                return np.asarray(outcome.value, dtype=float), name
-            fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
-            self._note_fallback(
-                FallbackEvent(
-                    level=level.name,
-                    unit=unit,
-                    failed_detector=name,
-                    error=outcome.error_text,
-                    fallback=fallback,
-                    attempts=outcome.attempts,
-                    timed_out=outcome.timed_out,
-                )
-            )
-        self._note_terminal_baseline(level)
-        return robust_fallback_scores(np.asarray(series.values, dtype=float)), "robust-baseline"
-
-    def _score_vectors_resilient(
-        self, level: ProductionLevel, unit: str, X: np.ndarray
-    ) -> Tuple[np.ndarray, str]:
-        """Vector-level twin of :meth:`_score_series_resilient`."""
-        chain = self.selector.fallback_chain(level)
-        tracer = self.telemetry.tracer
-        level_name = level.name
-        for pos, name in enumerate(chain):
-            with tracer.span(
-                "detector", level=level_name, detector=name, unit=unit
-            ) as sp:
-                outcome = self._sandbox.call(
-                    lambda name=name: make_detector(name).fit_score(X), label=name
-                )
-                sp.set(
-                    ok=outcome.ok,
-                    attempts=outcome.attempts,
-                    timed_out=outcome.timed_out,
-                )
-            self._observe_detector_call(level_name, name, outcome)
-            if outcome.ok:
-                return np.asarray(outcome.value, dtype=float), name
-            fallback = chain[pos + 1] if pos + 1 < len(chain) else "robust-baseline"
-            self._note_fallback(
-                FallbackEvent(
-                    level=level.name,
-                    unit=unit,
-                    failed_detector=name,
-                    error=outcome.error_text,
-                    fallback=fallback,
-                    attempts=outcome.attempts,
-                    timed_out=outcome.timed_out,
-                )
-            )
-        self._note_terminal_baseline(level)
-        return robust_matrix_scores(X), "robust-baseline"
-
-    def _observe_detector_call(self, level_name: str, name: str,
-                               outcome: SandboxOutcome) -> None:
-        if self.telemetry.enabled:
-            self._pending_detector_obs.append(
-                (level_name, name, outcome.ok, outcome.elapsed)
-            )
 
     def _flush_detector_observations(self) -> None:
         """Fold deferred detector observations into the metrics registry.
@@ -546,60 +1255,12 @@ class PlantHierarchyContext(HierarchyContext):
             timed_out=event.timed_out,
         )
 
-    def _note_terminal_baseline(self, level: ProductionLevel) -> None:
-        self.health.note_level(level.name, "scored with the terminal robust baseline")
+    def _note_terminal_baseline(self, level_name: str) -> None:
+        self.health.note_level(level_name, "scored with the terminal robust baseline")
         self.telemetry.warning(
-            f"level {level.name} scored with the terminal robust baseline",
-            level=level.name,
+            f"level {level_name} scored with the terminal robust baseline",
+            level=level_name,
         )
-
-    def _gate_series(self, channel_id: str, scope: str, series: TimeSeries,
-                     expected_length: Optional[int] = None) -> Optional[TimeSeries]:
-        """Quality-gate one trace: repaired series, or None when quarantined."""
-        if not self.config.gate_enabled:
-            return series
-        issues = assess_series(
-            np.asarray(series.values, dtype=float),
-            self.config.quality,
-            expected_length=expected_length,
-        )
-        fatal = [i for i in issues if i.fatal]
-        if fatal:
-            reason = "; ".join(f"{i.code}: {i.detail}" for i in fatal)
-            self.health.record_quarantine(channel_id, scope, reason)
-            self._m_quarantines.inc(scope="trace")
-            self.telemetry.warning(
-                f"quarantined {channel_id} [{scope}]: {reason}",
-                channel_id=channel_id,
-                scope=scope,
-                timestamp=getattr(series, "start", None),
-            )
-            return None
-        repaired, notes = repair_series(
-            np.asarray(series.values, dtype=float), self.config.quality
-        )
-        if notes:
-            self.health.warn(
-                f"repaired {channel_id} at {scope}: " + "; ".join(notes)
-            )
-            return series.replace(values=repaired)
-        return series
-
-    def _gate_matrix(self, X: np.ndarray, label: str) -> np.ndarray:
-        """Impute non-finite cells of a vector-level matrix (column median)."""
-        X = np.asarray(X, dtype=float)
-        bad = ~np.isfinite(X)
-        if not bad.any() or not self.config.gate_enabled:
-            return X
-        masked = np.where(bad, np.nan, X)
-        dead_cols = ~np.isfinite(masked).any(axis=0)
-        if dead_cols.any():
-            masked[:, dead_cols] = 0.0  # keep nanmedian off empty slices
-        med = np.nanmedian(masked, axis=0)
-        self.health.warn(
-            f"imputed {int(bad.sum())} non-finite cell(s) in the {label} matrix"
-        )
-        return np.where(bad, med[None, :], X)
 
     def _flag_dead_channels(self) -> None:
         """Channels with zero surviving traces are quarantined wholesale.
@@ -621,165 +1282,6 @@ class PlantHierarchyContext(HierarchyContext):
                     channel_id=channel_id,
                     scope="channel",
                 )
-
-    # ------------------------------------------------------------------
-    # per-level scoring
-    # ------------------------------------------------------------------
-    def _score_phase_level(self) -> None:
-        cfg = self.config
-        for machine in self.dataset.iter_machines():
-            for job in machine.jobs:
-                for phase in job.phases:
-                    items = sorted(phase.series.items())
-                    # truncated-trace check: sibling channels of one phase
-                    # must agree on sample count (modal length wins)
-                    expected = None
-                    if len(items) >= 2:
-                        lengths = [len(s.values) for __, s in items]
-                        counts: Dict[int, int] = {}
-                        for n in lengths:
-                            counts[n] = counts.get(n, 0) + 1
-                        expected = max(counts, key=lambda n: (counts[n], n))
-                        if counts[expected] == 1:
-                            expected = None  # no majority: cannot arbitrate
-                    scope = (
-                        f"{machine.machine_id}/job{job.job_index}/{phase.name}"
-                    )
-                    for sensor_id, series in items:
-                        series = self._gate_series(
-                            sensor_id, scope, series, expected_length=expected
-                        )
-                        if series is None:
-                            continue
-                        scores, detector_name = self._score_series_resilient(
-                            ProductionLevel.PHASE,
-                            f"{scope}/{sensor_id}",
-                            series,
-                        )
-                        trace = _Trace(
-                            channel_id=sensor_id,
-                            start=series.start,
-                            step=series.step,
-                            scores=scores,
-                            threshold=_robust_threshold(scores, cfg.phase_sigma),
-                        )
-                        self._traces.setdefault(sensor_id, []).append(trace)
-                        for idx in _peak_indices(
-                            scores, trace.threshold, cfg.candidate_gap,
-                            cfg.max_candidates_per_trace,
-                        ):
-                            self._phase_candidates.append(
-                                OutlierCandidate(
-                                    level=ProductionLevel.PHASE,
-                                    outlierness=float(scores[idx]),
-                                    machine_id=machine.machine_id,
-                                    job_index=job.job_index,
-                                    phase_name=phase.name,
-                                    sensor_id=sensor_id,
-                                    index=idx,
-                                    detector=detector_name,
-                                )
-                            )
-
-    def _score_env_level(self) -> None:
-        cfg = self.config
-        self._env_channels: Dict[str, List[str]] = {}
-        for line in self.dataset.lines:
-            ids = []
-            for kind, series in sorted(line.environment.items()):
-                channel_id = f"{line.line_id}/env/{kind}"
-                series = self._gate_series(channel_id, line.line_id, series)
-                if series is None:
-                    continue
-                scores, __ = self._score_series_resilient(
-                    ProductionLevel.ENVIRONMENT, channel_id, series
-                )
-                trace = _Trace(
-                    channel_id=channel_id,
-                    start=series.start,
-                    step=series.step,
-                    scores=scores,
-                    threshold=_robust_threshold(scores, cfg.env_sigma),
-                )
-                self._traces.setdefault(channel_id, []).append(trace)
-                ids.append(channel_id)
-            self._env_channels[line.line_id] = ids
-
-    def _score_job_level(self) -> None:
-        rows = []
-        keys: List[Tuple[str, int]] = []
-        for machine in self.dataset.iter_machines():
-            table = self.dataset.job_table(machine.machine_id)
-            for job, row in zip(machine.jobs, table):
-                rows.append(row)
-                keys.append((machine.machine_id, job.job_index))
-        X = _robust_standardize(self._gate_matrix(np.vstack(rows), "job"))
-        scores, detector_name = self._score_vectors_resilient(
-            ProductionLevel.JOB, "job-table", X
-        )
-        threshold = _robust_threshold(scores, self.config.vector_sigma)
-        unified = unify_rank(scores)
-        self._job_scores = {k: float(s) for k, s in zip(keys, scores)}
-        self._job_unified = {k: float(u) for k, u in zip(keys, unified)}
-        self._job_flags = {k for k, s in zip(keys, scores) if s >= threshold}
-        self._job_detector = detector_name
-
-    def _score_line_level(self) -> None:
-        cfg = self.config
-        self._line_scores: Dict[Tuple[str, int], float] = {}
-        self._line_unified: Dict[Tuple[str, int], float] = {}
-        self._line_flags: set = set()
-        all_scores: List[Tuple[Tuple[str, int], float]] = []
-        for line in self.dataset.lines:
-            mat, identity = self.dataset.jobs_over_time(line.line_id)
-            if mat.shape[0] == 0:
-                continue
-            mat = self._gate_matrix(mat, f"{line.line_id}/jobs-over-time")
-            # jobs-over-time: augment each row with its deviation from the
-            # trailing robust baseline so the level sees temporal change,
-            # not just static position
-            history = cfg.line_history
-            deltas = np.zeros_like(mat)
-            for i in range(mat.shape[0]):
-                lo = max(0, i - history)
-                context = mat[lo:i]
-                if context.shape[0] >= 2:
-                    med = np.median(context, axis=0)
-                    mad = np.median(np.abs(context - med), axis=0) * 1.4826
-                    mad[mad <= 1e-12] = 1.0
-                    deltas[i] = (mat[i] - med) / mad
-            augmented = np.hstack([_robust_standardize(mat), deltas])
-            scores, __ = self._score_vectors_resilient(
-                ProductionLevel.PRODUCTION_LINE,
-                f"{line.line_id}/jobs-over-time",
-                augmented,
-            )
-            for key, s in zip(identity, scores):
-                all_scores.append((key, float(s)))
-        if not all_scores:
-            return
-        raw = np.array([s for __, s in all_scores])
-        threshold = _robust_threshold(raw, cfg.vector_sigma)
-        unified = unify_rank(raw)
-        for (key, s), u in zip(all_scores, unified):
-            self._line_scores[key] = s
-            self._line_unified[key] = float(u)
-            if s >= threshold:
-                self._line_flags.add(key)
-
-    def _score_production_level(self) -> None:
-        panel, machine_ids = self.dataset.production_panel()
-        panel = _robust_standardize(self._gate_matrix(panel, "production"))
-        scores, __ = self._score_vectors_resilient(
-            ProductionLevel.PRODUCTION, "production-panel", panel
-        )
-        threshold = _robust_threshold(scores, self.config.vector_sigma)
-        unified = unify_rank(scores)
-        self._machine_scores = {m: float(s) for m, s in zip(machine_ids, scores)}
-        self._machine_unified = {m: float(u) for m, u in zip(machine_ids, unified)}
-        self._machine_flags = {
-            m for m, s in zip(machine_ids, scores) if s >= threshold
-        }
 
     # ------------------------------------------------------------------
     # trace lookup (support + environment confirmation)
@@ -811,7 +1313,14 @@ class PlantHierarchyContext(HierarchyContext):
 
     def _candidate_time_uncached(self, candidate: OutlierCandidate) -> Optional[float]:
         if candidate.index is not None and "/env/" in candidate.sensor_id:
-            # environment candidates live on the line-wide trace
+            # environment candidates live on the line-wide trace; single-trace
+            # channels (the common case) resolve through the O(1) primary
+            # index, multi-trace channels keep the first-match scan
+            primary = self._primary_trace.get(candidate.sensor_id)
+            if primary is not None:
+                if candidate.index < len(primary.scores):
+                    return primary.start + candidate.index * primary.step
+                return None
             for trace in self._traces.get(candidate.sensor_id, ()):
                 if candidate.index < len(trace.scores):
                     return trace.start + candidate.index * trace.step

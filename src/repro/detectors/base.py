@@ -22,7 +22,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -208,6 +208,18 @@ class BaseDetector(abc.ABC):
                          stride: int = 1) -> np.ndarray:
         """Unsupervised shortcut: fit on the series' own windows, then localize."""
         return self.fit_series(series, width, stride).score_series(series)
+
+    def fit_score_series_batch(self, series_list: Sequence[TimeSeries],
+                               width: int = 16, stride: int = 1) -> List[np.ndarray]:
+        """Score several series with one detector instance, one result each.
+
+        The pipeline's batched scoring path calls this once per group of
+        same-length channels.  The default refits this instance per
+        series — semantically identical to a ``fit_score_series`` loop —
+        and detectors whose model vectorizes across series override it
+        to amortize the fit (see :class:`~repro.detectors.predictive.ar.ARDetector`).
+        """
+        return [self.fit_score_series(s, width=width, stride=stride) for s in series_list]
 
     # ------------------------------------------------------------------
     # capability helpers

@@ -86,6 +86,48 @@ class ARDetector(VectorDetector):
     def _score_series_impl(self, series: TimeSeries) -> np.ndarray:
         return self._residual_zscores(series.values)
 
+    # -- batched series path --------------------------------------------
+    def fit_score_series_batch(self, series_list, width: int = 16, stride: int = 1):
+        """Vectorized AR scoring across a stack of same-length series.
+
+        Fits one AR(p) model per series with a single batched normal-equation
+        solve instead of N sequential least-squares fits.  Falls back to the
+        per-series loop when the batch is trivial, lengths differ, any value
+        is NaN (the per-series fit drops NaNs, which changes lag alignment),
+        or the series are too short to fit.
+        """
+        series_list = list(series_list)
+        lengths = {len(s.values) for s in series_list}
+        if len(series_list) > 1 and len(lengths) == 1:
+            n = lengths.pop()
+            p = min(self.order, max(1, n // 4))
+            X = np.asarray([s.values for s in series_list], dtype=np.float64)
+            if n > p + 1 and not np.isnan(X).any():
+                scores = self._run_hook(
+                    "fit_score_series_batch", self._batch_residual_zscores, X, p
+                )
+                return [self._sanitize(row) for row in scores]
+        return super().fit_score_series_batch(series_list, width=width, stride=stride)
+
+    @staticmethod
+    def _batch_residual_zscores(X: np.ndarray, p: int, ridge: float = 1e-8) -> np.ndarray:
+        n = X.shape[1]
+        # (N, n-p, p) lag matrices, one per series, same layout as
+        # fit_ar_coefficients builds for a single series
+        rows = np.stack([X[:, p - 1 - k : n - 1 - k] for k in range(p)], axis=2)
+        design = np.concatenate([rows, np.ones((X.shape[0], n - p, 1))], axis=2)
+        target = X[:, p:]
+        gram = np.einsum("sij,sik->sjk", design, design) + ridge * np.eye(p + 1)
+        rhs = np.einsum("sij,si->sj", design, target)
+        beta = np.linalg.solve(gram, rhs[..., None])[..., 0]
+        residuals = target - np.einsum("sij,sj->si", design, beta)
+        sigma = residuals.std(axis=1)
+        sigma[sigma == 0.0] = 1.0
+        preds = np.einsum("sij,sj->si", rows, beta[:, :-1]) + beta[:, -1:]
+        out = np.zeros_like(X)
+        out[:, p:] = np.abs(target - preds) / sigma[:, None]
+        return out
+
     # -- matrix path -----------------------------------------------------
     def _fit_matrix(self, X: np.ndarray) -> None:
         pooled = X.ravel()

@@ -98,6 +98,32 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         labels=("level", "detected"),
         help="Level confirmations attached to emitted reports, by outcome.",
     ),
+    # -- parallel execution engine (repro.core.parallel) ---------------
+    "repro_tasks_total": MetricSpec(
+        kind="counter",
+        labels=("kind",),
+        help="Scoring tasks executed by the level-DAG engine, by task kind.",
+    ),
+    "repro_task_latency_seconds": MetricSpec(
+        kind="histogram",
+        labels=("kind",),
+        help="In-worker wall-clock latency of one scoring task.",
+    ),
+    "repro_task_queue_depth": MetricSpec(
+        kind="gauge",
+        labels=(),
+        help="Peak number of simultaneously ready or in-flight tasks.",
+    ),
+    "repro_parallel_workers": MetricSpec(
+        kind="gauge",
+        labels=("executor",),
+        help="Worker-pool size the execution engine resolved for this run.",
+    ),
+    "repro_parallel_speedup": MetricSpec(
+        kind="gauge",
+        labels=(),
+        help="Compute-seconds over wall-seconds of the scoring task graph.",
+    ),
     # -- streaming monitor (repro.streaming.stream_monitor) ------------
     "repro_stream_samples_total": MetricSpec(
         kind="counter",

@@ -232,6 +232,50 @@ class Tracer:
         """Id of the innermost open span (None outside any span)."""
         return self._stack[-1].span_id if self._stack else None
 
+    def graft(
+        self,
+        rows: Sequence[Dict[str, object]],
+        parent_id: Optional[int] = None,
+    ) -> List[Span]:
+        """Adopt spans recorded by another tracer into this trace.
+
+        Parallel tasks record their spans on a worker-local tracer and
+        ship them back as ``as_dict()`` rows; grafting re-numbers them
+        into this tracer's sequential id space (preserving row order and
+        the internal parent links) and attaches the foreign root spans
+        under ``parent_id`` — or keeps them as roots when ``parent_id``
+        is ``None``, which is how process-mode trees arrive: their worker
+        clocks are not comparable with an injected main-process clock, so
+        nesting them under a main-process span could violate the
+        containment invariant of :func:`validate_spans`.
+        """
+        if not self.enabled or not rows:
+            return []
+        id_map: Dict[int, int] = {}
+        for row in rows:
+            id_map[int(row["span_id"])] = self._next_id  # type: ignore[arg-type]
+            self._next_id += 1
+        grafted: List[Span] = []
+        for row in rows:
+            old_parent = row.get("parent_id")
+            new_parent = (
+                parent_id if old_parent is None else id_map[int(old_parent)]  # type: ignore[arg-type]
+            )
+            sp = Span(
+                name=str(row["name"]),
+                span_id=id_map[int(row["span_id"])],  # type: ignore[arg-type]
+                parent_id=new_parent,
+                start=float(row["start"]),  # type: ignore[arg-type]
+                attributes=dict(row.get("attributes", {})),  # type: ignore[arg-type]
+            )
+            end = row.get("end")
+            sp.end = None if end is None else float(end)  # type: ignore[arg-type]
+            sp.status = str(row.get("status", "ok"))
+            sp.error = str(row.get("error", ""))
+            self._spans.append(sp)
+            grafted.append(sp)
+        return grafted
+
     # -- queries --------------------------------------------------------
     @property
     def spans(self) -> List[Span]:

@@ -127,7 +127,9 @@ def _anomalize_setup(setup: Dict[str, float], rng: np.random.Generator,
     nominal = {name: (nom, sig) for name, nom, sig in DEFAULT_SETUP_PARAMETERS}
     keys = [str(k) for k in rng.choice(sorted(setup), size=2, replace=False)]
     keys.append(str(rng.choice(_QUALITY_SETUP_KEYS)))
-    for key in set(keys):
+    # dedupe in first-occurrence order: set() iteration is hash-seeded and
+    # would consume the RNG in a per-process order, breaking reproducibility
+    for key in dict.fromkeys(keys):
         nom, sig = nominal[key]
         sign = 1.0 if rng.random() < 0.5 else -1.0
         perturbed[key] = nom + sign * sigmas * sig

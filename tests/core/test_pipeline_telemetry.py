@@ -173,10 +173,12 @@ class TestStatsSchema:
         pipeline, __, __reports = traced_run
         stats = pipeline.stats()
         assert stats["schema"] == STATS_SCHEMA
-        assert set(stats) == {"schema", "cache", "health"}
+        assert set(stats) == {"schema", "cache", "health", "parallel"}
         for entry in stats["cache"].values():
             assert entry["hits"] + entry["misses"] == entry["calls"]
         assert set(stats["health"]) == {
             "degraded", "fallbacks", "quarantines", "dead_channels",
             "warnings", "degraded_levels",
         }
+        assert set(stats["parallel"]) == {"tasks", "batch_groups"}
+        assert stats["parallel"]["tasks"] > 0

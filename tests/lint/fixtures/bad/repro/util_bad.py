@@ -25,3 +25,8 @@ def fuse(weight):
         return 1.0 / weight
     except Exception:
         return 0.0
+
+
+from concurrent.futures import ThreadPoolExecutor
+
+POOL = ThreadPoolExecutor(max_workers=2)

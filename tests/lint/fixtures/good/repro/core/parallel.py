@@ -1,0 +1,9 @@
+"""Good fixture: the engine module may construct pools (DET005 exempt)."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def make_pool(executor, workers):
+    if executor == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)

@@ -17,7 +17,12 @@ callables of ``repro.obs`` / ``repro.core.resilience``.
   ``datetime.now`` / ``utcnow`` / ``today``) outside the clock injection
   points;
 * **DET004** ``np.random.default_rng()`` *without a seed argument* —
-  an unseeded generator is hidden entropy with a reassuring name.
+  an unseeded generator is hidden entropy with a reassuring name;
+* **DET005** direct ``ThreadPoolExecutor`` / ``ProcessPoolExecutor``
+  construction outside ``repro.core.parallel`` — ad-hoc pools bypass the
+  execution engine's deterministic scheduling, worker sizing, and
+  result-merge ordering (one pool construction site keeps the
+  byte-identical-across-executors guarantee auditable).
 """
 
 from __future__ import annotations
@@ -36,8 +41,15 @@ _CLOCK_INJECTION_POINTS = (
     "repro/obs/trace.py",
     "repro/obs/__init__.py",
     "repro/core/resilience.py",
+    "repro/core/parallel.py",
     "repro/plant/chaos.py",
 )
+
+#: The one module allowed to construct executor pools (DET005).
+_POOL_CONSTRUCTION_POINTS = ("repro/core/parallel.py",)
+
+#: Executor classes whose direct construction DET005 flags.
+_POOL_CLASSES = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
 
 #: np.random attributes that are constructors, not global-state RNG calls.
 _ALLOWED_NP_RANDOM = frozenset(
@@ -56,10 +68,11 @@ _WALL_CLOCK_CALLS = {
 
 class DeterminismRule(Rule):
     name = "determinism-discipline"
-    rule_ids: Tuple[str, ...] = ("DET001", "DET002", "DET003", "DET004")
+    rule_ids: Tuple[str, ...] = ("DET001", "DET002", "DET003", "DET004", "DET005")
 
     def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
         clock_ok = src.matches(*_CLOCK_INJECTION_POINTS)
+        pool_ok = src.matches(*_POOL_CONSTRUCTION_POINTS)
         for node in ast.walk(src.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
                 yield self._finding(
@@ -81,7 +94,28 @@ class DeterminismRule(Rule):
                             hint="take a seeded np.random.Generator parameter instead",
                         )
             elif isinstance(node, ast.Call):
+                if not pool_ok:
+                    yield from self._check_pool(node, src)
                 yield from self._check_call(node, src, clock_ok)
+
+    def _check_pool(self, node: ast.Call, src: ParsedFile) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return
+        if name in _POOL_CLASSES:
+            yield self._finding(
+                "DET005",
+                src,
+                node,
+                f"direct {name} construction outside repro.core.parallel",
+                hint="route pooled work through "
+                "repro.core.parallel.ParallelEngine (executor= in "
+                "PipelineConfig), the single audited pool construction site",
+            )
 
     def _check_call(
         self, node: ast.Call, src: ParsedFile, clock_ok: bool
