@@ -5,11 +5,13 @@ to ``benchmarks/out/<name>.txt`` (see ``conftest.py``); those tables
 feed EXPERIMENTS.md but are opaque to tooling.  This collector re-emits
 every text report — plus a parsed form of the parallel-speedup table —
 as ``benchmarks/out/BENCH_parallel.json``, so the perf trajectory is
-trackable across PRs (CI uploads the file as an artifact).
+trackable across PRs (CI uploads the file as an artifact).  When the
+incremental-ingest bench has run, its table is parsed the same way and
+written separately as ``benchmarks/out/BENCH_incremental.json``.
 
 Usage::
 
-    python benchmarks/to_json.py [--out PATH]
+    python benchmarks/to_json.py [--out PATH] [--incremental-out PATH]
 
 Exits non-zero when no benchmark output exists yet (run the benches
 first: ``PYTHONPATH=src python -m pytest benchmarks/``).
@@ -24,6 +26,7 @@ import sys
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 DEFAULT_TARGET = OUT_DIR / "BENCH_parallel.json"
+DEFAULT_INCREMENTAL_TARGET = OUT_DIR / "BENCH_incremental.json"
 
 #: Columns of the parallel_speedup.txt table, in order.
 _SPEEDUP_COLUMNS = (
@@ -60,6 +63,42 @@ def parse_speedup_table(text: str) -> dict:
     return {"rows": rows, "identical_reports": identical}
 
 
+#: Columns of the incremental.txt table, in order.
+_INCREMENTAL_COLUMNS = ("lines", "machines", "ingests", "p50_ms", "p99_ms", "cold_s")
+
+
+def parse_incremental_table(text: str) -> dict:
+    """Parse ``incremental.txt`` into per-plant-size rows.
+
+    Returns ``{"rows": [{lines, machines, ingests, p50_ms, p99_ms,
+    cold_s}], "identical_reports": bool, "p50_ratio": float}``; tolerant
+    of the header and trailing prose lines.
+    """
+    rows = []
+    identical = None
+    ratio = None
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == len(_INCREMENTAL_COLUMNS) and all(
+            p.replace(".", "", 1).isdigit() for p in parts
+        ):
+            rows.append(
+                {
+                    "lines": int(parts[0]),
+                    "machines": int(parts[1]),
+                    "ingests": int(parts[2]),
+                    "p50_ms": float(parts[3]),
+                    "p99_ms": float(parts[4]),
+                    "cold_s": float(parts[5]),
+                }
+            )
+        elif line.startswith("reports byte-identical"):
+            identical = line.rsplit(":", 1)[1].strip() == "True"
+        elif line.startswith("p50 ratio"):
+            ratio = float(line.rsplit(":", 1)[1])
+    return {"rows": rows, "identical_reports": identical, "p50_ratio": ratio}
+
+
 def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
     """Bundle every ``*.txt`` bench report, parsing the speedup table."""
     reports = sorted(out_dir.glob("*.txt"))
@@ -72,6 +111,8 @@ def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
         entry: dict = {"text": text}
         if path.stem == "parallel_speedup":
             entry["parsed"] = parse_speedup_table(text)
+        elif path.stem == "incremental":
+            entry["parsed"] = parse_incremental_table(text)
         doc["benches"][path.stem] = entry
     return doc
 
@@ -81,6 +122,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=pathlib.Path, default=DEFAULT_TARGET,
         help=f"target JSON path (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--incremental-out", type=pathlib.Path,
+        default=DEFAULT_INCREMENTAL_TARGET,
+        help="target JSON path for the incremental-ingest bench "
+        f"(default: {DEFAULT_INCREMENTAL_TARGET}; written only when "
+        "the bench has run)",
     )
     args = parser.parse_args(argv)
     doc = collect()
@@ -102,6 +150,16 @@ def main(argv=None) -> int:
         )
         + ")"
     )
+    if "incremental" in doc["benches"]:
+        incremental_doc = {
+            "schema": "repro.bench/1",
+            "benches": {"incremental": doc["benches"]["incremental"]},
+        }
+        args.incremental_out.parent.mkdir(parents=True, exist_ok=True)
+        args.incremental_out.write_text(
+            json.dumps(incremental_doc, indent=2) + "\n"
+        )
+        print(f"wrote {args.incremental_out} (incremental parsed)")
     return 0
 
 

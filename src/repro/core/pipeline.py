@@ -35,7 +35,7 @@ from ..detectors import make_detector
 from ..obs import Telemetry
 from ..obs.metrics import UNIT_BUCKETS
 from ..obs.trace import Tracer
-from ..plant import LineRecord, PlantDataset
+from ..plant import JobRecord, LineRecord, PlantDataset
 from ..timeseries import TimeSeries
 from .algorithm import HierarchyContext, find_hierarchical_outliers
 from .levels import ProductionLevel
@@ -71,7 +71,7 @@ __all__ = [
 
 #: Version tag of the nested dict returned by ``stats()`` (see
 #: docs/OBSERVABILITY.md for the full schema).
-STATS_SCHEMA = "repro.stats/3"
+STATS_SCHEMA = "repro.stats/4"
 
 
 @dataclass(frozen=True)
@@ -734,9 +734,45 @@ class PlantHierarchyContext(HierarchyContext):
         self._line_unified: Dict[Tuple[str, int], float] = {}
         self._line_flags: set = set()
         self._batch_group_count = 0
+        # Per-task retained state: the persisted fits (scored trace /
+        # candidate outputs) and replayable event lists that make the DAG
+        # incremental — a refresh re-runs only the dirty tasks, overwrites
+        # their entries here, and reassembles everything else from cache.
+        self._task_events: Dict[str, List[Tuple[str, object]]] = {}
+        self._phase_out: Dict[str, object] = {}
+        self._env_out: Dict[str, object] = {}
+        self._job_out: Optional[object] = None
+        self._line_out: Dict[str, object] = {}
+        self._production_out: Optional[object] = None
+        self._dead_metric_emitted: set = set()
+        self._incr_refreshes = 0
+        self._incr_dirty_jobs = 0
+        self._incr_dirty_tasks = 0
+        self._incr_evicted: Dict[str, int] = {
+            "confirm": 0, "support": 0, "candidate_time": 0, "find_candidates": 0,
+        }
+        self._incr_retained: Dict[str, int] = dict(self._incr_evicted)
+        self._incr_instruments_ready = False
+        self._cache_enabled = bool(self.config.enable_cache)
+        self._stats = PipelineStats()
+        self._confirm_cache: Dict[Tuple, LevelConfirmation] = {}
+        self._support_cache: Dict[Tuple, SupportResult] = {}
+        self._candidate_time_cache: Dict[Tuple, Optional[float]] = {}
+        self._candidates_cache: Dict[ProductionLevel, List[OutlierCandidate]] = {}
+        self._execute("pipeline.build", self._build_task_graph())
+        self._publish_engine_metrics()
+
+    def _execute(self, span_name: str, graph: TaskGraph) -> None:
+        """Run one task graph and fold its results into the context.
+
+        Shared by the cold build (the full level DAG) and :meth:`refresh`
+        (the dirty subgraph): runs the engine, stores per-task outputs and
+        event lists, reassembles the derived stores, rebuilds the health
+        record by canonical event replay, and re-derives the indexes and
+        the support calculator.
+        """
         tracer = self.telemetry.tracer
-        with tracer.span("pipeline.build", executor=self.config.executor) as build_span:
-            graph = self._build_task_graph()
+        with tracer.span(span_name, executor=self.config.executor) as outer_span:
             engine = ParallelEngine(self.config.executor, self.config.max_workers)
             if self.config.executor == "process":
                 # worker clocks are not comparable with an injected
@@ -751,14 +787,14 @@ class PlantHierarchyContext(HierarchyContext):
                     Callable[[object], object],
                     functools.partial(_run_scoring_task, clock=self.telemetry.clock),
                 )
-                parent_id = build_span.span_id if tracer.enabled else None
+                parent_id = outer_span.span_id if tracer.enabled else None
             results, engine_stats = engine.run(graph, worker)
             self._engine_stats = engine_stats
             self._merge_results(results, parent_id)
             with tracer.span("pipeline.index"):
-                self._flag_dead_channels()
+                self._assemble()
+                self._rebuild_health()
                 self._build_indexes()
-        self._publish_engine_metrics()
         self._support_calc = SupportCalculator(
             self._graph,
             self._lookup_trace,
@@ -766,12 +802,6 @@ class PlantHierarchyContext(HierarchyContext):
             # renormalized divisor: fully-quarantined channels do not vote
             excluded=self.health.dead_channels,
         )
-        self._cache_enabled = bool(self.config.enable_cache)
-        self._stats = PipelineStats()
-        self._confirm_cache: Dict[Tuple, LevelConfirmation] = {}
-        self._support_cache: Dict[Tuple, SupportResult] = {}
-        self._candidate_time_cache: Dict[Tuple, Optional[float]] = {}
-        self._candidates_cache: Dict[ProductionLevel, List[OutlierCandidate]] = {}
 
     def _build_indexes(self) -> None:
         """Precompute the lookup structures behind ``confirm``/``support``.
@@ -829,7 +859,7 @@ class PlantHierarchyContext(HierarchyContext):
     # ------------------------------------------------------------------
     # task graph construction and merge (see repro.core.parallel)
     # ------------------------------------------------------------------
-    def _build_task_graph(self) -> TaskGraph:
+    def _build_task_graph(self, only: Optional[set] = None) -> TaskGraph:
         """Decompose the run into the level DAG.
 
         Phase scoring per machine, environment scoring per line, the
@@ -838,6 +868,13 @@ class PlantHierarchyContext(HierarchyContext):
         lines).  Insertion order mirrors the serial pipeline's historical
         method order — the merge step replays events in this order, which
         is what makes the health record executor-invariant.
+
+        With ``only`` (a set of task keys — the dirty closure of a
+        refresh), the graph is restricted to those tasks: others are
+        skipped and dependency edges are clamped to the keys actually
+        present, preserving relative insertion order.  Task seeds are a
+        pure function of the key, so a task scheduled in a restricted
+        graph scores exactly as it would in the full one.
         """
         cfg = self.config
         graph = TaskGraph()
@@ -850,6 +887,10 @@ class PlantHierarchyContext(HierarchyContext):
             data: Tuple[object, ...],
             deps: Tuple[str, ...] = (),
         ) -> None:
+            if only is not None:
+                if key not in only:
+                    return
+                deps = tuple(dep for dep in deps if dep in graph)
             graph.add(
                 Task(
                     key=key,
@@ -868,7 +909,12 @@ class PlantHierarchyContext(HierarchyContext):
                 )
             )
 
+        def wanted(key: str) -> bool:
+            return only is None or key in only
+
         for machine in self.dataset.iter_machines():
+            if not wanted(f"phase/{machine.machine_id}"):
+                continue
             jobs = tuple(
                 (
                     job.job_index,
@@ -884,6 +930,8 @@ class PlantHierarchyContext(HierarchyContext):
                 (machine.machine_id, jobs),
             )
         for line in self.dataset.lines:
+            if not wanted(f"env/{line.line_id}"):
+                continue
             items = tuple(
                 (f"{line.line_id}/env/{kind}", series)
                 for kind, series in sorted(line.environment.items())
@@ -892,16 +940,19 @@ class PlantHierarchyContext(HierarchyContext):
                 "env", f"env/{line.line_id}", ProductionLevel.ENVIRONMENT,
                 (line.line_id, items),
             )
-        rows: List[np.ndarray] = []
-        keys: List[Tuple[str, int]] = []
-        for machine in self.dataset.iter_machines():
-            table = self.dataset.job_table(machine.machine_id)
-            for job, row in zip(machine.jobs, table):
-                rows.append(row)
-                keys.append((machine.machine_id, job.job_index))
-        add("job", "job", ProductionLevel.JOB, (tuple(keys), np.vstack(rows)))
+        if wanted("job"):
+            rows: List[np.ndarray] = []
+            keys: List[Tuple[str, int]] = []
+            for machine in self.dataset.iter_machines():
+                table = self.dataset.job_table(machine.machine_id)
+                for job, row in zip(machine.jobs, table):
+                    rows.append(row)
+                    keys.append((machine.machine_id, job.job_index))
+            add("job", "job", ProductionLevel.JOB, (tuple(keys), np.vstack(rows)))
         line_keys: List[str] = []
         for line in self.dataset.lines:
+            if not wanted(f"line/{line.line_id}"):
+                continue
             mat, identity = self.dataset.jobs_over_time(line.line_id)
             if mat.shape[0] == 0:
                 continue
@@ -911,84 +962,151 @@ class PlantHierarchyContext(HierarchyContext):
                 "line", key, ProductionLevel.PRODUCTION_LINE,
                 (line.line_id, mat, tuple(identity)), deps=("job",),
             )
-        panel, machine_ids = self.dataset.production_panel()
-        add(
-            "production", "production", ProductionLevel.PRODUCTION,
-            (panel, tuple(machine_ids)), deps=tuple(line_keys),
-        )
+        if wanted("production"):
+            panel, machine_ids = self.dataset.production_panel()
+            add(
+                "production", "production", ProductionLevel.PRODUCTION,
+                (panel, tuple(machine_ids)), deps=tuple(line_keys),
+            )
         return graph
 
     def _merge_results(
         self, results: Dict[str, object], parent_id: Optional[int]
     ) -> None:
-        """Fold task results into the context in graph insertion order.
+        """Fold task results into the per-task stores in insertion order.
 
         Completion order never matters: the engine returns results keyed
         in insertion order, worker event lists replay through the same
-        health/metrics/log paths the serial pipeline used, and span trees
-        graft under the open ``pipeline.build`` span (or as roots for
-        process workers).
+        metrics/log paths the serial pipeline used (health is rebuilt
+        afterwards by :meth:`_rebuild_health` so refreshed tasks never
+        double-record), and span trees graft under the open build/refresh
+        span (or as roots for process workers).
         """
-        line_outputs: List[Tuple[Tuple[Tuple[str, int], ...], np.ndarray]] = []
         for result in results.values():
             assert isinstance(result, _TaskResult)
             self.telemetry.tracer.graft(result.spans, parent_id=parent_id)
+            self._task_events[result.key] = list(result.events)
             for event_kind, payload in result.events:
-                self._apply_event(event_kind, payload)
+                self._apply_event(event_kind, payload, health=False)
             self._batch_group_count += result.batch_groups
             output = result.output
             if result.kind == "phase":
-                traces, candidates = cast(
-                    Tuple[List[Tuple[str, _Trace]], List[OutlierCandidate]], output
-                )
-                for sensor_id, trace in traces:
-                    self._traces.setdefault(sensor_id, []).append(trace)
-                self._phase_candidates.extend(candidates)
+                self._phase_out[result.key.split("/", 1)[1]] = output
             elif result.kind == "env":
-                env_traces, ids = cast(
-                    Tuple[List[Tuple[str, _Trace]], List[str]], output
-                )
-                for channel_id, trace in env_traces:
-                    self._traces.setdefault(channel_id, []).append(trace)
-                self._env_channels[result.key.split("/", 1)[1]] = list(ids)
+                self._env_out[result.key.split("/", 1)[1]] = output
             elif result.kind == "job":
-                job_keys, scores, detector_name = cast(
-                    Tuple[Tuple[Tuple[str, int], ...], np.ndarray, str], output
-                )
-                threshold = _robust_threshold(scores, self.config.vector_sigma)
-                unified = unify_rank(scores)
-                self._job_scores = {
-                    k: float(s) for k, s in zip(job_keys, scores)
-                }
-                self._job_unified = {
-                    k: float(u) for k, u in zip(job_keys, unified)
-                }
-                self._job_flags = {
-                    k for k, s in zip(job_keys, scores) if s >= threshold
-                }
-                self._job_detector = detector_name
+                self._job_out = output
             elif result.kind == "line":
-                line_outputs.append(
-                    cast(Tuple[Tuple[Tuple[str, int], ...], np.ndarray], output)
-                )
+                self._line_out[result.key.split("/", 1)[1]] = output
             elif result.kind == "production":
-                machine_ids, scores = cast(
-                    Tuple[Tuple[str, ...], np.ndarray], output
-                )
-                threshold = _robust_threshold(scores, self.config.vector_sigma)
-                unified = unify_rank(scores)
-                self._machine_scores = {
-                    m: float(s) for m, s in zip(machine_ids, scores)
-                }
-                self._machine_unified = {
-                    m: float(u) for m, u in zip(machine_ids, unified)
-                }
-                self._machine_flags = {
-                    m for m, s in zip(machine_ids, scores) if s >= threshold
-                }
+                self._production_out = output
             else:  # pragma: no cover - graph construction is exhaustive
                 raise ValueError(f"unknown task kind {result.kind!r}")
-        self._finalize_line_level(line_outputs)
+
+    def _assemble(self) -> None:
+        """Rebuild the derived stores from the per-task outputs.
+
+        Iterates machines and lines in dataset order — the same order the
+        full graph inserts tasks — so an incremental refresh (which
+        overwrites only the dirty tasks' outputs) reassembles traces and
+        candidates in exactly the order a cold build would have produced.
+        """
+        self._traces = {}
+        self._phase_candidates = []
+        self._env_channels = {}
+        for machine in self.dataset.iter_machines():
+            output = self._phase_out.get(machine.machine_id)
+            if output is None:
+                continue
+            traces, candidates = cast(
+                Tuple[List[Tuple[str, _Trace]], List[OutlierCandidate]], output
+            )
+            for sensor_id, trace in traces:
+                self._traces.setdefault(sensor_id, []).append(trace)
+            self._phase_candidates.extend(candidates)
+        for line in self.dataset.lines:
+            output = self._env_out.get(line.line_id)
+            if output is None:
+                continue
+            env_traces, ids = cast(
+                Tuple[List[Tuple[str, _Trace]], List[str]], output
+            )
+            for channel_id, trace in env_traces:
+                self._traces.setdefault(channel_id, []).append(trace)
+            self._env_channels[line.line_id] = list(ids)
+        if self._job_out is not None:
+            job_keys, scores, detector_name = cast(
+                Tuple[Tuple[Tuple[str, int], ...], np.ndarray, str], self._job_out
+            )
+            threshold = _robust_threshold(scores, self.config.vector_sigma)
+            unified = unify_rank(scores)
+            self._job_scores = {
+                k: float(s) for k, s in zip(job_keys, scores)
+            }
+            self._job_unified = {
+                k: float(u) for k, u in zip(job_keys, unified)
+            }
+            self._job_flags = {
+                k for k, s in zip(job_keys, scores) if s >= threshold
+            }
+            self._job_detector = detector_name
+        self._line_scores = {}
+        self._line_unified = {}
+        self._line_flags = set()
+        self._finalize_line_level(
+            [
+                cast(
+                    Tuple[Tuple[Tuple[str, int], ...], np.ndarray],
+                    self._line_out[line.line_id],
+                )
+                for line in self.dataset.lines
+                if line.line_id in self._line_out
+            ]
+        )
+        if self._production_out is not None:
+            machine_ids, scores = cast(
+                Tuple[Tuple[str, ...], np.ndarray], self._production_out
+            )
+            threshold = _robust_threshold(scores, self.config.vector_sigma)
+            unified = unify_rank(scores)
+            self._machine_scores = {
+                m: float(s) for m, s in zip(machine_ids, scores)
+            }
+            self._machine_unified = {
+                m: float(u) for m, u in zip(machine_ids, unified)
+            }
+            self._machine_flags = {
+                m for m, s in zip(machine_ids, scores) if s >= threshold
+            }
+
+    def _canonical_task_order(self) -> List[str]:
+        """Full-graph insertion order, recomputed from the dataset."""
+        order = [f"phase/{m.machine_id}" for m in self.dataset.iter_machines()]
+        order.extend(f"env/{line.line_id}" for line in self.dataset.lines)
+        order.append("job")
+        order.extend(
+            f"line/{line.line_id}"
+            for line in self.dataset.lines
+            if any(m.jobs for m in line.machines)
+        )
+        order.append("production")
+        return order
+
+    def _rebuild_health(self) -> None:
+        """Rebuild the health record by replaying cached task events.
+
+        Replay happens in canonical full-graph insertion order over every
+        task's *current* event list, so after a refresh the health record
+        is byte-identical to a cold build on the mutated dataset: re-run
+        tasks contribute their fresh events exactly once, untouched tasks
+        contribute their retained events, and first-wins/dedup semantics
+        of :class:`RunHealth` see the same sequence either way.
+        """
+        self.health = RunHealth()
+        for key in self._canonical_task_order():
+            for event_kind, payload in self._task_events.get(key, ()):
+                self._apply_event(event_kind, payload, instruments=False)
+        self._flag_dead_channels()
 
     def _finalize_line_level(
         self,
@@ -1016,36 +1134,74 @@ class PlantHierarchyContext(HierarchyContext):
             if s >= threshold:
                 self._line_flags.add(key)
 
-    def _apply_event(self, kind: str, payload: object) -> None:
+    def _apply_event(
+        self,
+        kind: str,
+        payload: object,
+        *,
+        health: bool = True,
+        instruments: bool = True,
+    ) -> None:
         """Replay one worker-recorded side effect on the main process.
 
         Event replay happens in graph insertion order, so the resulting
         health record (which is insertion-ordered and first-wins for
         warnings) is identical to the serial pipeline's regardless of the
-        executor or scheduling order.
+        executor or scheduling order.  The two flags separate the event's
+        effects: ``instruments`` (metrics, logs, deferred detector
+        observations) fires once per *execution* during the merge, while
+        ``health`` fires during :meth:`_rebuild_health` replay — a
+        refreshed task's events re-count as work done without ever
+        duplicating health records.
         """
         if kind == "quarantine":
             channel_id, scope, reason, timestamp = cast(
                 Tuple[str, str, str, Optional[float]], payload
             )
-            self.health.record_quarantine(channel_id, scope, reason)
-            self._m_quarantines.inc(scope="trace")
-            self.telemetry.warning(
-                f"quarantined {channel_id} [{scope}]: {reason}",
-                channel_id=channel_id,
-                scope=scope,
-                timestamp=timestamp,
-            )
+            if health:
+                self.health.record_quarantine(channel_id, scope, reason)
+            if instruments:
+                self._m_quarantines.inc(scope="trace")
+                self.telemetry.warning(
+                    f"quarantined {channel_id} [{scope}]: {reason}",
+                    channel_id=channel_id,
+                    scope=scope,
+                    timestamp=timestamp,
+                )
         elif kind == "warn":
-            self.health.warn(cast(str, payload))
+            if health:
+                self.health.warn(cast(str, payload))
         elif kind == "fallback":
-            self._note_fallback(cast(FallbackEvent, payload))
+            event = cast(FallbackEvent, payload)
+            if health:
+                self.health.record_fallback(event)
+            if instruments:
+                self._m_fallbacks.inc(level=event.level)
+                self.telemetry.warning(
+                    f"detector fallback at {event.level} {event.unit}: "
+                    f"{event.failed_detector} -> {event.fallback} ({event.error})",
+                    level=event.level,
+                    unit=event.unit,
+                    failed_detector=event.failed_detector,
+                    fallback=event.fallback,
+                    timed_out=event.timed_out,
+                )
         elif kind == "terminal":
-            self._note_terminal_baseline(cast(str, payload))
+            level_name = cast(str, payload)
+            if health:
+                self.health.note_level(
+                    level_name, "scored with the terminal robust baseline"
+                )
+            if instruments:
+                self.telemetry.warning(
+                    f"level {level_name} scored with the terminal robust baseline",
+                    level=level_name,
+                )
         elif kind == "obs":
-            self._pending_detector_obs.append(
-                cast(Tuple[str, str, bool, float], payload)
-            )
+            if instruments:
+                self._pending_detector_obs.append(
+                    cast(Tuple[str, str, bool, float], payload)
+                )
         else:  # pragma: no cover - the worker emits a closed event set
             raise ValueError(f"unknown task event {kind!r}")
 
@@ -1143,7 +1299,9 @@ class PlantHierarchyContext(HierarchyContext):
         ``{"schema", "cache": {<memo table>: {"calls", "hits", "misses"}},
         "health": {"degraded", "fallbacks", "quarantines", "dead_channels",
         "warnings", "degraded_levels"}, "parallel": {"tasks",
-        "batch_groups"}}``.  This is the single source the metrics
+        "batch_groups"}, "incremental": {"refreshes", "dirty_jobs",
+        "dirty_tasks", "evicted": {<memo table>: n}, "retained":
+        {<memo table>: n}}}``.  This is the single source the metrics
         registry consumes (:meth:`publish_stats`) and the ``telemetry``
         block of the JSON report export.  Every entry is
         executor-invariant — wall-clock numbers live in
@@ -1167,6 +1325,13 @@ class PlantHierarchyContext(HierarchyContext):
                 "tasks": self._engine_stats.n_tasks,
                 "batch_groups": self._batch_group_count,
             },
+            "incremental": {
+                "refreshes": self._incr_refreshes,
+                "dirty_jobs": self._incr_dirty_jobs,
+                "dirty_tasks": self._incr_dirty_tasks,
+                "evicted": dict(self._incr_evicted),
+                "retained": dict(self._incr_retained),
+            },
         }
 
     def publish_stats(self) -> None:
@@ -1185,6 +1350,7 @@ class PlantHierarchyContext(HierarchyContext):
                 "cache": tree["cache"],
                 "health": tree["health"],
                 "parallel": tree["parallel"],
+                "incremental": tree["incremental"],
             },
         )
         ratio = m.gauge(
@@ -1211,11 +1377,241 @@ class PlantHierarchyContext(HierarchyContext):
         self._stats = PipelineStats()
 
     def invalidate_caches(self) -> None:
-        """Drop every memoized result (keeps the precomputed indexes)."""
+        """Drop every memoized result (keeps the precomputed indexes).
+
+        The blunt instrument: everything recomputes on next use.  An
+        incremental :meth:`refresh` instead calls :meth:`_evict_dirty`,
+        which drops only the entries the dirty subgraph can have changed.
+        """
         self._confirm_cache.clear()
         self._support_cache.clear()
         self._candidate_time_cache.clear()
         self._candidates_cache.clear()
+
+    # ------------------------------------------------------------------
+    # incremental recomputation (see DESIGN §10)
+    # ------------------------------------------------------------------
+    def refresh(self) -> Dict[str, object]:
+        """Incrementally re-score the dirty subgraph after job ingests.
+
+        Consumes the dataset's dirty set (jobs appended through
+        :meth:`~repro.plant.PlantDataset.ingest_job`), maps every dirty
+        job to its task-DAG closure — its machine's phase task, plus the
+        ancestors and descendants of its line task (``job``, the line's
+        jobs-over-time task, and ``production``) — re-runs exactly those
+        tasks on the configured executor, and reassembles the derived
+        state from the persisted outputs of every untouched task.  Cache
+        entries are then evicted *scoped*: only what the dirty subgraph
+        can have changed (see :meth:`_evict_dirty`).
+
+        The contract is the one the parallel engine established: after a
+        refresh, reports and health are byte-identical to a cold build on
+        the mutated dataset, on every executor.  Returns a summary dict
+        (dirty jobs/tasks, evicted/retained cache entries, engine wall
+        seconds).
+        """
+        dirty = self.dataset.consume_dirty()
+        if not dirty:
+            return {"dirty_jobs": 0, "dirty_tasks": 0, "evicted": {}, "retained": {}}
+        self._ensure_incremental_instruments()
+        dirty_machines: List[str] = []
+        for machine_id, __ in dirty:
+            if machine_id not in dirty_machines:
+                dirty_machines.append(machine_id)
+        old_phase_scores = getattr(
+            self, "_phase_scores_sorted", np.empty(0, dtype=float)
+        )
+        old_dead = set(self.health.dead_channels)
+        shadow = self._shadow_graph()
+        closure: Dict[str, None] = {}
+        for machine_id in dirty_machines:
+            line_id = self.dataset.line_of(machine_id).line_id
+            closure[f"phase/{machine_id}"] = None
+            line_key = f"line/{line_id}"
+            if line_key in shadow:
+                for key in shadow.ancestors(line_key):
+                    closure[key] = None
+                closure[line_key] = None
+                for key in shadow.descendants(line_key):
+                    closure[key] = None
+            else:  # pragma: no cover - an ingested job implies a line task
+                closure["job"] = None
+                closure["production"] = None
+        graph = self._build_task_graph(only=set(closure))
+        self._execute("pipeline.refresh", graph)
+        self._publish_engine_metrics()
+        phase_changed = not np.array_equal(
+            old_phase_scores, self._phase_scores_sorted
+        )
+        dead_changed = old_dead != set(self.health.dead_channels)
+        evicted, retained = self._evict_dirty(
+            dirty_machines, phase_changed=phase_changed, dead_changed=dead_changed
+        )
+        self._incr_refreshes += 1
+        self._incr_dirty_jobs += len(dirty)
+        self._incr_dirty_tasks += len(graph)
+        for table, n in evicted.items():
+            self._incr_evicted[table] += n
+        for table, n in retained.items():
+            self._incr_retained[table] += n
+        self._publish_incremental_metrics(dirty, graph, evicted, retained)
+        return {
+            "dirty_jobs": len(dirty),
+            "dirty_tasks": len(graph),
+            "task_keys": graph.keys,
+            "evicted": evicted,
+            "retained": retained,
+            "wall_seconds": self._engine_stats.wall_seconds,
+        }
+
+    def _shadow_graph(self) -> TaskGraph:
+        """The level DAG's shape (keys and edges) without any payloads.
+
+        Cheap to rebuild after every ingest; used only for the
+        ancestor/descendant traversals that map dirty jobs to the task
+        closure a refresh must re-run.
+        """
+        graph = TaskGraph()
+        for machine in self.dataset.iter_machines():
+            graph.add(Task(key=f"phase/{machine.machine_id}", payload=None))
+        for line in self.dataset.lines:
+            graph.add(Task(key=f"env/{line.line_id}", payload=None))
+        graph.add(Task(key="job", payload=None))
+        line_keys = []
+        for line in self.dataset.lines:
+            if any(m.jobs for m in line.machines):
+                key = f"line/{line.line_id}"
+                line_keys.append(key)
+                graph.add(Task(key=key, payload=None, deps=("job",)))
+        graph.add(Task(key="production", payload=None, deps=tuple(line_keys)))
+        return graph
+
+    def _evict_dirty(
+        self,
+        dirty_machines: List[str],
+        *,
+        phase_changed: bool,
+        dead_changed: bool,
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Scoped cache eviction: drop only what the refresh can have changed.
+
+        Dependency analysis per memo table (candidate keys are
+        ``(level, machine, job, phase, sensor, index)`` tuples):
+
+        * ``confirm`` — confirmations *at* the JOB / PRODUCTION_LINE /
+          PRODUCTION levels read the globally recomputed score tables, so
+          they always go; confirmations at PHASE read the global sorted
+          phase-score distribution and go only when that distribution
+          actually changed; confirmations at ENVIRONMENT depend only on
+          environment traces and the candidate's own time — both
+          untouched by a job ingest — and are retained.
+        * ``support`` — a support verdict reads corresponding channels'
+          traces *at the candidate's time*; appended jobs occupy new time
+          spans and re-scored dirty tasks are deterministic, so verdicts
+          survive — unless the dead-channel set changed, which alters the
+          renormalized divisor for every candidate and clears the table.
+        * ``candidate_time`` — phase-series timestamps and job midpoints
+          are immutable for existing jobs; entries are dropped only for
+          candidates on re-scored (dirty) machines, conservatively.
+        * ``find_candidates`` — PHASE/JOB/PRODUCTION_LINE/PRODUCTION
+          listings derive from recomputed state and go; the ENVIRONMENT
+          listing derives from untouched environment traces and stays.
+        """
+        evicted = {"confirm": 0, "support": 0, "candidate_time": 0,
+                   "find_candidates": 0}
+        dirty_set = set(dirty_machines)
+        vector_levels = (
+            ProductionLevel.JOB,
+            ProductionLevel.PRODUCTION_LINE,
+            ProductionLevel.PRODUCTION,
+        )
+        for key in list(self._confirm_cache):
+            __, level = key
+            if level in vector_levels or (
+                phase_changed and level is ProductionLevel.PHASE
+            ):
+                del self._confirm_cache[key]
+                evicted["confirm"] += 1
+        if dead_changed:
+            evicted["support"] = len(self._support_cache)
+            self._support_cache.clear()
+        for key in list(self._candidate_time_cache):
+            if key[1] in dirty_set:
+                del self._candidate_time_cache[key]
+                evicted["candidate_time"] += 1
+        for level in list(self._candidates_cache):
+            if level is not ProductionLevel.ENVIRONMENT:
+                del self._candidates_cache[level]
+                evicted["find_candidates"] += 1
+        retained = {
+            "confirm": len(self._confirm_cache),
+            "support": len(self._support_cache),
+            "candidate_time": len(self._candidate_time_cache),
+            "find_candidates": len(self._candidates_cache),
+        }
+        return evicted, retained
+
+    def _ensure_incremental_instruments(self) -> None:
+        """Register the ``repro_incremental_*`` instruments lazily.
+
+        Lazy so a never-refreshed context exposes exactly the metric
+        families it always has — zero-valued incremental families must
+        not appear in cold-run expositions.
+        """
+        if self._incr_instruments_ready:
+            return
+        self._incr_instruments_ready = True
+        m = self.telemetry.metrics
+        self._m_incr_refreshes = m.counter(
+            "repro_incremental_refreshes_total",
+            "Incremental subgraph refreshes triggered by job ingests.",
+        )
+        self._m_incr_dirty_jobs = m.counter(
+            "repro_incremental_dirty_jobs_total",
+            "Ingested jobs consumed by incremental refreshes.",
+        )
+        self._m_incr_tasks = m.counter(
+            "repro_incremental_tasks_total",
+            "Dirty-closure tasks re-run by incremental refreshes, by kind.",
+            labelnames=("kind",),
+        )
+        self._m_incr_evicted = m.counter(
+            "repro_incremental_evicted_total",
+            "Cache entries dropped by scoped eviction, by memo table.",
+            labelnames=("table",),
+        )
+        self._m_incr_retained = m.counter(
+            "repro_incremental_retained_total",
+            "Cache entries retained across a refresh, by memo table.",
+            labelnames=("table",),
+        )
+        self._m_incr_latency = m.histogram(
+            "repro_incremental_refresh_latency_seconds",
+            "Engine wall-clock latency of one incremental refresh.",
+        )
+
+    def _publish_incremental_metrics(
+        self,
+        dirty: List[Tuple[str, int]],
+        graph: TaskGraph,
+        evicted: Dict[str, int],
+        retained: Dict[str, int],
+    ) -> None:
+        self._m_incr_refreshes.inc()
+        self._m_incr_dirty_jobs.inc(len(dirty))
+        kinds: Dict[str, int] = {}
+        for key in graph.keys:
+            kind = key.split("/", 1)[0]
+            kinds[kind] = kinds.get(kind, 0) + 1
+        for kind in sorted(kinds):
+            self._m_incr_tasks.inc(kinds[kind], kind=kind)
+        for table in sorted(evicted):
+            if evicted[table]:
+                self._m_incr_evicted.inc(evicted[table], table=table)
+        for table in sorted(retained):
+            if retained[table]:
+                self._m_incr_retained.inc(retained[table], table=table)
+        self._m_incr_latency.observe(max(0.0, self._engine_stats.wall_seconds))
 
     def _flush_detector_observations(self) -> None:
         """Fold deferred detector observations into the metrics registry.
@@ -1241,40 +1637,26 @@ class PlantHierarchyContext(HierarchyContext):
         for level_name, values in sorted(latencies.items()):
             self._m_detector_latency.observe_many(values, level=level_name)
 
-    def _note_fallback(self, event: FallbackEvent) -> None:
-        """Record a survived detector failure in health, metrics, and logs."""
-        self.health.record_fallback(event)
-        self._m_fallbacks.inc(level=event.level)
-        self.telemetry.warning(
-            f"detector fallback at {event.level} {event.unit}: "
-            f"{event.failed_detector} -> {event.fallback} ({event.error})",
-            level=event.level,
-            unit=event.unit,
-            failed_detector=event.failed_detector,
-            fallback=event.fallback,
-            timed_out=event.timed_out,
-        )
-
-    def _note_terminal_baseline(self, level_name: str) -> None:
-        self.health.note_level(level_name, "scored with the terminal robust baseline")
-        self.telemetry.warning(
-            f"level {level_name} scored with the terminal robust baseline",
-            level=level_name,
-        )
-
     def _flag_dead_channels(self) -> None:
         """Channels with zero surviving traces are quarantined wholesale.
 
         These are the sensors the support divisor must renormalize over:
         with no usable trace anywhere they cannot vote, and the explicit
         ``scope="channel"`` record feeds :attr:`RunHealth.dead_channels`
-        (belt and braces on top of the lookup's natural None-vote)."""
+        (belt and braces on top of the lookup's natural None-vote).  The
+        health record is re-derived on every :meth:`_rebuild_health`, but
+        the channel-death metric and log line fire once per channel per
+        context lifetime — refreshes must not re-count a death already
+        reported."""
         for channel_id in sorted({q.channel_id for q in self.health.quarantines}):
             if not self._traces.get(channel_id):
                 self.health.record_quarantine(
                     channel_id, "channel",
                     "no usable trace survived the quality gate",
                 )
+                if channel_id in self._dead_metric_emitted:
+                    continue
+                self._dead_metric_emitted.add(channel_id)
                 self._m_quarantines.inc(scope="channel")
                 self.telemetry.warning(
                     f"dead channel {channel_id}: no usable trace survived "
@@ -1746,6 +2128,24 @@ class HierarchicalDetectionPipeline:
                     detected=str(bool(conf.detected)).lower(),
                 )
         self.context.publish_stats()
+
+    def ingest_job(self, machine_id: str, job: JobRecord) -> Dict[str, object]:
+        """Ingest one arriving job and incrementally refresh the context.
+
+        Routes the mutation through
+        :meth:`~repro.plant.PlantDataset.ingest_job` (the one sanctioned
+        mutation path) and immediately consumes the dirty set with
+        :meth:`PlantHierarchyContext.refresh`, re-scoring only the job's
+        task-DAG closure.  The next :meth:`run` produces reports
+        byte-identical to a cold pipeline built on the mutated dataset,
+        on every executor.  Returns the refresh summary dict.
+        """
+        self.dataset.ingest_job(machine_id, job)
+        return self.context.refresh()
+
+    def refresh(self) -> Dict[str, object]:
+        """Consume pending dataset ingests via an incremental refresh."""
+        return self.context.refresh()
 
     @property
     def health(self) -> RunHealth:

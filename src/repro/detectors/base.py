@@ -141,6 +141,16 @@ class BaseDetector(abc.ABC):
     family: Family = Family.BASELINE
     supports: frozenset = frozenset()
     citation: str = ""
+    #: Refit-determinism contract: two fresh instances built by the same
+    #: zero-argument factory, fed the same input, must produce identical
+    #: scores.  All randomness therefore flows from constructor seeds —
+    #: never from global RNG state, wall clock, or object identity.  The
+    #: incremental pipeline relies on this: a task outside the dirty
+    #: closure keeps its persisted output instead of re-running, which is
+    #: only sound if re-running *would have* reproduced it bit-for-bit.
+    #: Subclasses that cannot honor the contract must set this to False
+    #: (no in-tree detector does).
+    deterministic_refit: bool = True
 
     def __init__(self) -> None:
         self._fitted = False

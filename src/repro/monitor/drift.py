@@ -114,11 +114,18 @@ class ConceptShiftDetector:
         effective = min(self.threshold, 0.8 * self.max_statistic())
         candidates = np.where(stats >= effective)[0]
         shifts: List[ShiftPoint] = []
+        # The gap test is anchored to the *first* candidate of the current
+        # cluster, not to whichever candidate currently holds the cluster
+        # maximum: anchoring to the replaced shift lets a bridge of
+        # within-min_gap candidates walk the merge window arbitrarily far
+        # and swallow genuinely separate shifts.
+        cluster_anchor = -1
         for idx in candidates:
-            if shifts and idx - shifts[-1].index < self.min_gap:
+            if shifts and idx - cluster_anchor < self.min_gap:
                 if stats[idx] > shifts[-1].statistic:
                     shifts[-1] = self._point(X, idx, stats[idx])
                 continue
+            cluster_anchor = int(idx)
             shifts.append(self._point(X, idx, stats[idx]))
         return shifts
 

@@ -124,6 +124,39 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         labels=(),
         help="Compute-seconds over wall-seconds of the scoring task graph.",
     ),
+    # -- incremental recomputation (repro.core.pipeline.refresh) --------
+    # Registered lazily on the first refresh, so cold runs expose exactly
+    # the families they always have.
+    "repro_incremental_refreshes_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Incremental subgraph refreshes triggered by job ingests.",
+    ),
+    "repro_incremental_dirty_jobs_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Ingested jobs consumed by incremental refreshes.",
+    ),
+    "repro_incremental_tasks_total": MetricSpec(
+        kind="counter",
+        labels=("kind",),
+        help="Dirty-closure tasks re-run by incremental refreshes, by kind.",
+    ),
+    "repro_incremental_evicted_total": MetricSpec(
+        kind="counter",
+        labels=("table",),
+        help="Cache entries dropped by scoped eviction, by memo table.",
+    ),
+    "repro_incremental_retained_total": MetricSpec(
+        kind="counter",
+        labels=("table",),
+        help="Cache entries retained across a refresh, by memo table.",
+    ),
+    "repro_incremental_refresh_latency_seconds": MetricSpec(
+        kind="histogram",
+        labels=(),
+        help="Engine wall-clock latency of one incremental refresh.",
+    ),
     # -- streaming monitor (repro.streaming.stream_monitor) ------------
     "repro_stream_samples_total": MetricSpec(
         kind="counter",

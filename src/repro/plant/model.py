@@ -166,6 +166,95 @@ class PlantDataset:
     faults: List[FaultEvent]
     setup_keys: Tuple[str, ...]
     caq_keys: Tuple[str, ...]
+    #: Jobs appended through :meth:`ingest_job` and not yet consumed by an
+    #: incremental pipeline refresh, as ``(machine_id, job_index)`` pairs in
+    #: arrival order.
+    _dirty_jobs: List[Tuple[str, int]] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # ingest (the one sanctioned mutation path — repro-lint DET006)
+    # ------------------------------------------------------------------
+    def ingest_job(self, machine_id: str, job: JobRecord) -> JobRecord:
+        """Append a newly arrived job and mark it dirty.
+
+        This is the **only** sanctioned way to mutate a dataset's job
+        history after construction (repro-lint rule DET006 rejects direct
+        ``.jobs`` mutation outside the plant-construction modules): it
+        keeps the navigation index coherent and records the arrival in the
+        dirty set that :meth:`consume_dirty` hands to the pipeline's
+        incremental refresh, which re-scores only the touched subgraph.
+        """
+        machine = self.machine(machine_id)
+        if job.machine_id != machine_id:
+            raise ValueError(
+                f"job is stamped machine_id={job.machine_id!r}, "
+                f"cannot ingest into {machine_id!r}"
+            )
+        if any(existing.job_index == job.job_index for existing in machine.jobs):
+            raise ValueError(
+                f"machine {machine_id} already has job {job.job_index}"
+            )
+        machine.jobs.append(job)
+        self.invalidate_indexes()
+        self._dirty_jobs.append((machine_id, job.job_index))
+        return job
+
+    def dirty_jobs(self) -> List[Tuple[str, int]]:
+        """Unconsumed ingested jobs as ``(machine_id, job_index)`` pairs."""
+        return list(self._dirty_jobs)
+
+    def consume_dirty(self) -> List[Tuple[str, int]]:
+        """Return the pending dirty set and clear it (refresh handshake)."""
+        out = list(self._dirty_jobs)
+        self._dirty_jobs.clear()
+        return out
+
+    def split_tail(self, n: int = 1) -> Tuple["PlantDataset", List[Tuple[str, JobRecord]]]:
+        """Split off each machine's last ``n`` jobs as a held-out arrival feed.
+
+        Returns ``(base, arrivals)``: ``base`` is a new dataset whose
+        machines carry everything but their final ``n`` jobs (channel and
+        environment payloads are shared, job lists are fresh), and
+        ``arrivals`` lists the held-out ``(machine_id, job)`` pairs in
+        global start order — the replay order a service would see them in.
+        Ground-truth ``faults`` are carried over verbatim (they may
+        reference held-out jobs until those are re-ingested).
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        arrivals: List[Tuple[float, str, JobRecord]] = []
+        base_lines: List[LineRecord] = []
+        for line in self.lines:
+            machines: List[MachineRecord] = []
+            for m in line.machines:
+                keep = m.jobs[: len(m.jobs) - n] if n else list(m.jobs)
+                held = m.jobs[len(m.jobs) - n :] if n else []
+                arrivals.extend((j.start, m.machine_id, j) for j in held)
+                machines.append(
+                    MachineRecord(
+                        machine_id=m.machine_id,
+                        line_id=m.line_id,
+                        channels=m.channels,
+                        jobs=list(keep),
+                    )
+                )
+            base_lines.append(
+                LineRecord(
+                    line_id=line.line_id,
+                    machines=machines,
+                    environment=line.environment,
+                )
+            )
+        base = PlantDataset(
+            lines=base_lines,
+            faults=list(self.faults),
+            setup_keys=self.setup_keys,
+            caq_keys=self.caq_keys,
+        )
+        arrivals.sort(key=lambda item: (item[0], item[1]))
+        return base, [(machine_id, job) for __, machine_id, job in arrivals]
 
     # ------------------------------------------------------------------
     # navigation (O(1) via a lazily built index)

@@ -19,6 +19,14 @@ class RunningStats:
     Non-finite samples (NaN **and** ±inf — one infinite sample would poison
     the mean forever) are skipped and counted in :attr:`n_skipped`, so
     degraded streams stay visible without corrupting the accumulator.
+
+    Variance convention: **population variance** (``ddof=0``, i.e.
+    ``m2 / n``).  This is a deliberate pin, not an accident of Welford's
+    recurrence: the batch baselines standardize with ``X.std(axis=0)``
+    (numpy's default, also ``ddof=0``), so a streaming z-score computed
+    from this accumulator agrees exactly with the batch z-score over the
+    same prefix.  ``tests/streaming`` pins that agreement; change both
+    sides together or not at all.
     """
 
     def __init__(self) -> None:
@@ -42,6 +50,7 @@ class RunningStats:
 
     @property
     def variance(self) -> float:
+        """Population variance (``ddof=0``) — matches ``np.std(x) ** 2``."""
         return self._m2 / self.n if self.n else math.nan
 
     @property
@@ -173,7 +182,16 @@ class P2Quantile:
         if self._heights is not None:
             return self._heights[2]
         if self._warmup:
+            # Linearly interpolated order statistic at rank q * (n - 1)
+            # (numpy's default quantile convention).  Truncating to
+            # s[int(q * n)] biased the warm-up estimate high for small
+            # samples — the median of 4 came back as the upper-middle
+            # element — so warm-up and converged estimates disagreed on
+            # stationary input.
             s = sorted(self._warmup)
-            idx = min(len(s) - 1, int(self.q * len(s)))
-            return s[idx]
+            pos = self.q * (len(s) - 1)
+            lo = int(math.floor(pos))
+            hi = min(lo + 1, len(s) - 1)
+            frac = pos - lo
+            return s[lo] + frac * (s[hi] - s[lo])
         return math.nan

@@ -105,6 +105,11 @@ class StreamingSensorMonitor:
         self._channels: Dict[str, _Channel] = {}
         self._events: List[StreamEvent] = []
         self._now = -math.inf  # latest timestamp seen on any channel
+        # Earliest instant any unreported channel can stall (a lower bound:
+        # heartbeats only ever push a channel's deadline later).  observe()
+        # skips the stall sweep entirely while now <= this bound, making the
+        # heartbeat check O(1) amortized per sample instead of O(channels).
+        self._stall_due = math.inf
         self.telemetry = (
             telemetry
             if telemetry is not None
@@ -141,17 +146,32 @@ class StreamingSensorMonitor:
         channel that sends only garbage eventually stalls out of the
         support divisor.
         """
+        created = channel_id not in self._channels
         state = self._channel(channel_id)
         self._now = max(self._now, time)
         self._m_samples.inc()
         if not math.isfinite(value):
             state.n_skipped += 1
             self._m_skipped.inc()
+            if created and self.heartbeat_patience is not None:
+                # a channel born of garbage has last_seen=-inf: it must be
+                # eligible for the very next stall sweep
+                self._stall_due = min(
+                    self._stall_due, state.last_seen + self.heartbeat_patience
+                )
             self._trim(state, time)
             self._check_stalls()
             return None
         state.last_seen = max(state.last_seen, time)
-        self._reported_stalled.discard(channel_id)  # heartbeat recovered
+        recovered = channel_id in self._reported_stalled
+        if recovered:
+            self._reported_stalled.discard(channel_id)  # heartbeat recovered
+        if (created or recovered) and self.heartbeat_patience is not None:
+            # (re-)entering the unreported set may pull the earliest
+            # deadline forward; existing channels only ever push it back
+            self._stall_due = min(
+                self._stall_due, state.last_seen + self.heartbeat_patience
+            )
         score = state.detector.update(value)
         flagged = score >= state.threshold
         if flagged:
@@ -187,9 +207,21 @@ class StreamingSensorMonitor:
         return events
 
     def _check_stalls(self) -> None:
-        """Emit one WARNING per channel the moment its heartbeat stalls."""
+        """Emit one WARNING per channel the moment its heartbeat stalls.
+
+        Amortized O(1) per sample: a full sweep over the channel table only
+        runs once the shared clock passes ``_stall_due`` — the earliest
+        deadline any unreported channel can miss — and each sweep
+        recomputes the bound exactly.  A channel stalls when
+        ``now - last_seen > patience``, i.e. strictly after
+        ``last_seen + patience``, so skipping while ``now <= _stall_due``
+        never delays a report past the sample that would have raised it.
+        """
         if self.heartbeat_patience is None or not self.telemetry.enabled:
             return
+        if self._now <= self._stall_due:
+            return
+        due = math.inf
         for channel_id, state in self._channels.items():
             if channel_id in self._reported_stalled:
                 continue
@@ -203,6 +235,9 @@ class StreamingSensorMonitor:
                     last_seen=state.last_seen,
                     patience=self.heartbeat_patience,
                 )
+            else:
+                due = min(due, state.last_seen + self.heartbeat_patience)
+        self._stall_due = due
 
     # ------------------------------------------------------------------
     def _trim(self, state: _Channel, now: float) -> None:

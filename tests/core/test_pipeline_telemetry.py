@@ -173,7 +173,7 @@ class TestStatsSchema:
         pipeline, __, __reports = traced_run
         stats = pipeline.stats()
         assert stats["schema"] == STATS_SCHEMA
-        assert set(stats) == {"schema", "cache", "health", "parallel"}
+        assert set(stats) == {"schema", "cache", "health", "parallel", "incremental"}
         for entry in stats["cache"].values():
             assert entry["hits"] + entry["misses"] == entry["calls"]
         assert set(stats["health"]) == {
@@ -182,3 +182,7 @@ class TestStatsSchema:
         }
         assert set(stats["parallel"]) == {"tasks", "batch_groups"}
         assert stats["parallel"]["tasks"] > 0
+        assert set(stats["incremental"]) == {
+            "refreshes", "dirty_jobs", "dirty_tasks", "evicted", "retained",
+        }
+        assert stats["incremental"]["refreshes"] == 0  # cold run: no ingests

@@ -36,6 +36,7 @@ EXPECTED_BAD = {
     ("DET003", "bad/repro/util_bad.py", 11),
     ("DET004", "bad/repro/util_bad.py", 9),
     ("DET005", "bad/repro/util_bad.py", 32),
+    ("DET006", "bad/repro/util_bad.py", 36),
     ("TEL001", "bad/repro/obs/emit_bad.py", 5),
     ("TEL002", "bad/repro/obs/emit_bad.py", 9),
     ("TEL003", "bad/repro/obs/emit_bad.py", 8),

@@ -103,3 +103,47 @@ class TestConceptShiftDetector:
         mat[14:, 0] += 10 * mat[:, 0].std()  # regime change in feature 0
         shifts = ConceptShiftDetector(window=8).detect(mat)
         assert any(abs(s.index - 14) <= 4 for s in shifts)
+
+
+class TestClusterAnchoring:
+    """Regression: the min_gap merge window must not walk.
+
+    The gap test is anchored to the first candidate of the current
+    cluster.  Anchoring to the replaced shift lets a bridge of
+    within-min_gap candidates move the merge window forward step by step
+    and swallow a genuinely separate second shift.
+    """
+
+    class _FixedStats(ConceptShiftDetector):
+        """Detector with a crafted statistics curve (clustering logic only)."""
+
+        def __init__(self, stats, **kwargs):
+            super().__init__(**kwargs)
+            self._fixed = np.asarray(stats, dtype=np.float64)
+
+        def statistics(self, X):
+            return self._fixed
+
+    def test_candidate_bridge_does_not_swallow_second_shift(self):
+        n = 60
+        stats = np.zeros(n)
+        # cluster 1: rising bridge 30..35 (each step < min_gap apart)
+        stats[30:36] = np.linspace(3.0, 3.3, 6)
+        # true second shift at 44: 14 >= min_gap from the cluster anchor
+        # (30) but only 9 < min_gap from the bridge's last member (35)
+        stats[44] = 3.2
+        det = self._FixedStats(stats, window=8, threshold=3.0, min_gap=10)
+        shifts = det.detect(np.zeros((n, 1)))
+        assert [s.index for s in shifts] == [35, 44]
+
+    def test_two_true_shifts_both_reported(self, rng):
+        X = np.concatenate([
+            rng.normal(0.0, 0.5, 30),
+            rng.normal(5.0, 0.5, 18),
+            rng.normal(10.0, 0.5, 30),
+        ])
+        shifts = ConceptShiftDetector(window=8, min_gap=12).detect(X)
+        assert len(shifts) >= 2
+        indexes = [s.index for s in shifts]
+        assert any(abs(i - 30) <= 4 for i in indexes)
+        assert any(abs(i - 48) <= 4 for i in indexes)

@@ -245,3 +245,81 @@ class TestStreamMonitorTelemetry:
         second = StreamingSensorMonitor(_pair_graph())
         assert first.telemetry.enabled
         assert first.telemetry is not second.telemetry
+
+
+class TestStallSweepAmortization:
+    """The cached stall deadline must not delay, drop, or double reports.
+
+    ``_check_stalls`` skips the per-channel sweep while the shared clock
+    sits below the earliest possible deadline; these tests pin that the
+    optimization is behaviourally invisible — the warning still fires on
+    exactly the first sample past patience, once.
+    """
+
+    def _monitor(self, patience=10.0):
+        from repro.obs import Telemetry, TickClock
+
+        telemetry = Telemetry(clock=TickClock(step=0.001), logger_name="streaming")
+        return StreamingSensorMonitor(
+            _pair_graph(),
+            detector_factory=OnlineZScore,
+            threshold=4.0,
+            heartbeat_patience=patience,
+            telemetry=telemetry,
+        )
+
+    @staticmethod
+    def _stalls(caplog, channel_id="b"):
+        return [
+            r for r in caplog.records
+            if getattr(r, "channel_id", None) == channel_id
+        ]
+
+    def test_report_fires_on_first_sample_past_deadline(self, caplog):
+        import logging
+
+        monitor = self._monitor()
+        t = _warm(monitor, ["a", "b"])
+        last_seen_b = t - 1.0
+        with caplog.at_level(logging.WARNING, logger="repro.streaming"):
+            now = t
+            while now <= last_seen_b + 10.0:
+                monitor.observe("a", now, 0.0)
+                assert self._stalls(caplog) == []  # not one sample early
+                now += 1.0
+            monitor.observe("a", now, 0.0)  # first instant strictly past patience
+        stalls = self._stalls(caplog)
+        assert len(stalls) == 1
+        assert stalls[0].timestamp == now
+        assert stalls[0].last_seen == last_seen_b
+
+    def test_channel_born_of_garbage_warns_on_its_first_sample(self, caplog):
+        import logging
+
+        monitor = self._monitor()
+        t = _warm(monitor, ["a"])
+        with caplog.at_level(logging.WARNING, logger="repro.streaming"):
+            # b enters the world emitting only garbage: last_seen stays
+            # -inf, so the cached deadline must not hide it from the sweep
+            monitor.observe("b", t, float("nan"))
+        assert len(self._stalls(caplog)) == 1
+
+    def test_recovery_rearms_the_deadline(self, caplog):
+        import logging
+
+        monitor = self._monitor()
+        t = _warm(monitor, ["a", "b"])
+        with caplog.at_level(logging.WARNING, logger="repro.streaming"):
+            for __ in range(15):
+                monitor.observe("a", t, 0.0)
+                t += 1.0
+            assert len(self._stalls(caplog)) == 1
+            recovered_at = t
+            monitor.observe("b", t, 0.0)  # recovery re-enters the deadline set
+            now = t
+            while now <= recovered_at + 10.0:
+                monitor.observe("a", now, 0.0)
+                assert len(self._stalls(caplog)) == 1
+                now += 1.0
+            monitor.observe("a", now, 0.0)
+        assert len(self._stalls(caplog)) == 2

@@ -100,3 +100,58 @@ class TestP2Quantile:
 
     def test_empty_is_nan(self):
         assert math.isnan(P2Quantile(0.5).value)
+
+    def test_warmup_interpolates_like_numpy(self):
+        # Regression: warm-up truncated to s[int(q * n)], biasing small
+        # samples high (the median of 4 came back as the upper-middle
+        # element); the warm-up estimate must follow numpy's linear
+        # interpolation convention so it agrees with the converged path.
+        for q in (0.25, 0.5, 0.9):
+            for data in ([3.0, 1.0, 4.0, 1.5], [2.0, 8.0], [7.0, 1.0, 5.0, 9.0, 0.5][:4]):
+                est = P2Quantile(q)
+                for v in data:
+                    est.update(v)
+                assert est.value == pytest.approx(np.quantile(data, q)), (q, data)
+
+    def test_warmup_agrees_with_converged_on_stationary_input(self, rng):
+        data = rng.normal(0, 1, 5000)
+        est = P2Quantile(0.5)
+        for v in data[:4]:
+            est.update(v)
+        warm = est.value
+        assert warm == pytest.approx(np.quantile(data[:4], 0.5))
+        for v in data[4:]:
+            est.update(v)
+        # same stationary source: warm-up and converged estimates bracket
+        # the same true quantile instead of disagreeing systematically
+        assert abs(est.value - warm) < 1.5
+
+
+class TestStreamingBatchAgreement:
+    """The ddof pin: streaming z-scores == batch ``X.std(axis=0)`` z-scores."""
+
+    def test_zscore_matches_batch_population_convention(self, rng):
+        X = rng.normal(3.0, 1.7, size=(400, 5))
+        probe = 4.2
+        batch_mu = X.mean(axis=0)
+        batch_sd = X.std(axis=0)  # numpy default ddof=0: the batch convention
+        for j in range(X.shape[1]):
+            stats = RunningStats()
+            for v in X[:, j]:
+                stats.update(v)
+            assert stats.variance == pytest.approx(X[:, j].var(), rel=1e-9)
+            assert stats.std == pytest.approx(batch_sd[j], rel=1e-9)
+            assert stats.zscore(probe) == pytest.approx(
+                (probe - batch_mu[j]) / batch_sd[j], rel=1e-9
+            )
+
+    def test_agreement_holds_on_every_prefix(self, rng):
+        x = rng.normal(size=200)
+        stats = RunningStats()
+        for i, v in enumerate(x):
+            stats.update(v)
+            if i >= 2:
+                prefix = x[: i + 1]
+                assert stats.zscore(9.0) == pytest.approx(
+                    (9.0 - prefix.mean()) / prefix.std(), rel=1e-9
+                )

@@ -40,7 +40,11 @@ byte-identical to a cache-disabled context
 exposed through `HierarchicalDetectionPipeline.stats()` (equivalently
 `PlantHierarchyContext.stats()`, a `PipelineStats` snapshot);
 `reset_stats()` zeroes them and `invalidate_caches()` drops memoized
-results while keeping the indexes.
+results while keeping the indexes.  After a job ingest
+(`PlantDataset.ingest_job` → `refresh()`), eviction is *scoped* instead:
+only entries whose keys fall in the dirty subgraph are dropped, so
+ENVIRONMENT-level confirmations and unaffected support values survive
+the refresh (see DESIGN.md §10).
 
 ### Unification-method defaults
 

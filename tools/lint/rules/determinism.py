@@ -22,7 +22,13 @@ callables of ``repro.obs`` / ``repro.core.resilience``.
   construction outside ``repro.core.parallel`` — ad-hoc pools bypass the
   execution engine's deterministic scheduling, worker sizing, and
   result-merge ordering (one pool construction site keeps the
-  byte-identical-across-executors guarantee auditable).
+  byte-identical-across-executors guarantee auditable);
+* **DET006** direct ``.jobs`` mutation (``x.jobs.append(...)``,
+  ``x.jobs = ...``, ``x.jobs[i] = ...``) outside the plant-construction
+  modules — job arrivals must flow through
+  ``PlantDataset.ingest_job``, the one API that keeps the navigation
+  index and the incremental pipeline's dirty tracking coherent; a job
+  appended behind its back is scored stale (or never) on refresh.
 """
 
 from __future__ import annotations
@@ -48,6 +54,20 @@ _CLOCK_INJECTION_POINTS = (
 #: The one module allowed to construct executor pools (DET005).
 _POOL_CONSTRUCTION_POINTS = ("repro/core/parallel.py",)
 
+#: Modules allowed to mutate ``.jobs`` directly (DET006): the dataset
+#: model itself (whose ``ingest_job`` is the sanctioned mutation API),
+#: the simulator, and the ``.npz`` loader — all construction-time.
+_JOBS_MUTATION_POINTS = (
+    "repro/plant/model.py",
+    "repro/plant/simulate.py",
+    "repro/io.py",
+)
+
+#: List methods that mutate in place (DET006 flags them on ``.jobs``).
+_MUTATING_LIST_METHODS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort", "reverse"}
+)
+
 #: Executor classes whose direct construction DET005 flags.
 _POOL_CLASSES = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
 
@@ -68,11 +88,14 @@ _WALL_CLOCK_CALLS = {
 
 class DeterminismRule(Rule):
     name = "determinism-discipline"
-    rule_ids: Tuple[str, ...] = ("DET001", "DET002", "DET003", "DET004", "DET005")
+    rule_ids: Tuple[str, ...] = (
+        "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
+    )
 
     def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
         clock_ok = src.matches(*_CLOCK_INJECTION_POINTS)
         pool_ok = src.matches(*_POOL_CONSTRUCTION_POINTS)
+        jobs_ok = src.matches(*_JOBS_MUTATION_POINTS)
         for node in ast.walk(src.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "random":
                 yield self._finding(
@@ -96,7 +119,11 @@ class DeterminismRule(Rule):
             elif isinstance(node, ast.Call):
                 if not pool_ok:
                     yield from self._check_pool(node, src)
+                if not jobs_ok:
+                    yield from self._check_jobs_call(node, src)
                 yield from self._check_call(node, src, clock_ok)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)) and not jobs_ok:
+                yield from self._check_jobs_assign(node, src)
 
     def _check_pool(self, node: ast.Call, src: ParsedFile) -> Iterator[Finding]:
         func = node.func
@@ -116,6 +143,41 @@ class DeterminismRule(Rule):
                 "repro.core.parallel.ParallelEngine (executor= in "
                 "PipelineConfig), the single audited pool construction site",
             )
+
+    def _check_jobs_call(self, node: ast.Call, src: ParsedFile) -> Iterator[Finding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_LIST_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "jobs"
+        ):
+            yield self._jobs_finding(node, src, f".jobs.{func.attr}(...)")
+
+    def _check_jobs_assign(
+        self, node: "ast.Assign | ast.AugAssign", src: ParsedFile
+    ) -> Iterator[Finding]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr == "jobs":
+                yield self._jobs_finding(node, src, ".jobs = ...")
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "jobs"
+            ):
+                yield self._jobs_finding(node, src, ".jobs[...] = ...")
+
+    def _jobs_finding(self, node: ast.AST, src: ParsedFile, what: str) -> Finding:
+        return self._finding(
+            "DET006",
+            src,
+            node,
+            f"direct {what} mutation outside the plant-construction modules",
+            hint="route job arrivals through PlantDataset.ingest_job so the "
+            "navigation index and the incremental pipeline's dirty "
+            "tracking stay coherent",
+        )
 
     def _check_call(
         self, node: ast.Call, src: ParsedFile, clock_ok: bool
