@@ -1,0 +1,146 @@
+"""Perf benchmark — checkpoint snapshot cost and warm-restart speed.
+
+The checkpoint tentpole's contract: a snapshot write is a cheap, bounded
+serialization of derived state (milliseconds, not a re-scan), and a warm
+restart from the newest snapshot replays *only the jobs past the ingest
+watermark* — so resume time is governed by the tail length, not by plant
+history, and stays well below the cold build it replaces.  Each plant
+size also cross-checks the headline correctness guarantee: the resumed
+pipeline serializes byte-identically to a cold rebuild on the full
+dataset.
+
+The resume-vs-cold gate tolerates a 0.9 ratio by default; relax via
+``REPRO_BENCH_CHECKPOINT_RATIO_MAX`` on noisy CI boxes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import (
+    HierarchicalDetectionPipeline,
+    PipelineConfig,
+    resume_pipeline,
+)
+from repro.io import reports_to_json
+from repro.plant import FaultConfig, PlantConfig, simulate_plant
+
+#: (n_lines, machines_per_line) — jobs_per_machine stays constant so the
+#: replayed tail (what resume re-scores) is size-invariant.
+SIZES = ((1, 2), (2, 3), (3, 4))
+JOBS_PER_MACHINE = 6
+TAIL = 2  # held-out jobs per machine, ingested as arrivals
+REPLAY = 2  # arrivals past the snapshot watermark (what resume replays)
+
+
+def _plant(n_lines: int, machines_per_line: int):
+    return simulate_plant(
+        PlantConfig(
+            seed=2019,
+            n_lines=n_lines,
+            machines_per_line=machines_per_line,
+            jobs_per_machine=JOBS_PER_MACHINE,
+            faults=FaultConfig(
+                process_fault_rate=0.15,
+                sensor_fault_rate=0.15,
+                setup_anomaly_rate=0.06,
+            ),
+        )
+    )
+
+
+def _bench_size(n_lines: int, machines_per_line: int, snap_dir) -> dict:
+    dataset = _plant(n_lines, machines_per_line)
+    started = time.perf_counter()
+    cold = HierarchicalDetectionPipeline(dataset)
+    cold_s = time.perf_counter() - started
+
+    # Checkpointed run: build on the base plant, ingest the tail up to
+    # the last REPLAY jobs, snapshot mid-stream, ingest the rest — then
+    # SIGKILL-equivalent: drop the process state and warm-restart from
+    # disk.  The replayed tail is fixed, so resume cost tracks the tail
+    # while the cold build it replaces grows with the plant.
+    config = PipelineConfig(
+        checkpoint_dir=str(snap_dir), checkpoint_every=10_000
+    )
+    base, arrivals = dataset.split_tail(TAIL)
+    warm = HierarchicalDetectionPipeline(base, config=config)
+    cut = len(arrivals) - REPLAY
+    for machine_id, job in arrivals[:cut]:
+        warm.ingest_job(machine_id, job)
+    t0 = time.perf_counter()
+    path = warm.checkpoint.snapshot(trigger="manual")
+    snapshot_s = time.perf_counter() - t0
+    snapshot_kb = path.stat().st_size / 1024.0
+    for machine_id, job in arrivals[cut:]:
+        warm.ingest_job(machine_id, job)
+    del warm
+
+    t0 = time.perf_counter()
+    resumed, summaries, __ = resume_pipeline(dataset, snap_dir)
+    resume_s = time.perf_counter() - t0
+
+    identical = reports_to_json(
+        resumed.run(), health=resumed.health
+    ) == reports_to_json(cold.run(), health=cold.health)
+    return {
+        "lines": n_lines,
+        "machines": n_lines * machines_per_line,
+        "jobs": sum(1 for __ in dataset.iter_jobs()),
+        "cold_s": cold_s,
+        "snapshot_ms": snapshot_s * 1e3,
+        "resume_ms": resume_s * 1e3,
+        "snapshot_kb": snapshot_kb,
+        "tail": len(summaries),
+        "identical": identical,
+    }
+
+
+def _format(rows, ratio: float, identical: bool) -> str:
+    lines = [
+        "Checkpoint / warm-restart — snapshot cost and resume speed vs "
+        f"plant size (jobs/machine fixed at {JOBS_PER_MACHINE}, tail {TAIL})",
+        "",
+        f"{'lines':>5s} {'machines':>8s} {'jobs':>5s} {'cold_s':>8s} "
+        f"{'snapshot_ms':>11s} {'resume_ms':>9s} {'snapshot_kb':>11s} "
+        f"{'tail':>4s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['lines']:5d} {row['machines']:8d} {row['jobs']:5d} "
+            f"{row['cold_s']:8.3f} {row['snapshot_ms']:11.1f} "
+            f"{row['resume_ms']:9.1f} {row['snapshot_kb']:11.1f} "
+            f"{row['tail']:4d}"
+        )
+    lines.append("")
+    lines.append(f"reports byte-identical (resumed vs cold): {identical}")
+    lines.append(f"resume ratio: {ratio:.3f}")
+    return "\n".join(lines)
+
+
+def test_bench_checkpoint(emit, tmp_path):
+    rows = [
+        _bench_size(n_lines, machines, tmp_path / f"snaps-{n_lines}-{machines}")
+        for n_lines, machines in SIZES
+    ]
+    # resume (restore + tail replay) vs the cold build it replaces, on
+    # the largest plant — the size where skipping history matters most.
+    ratio = (rows[-1]["resume_ms"] / 1e3) / rows[-1]["cold_s"]
+    identical = all(row["identical"] for row in rows)
+    emit("checkpoint", _format(rows, ratio, identical))
+
+    # correctness first: warm restart must be behaviourally invisible
+    assert identical, "resumed pipeline diverged from a cold rebuild"
+
+    # resume replays only the post-watermark tail, never full history
+    assert [row["tail"] for row in rows] == [REPLAY] * len(SIZES), (
+        "resume replayed a different tail than the jobs past the watermark"
+    )
+
+    ratio_max = float(os.environ.get("REPRO_BENCH_CHECKPOINT_RATIO_MAX", "0.9"))
+    assert ratio <= ratio_max, (
+        f"warm restart took {ratio:.2f}x the cold build on the largest "
+        f"plant; expected <= {ratio_max}x (resume must skip the "
+        "already-scored history)"
+    )

@@ -12,6 +12,7 @@ written separately as ``benchmarks/out/BENCH_incremental.json``.
 Usage::
 
     python benchmarks/to_json.py [--out PATH] [--incremental-out PATH]
+                                 [--checkpoint-out PATH]
 
 Exits non-zero when no benchmark output exists yet (run the benches
 first: ``PYTHONPATH=src python -m pytest benchmarks/``).
@@ -24,9 +25,14 @@ import json
 import pathlib
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.atomic import write_atomic  # noqa: E402
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 DEFAULT_TARGET = OUT_DIR / "BENCH_parallel.json"
 DEFAULT_INCREMENTAL_TARGET = OUT_DIR / "BENCH_incremental.json"
+DEFAULT_CHECKPOINT_TARGET = OUT_DIR / "BENCH_checkpoint.json"
 
 #: Columns of the parallel_speedup.txt table, in order.
 _SPEEDUP_COLUMNS = (
@@ -99,6 +105,48 @@ def parse_incremental_table(text: str) -> dict:
     return {"rows": rows, "identical_reports": identical, "p50_ratio": ratio}
 
 
+#: Columns of the checkpoint.txt table, in order.
+_CHECKPOINT_COLUMNS = (
+    "lines", "machines", "jobs", "cold_s", "snapshot_ms", "resume_ms",
+    "snapshot_kb", "tail",
+)
+
+
+def parse_checkpoint_table(text: str) -> dict:
+    """Parse ``checkpoint.txt`` into per-plant-size rows.
+
+    Returns ``{"rows": [{lines, machines, jobs, cold_s, snapshot_ms,
+    resume_ms, snapshot_kb, tail}], "identical_reports": bool,
+    "resume_ratio": float}``; tolerant of the header and trailing prose
+    lines.
+    """
+    rows = []
+    identical = None
+    ratio = None
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) == len(_CHECKPOINT_COLUMNS) and all(
+            p.replace(".", "", 1).isdigit() for p in parts
+        ):
+            rows.append(
+                {
+                    "lines": int(parts[0]),
+                    "machines": int(parts[1]),
+                    "jobs": int(parts[2]),
+                    "cold_s": float(parts[3]),
+                    "snapshot_ms": float(parts[4]),
+                    "resume_ms": float(parts[5]),
+                    "snapshot_kb": float(parts[6]),
+                    "tail": int(parts[7]),
+                }
+            )
+        elif line.startswith("reports byte-identical"):
+            identical = line.rsplit(":", 1)[1].strip() == "True"
+        elif line.startswith("resume ratio"):
+            ratio = float(line.rsplit(":", 1)[1])
+    return {"rows": rows, "identical_reports": identical, "resume_ratio": ratio}
+
+
 def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
     """Bundle every ``*.txt`` bench report, parsing the speedup table."""
     reports = sorted(out_dir.glob("*.txt"))
@@ -113,6 +161,8 @@ def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
             entry["parsed"] = parse_speedup_table(text)
         elif path.stem == "incremental":
             entry["parsed"] = parse_incremental_table(text)
+        elif path.stem == "checkpoint":
+            entry["parsed"] = parse_checkpoint_table(text)
         doc["benches"][path.stem] = entry
     return doc
 
@@ -130,6 +180,13 @@ def main(argv=None) -> int:
         f"(default: {DEFAULT_INCREMENTAL_TARGET}; written only when "
         "the bench has run)",
     )
+    parser.add_argument(
+        "--checkpoint-out", type=pathlib.Path,
+        default=DEFAULT_CHECKPOINT_TARGET,
+        help="target JSON path for the checkpoint/resume bench "
+        f"(default: {DEFAULT_CHECKPOINT_TARGET}; written only when "
+        "the bench has run)",
+    )
     args = parser.parse_args(argv)
     doc = collect()
     if not doc["benches"]:
@@ -140,7 +197,7 @@ def main(argv=None) -> int:
         )
         return 1
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    write_atomic(args.out, json.dumps(doc, indent=2) + "\n")
     print(
         f"wrote {args.out} ({len(doc['benches'])} bench report(s)"
         + (
@@ -156,10 +213,20 @@ def main(argv=None) -> int:
             "benches": {"incremental": doc["benches"]["incremental"]},
         }
         args.incremental_out.parent.mkdir(parents=True, exist_ok=True)
-        args.incremental_out.write_text(
-            json.dumps(incremental_doc, indent=2) + "\n"
+        write_atomic(
+            args.incremental_out, json.dumps(incremental_doc, indent=2) + "\n"
         )
         print(f"wrote {args.incremental_out} (incremental parsed)")
+    if "checkpoint" in doc["benches"]:
+        checkpoint_doc = {
+            "schema": "repro.bench/1",
+            "benches": {"checkpoint": doc["benches"]["checkpoint"]},
+        }
+        args.checkpoint_out.parent.mkdir(parents=True, exist_ok=True)
+        write_atomic(
+            args.checkpoint_out, json.dumps(checkpoint_doc, indent=2) + "\n"
+        )
+        print(f"wrote {args.checkpoint_out} (checkpoint parsed)")
     return 0
 
 

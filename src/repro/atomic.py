@@ -1,0 +1,72 @@
+"""Crash-consistent file writes shared by every artifact producer.
+
+A mid-write ``kill -9`` must never leave a torn JSON report, metrics
+dump, or snapshot on disk.  :func:`write_atomic` gives every writer in
+the package the same guarantee: the payload is staged in a temp file in
+the *target directory* (same filesystem, so the rename is atomic),
+flushed and fsynced, then moved over the destination with
+``os.replace``; finally the directory entry itself is fsynced so the
+rename survives a power loss.  Readers therefore observe either the old
+file or the complete new one — never a prefix.
+
+This module sits below both :mod:`repro.io` and :mod:`repro.obs` (which
+must not import each other) and has no dependencies beyond the standard
+library.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import Union
+
+__all__ = ["write_atomic"]
+
+PathLike = Union[str, "pathlib.Path"]
+
+
+def write_atomic(path: PathLike, data: Union[str, bytes],
+                 encoding: str = "utf-8") -> pathlib.Path:
+    """Write ``data`` to ``path`` crash-consistently; return the path.
+
+    Accepts ``str`` (encoded with ``encoding``) or ``bytes``.  The write
+    goes through a same-directory temp file + ``fsync`` + ``os.replace``
+    so a concurrent or crashed writer can never expose a partial file.
+    """
+    target = pathlib.Path(path)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    directory = target.parent
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory) or ".", prefix=target.name + ".", suffix=".tmp"
+    )
+    committed = False
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+        committed = True
+    finally:
+        if not committed:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+    _fsync_directory(directory)
+    return target
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Flush the directory entry so an atomic rename survives power loss."""
+    try:
+        dir_fd = os.open(str(directory) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(dir_fd)

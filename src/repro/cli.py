@@ -4,6 +4,7 @@ Commands
 --------
 simulate   simulate a plant and save it as a ``.npz`` archive
 detect     run hierarchical detection over a saved (or fresh) plant
+resume     warm-restart detection from a ``detect --checkpoint-dir`` snapshot
 monitor    condition monitoring / alerts / maintenance over a plant
 table1     print the executable Table-1 capability matrix
 fig3       run the Fig.-3 corpus queries
@@ -77,6 +78,42 @@ def build_parser() -> argparse.ArgumentParser:
                           "one by one through the incremental refresh and "
                           "verify byte-identity against a cold recompute "
                           "of the full plant")
+    det.add_argument("--checkpoint-dir", metavar="DIR",
+                     help="write crash-consistent snapshots into this "
+                          "directory (one after the cold build, then one per "
+                          "--checkpoint-every refreshes); `repro resume` "
+                          "warm-restarts from the newest one")
+    det.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                     help="snapshot after every N-th incremental refresh")
+    det.add_argument("--checkpoint-retain", type=int, default=3, metavar="N",
+                     help="keep only the newest N snapshot files")
+    det.add_argument("--chaos-kill-after", type=int, default=0, metavar="N",
+                     help="chaos: SIGKILL this process immediately after the "
+                          "N-th post-build snapshot write (requires "
+                          "--checkpoint-dir; pair with --ingest-tail so "
+                          "refresh snapshots happen)")
+
+    res = sub.add_parser(
+        "resume",
+        help="warm-restart detection from the newest checkpoint snapshot",
+    )
+    res.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                     help="snapshot directory written by `detect --checkpoint-dir`")
+    res.add_argument("--plant", help=".npz archive from `repro simulate` "
+                                     "(the full plant, same as the killed run)")
+    res.add_argument("--seed", type=int, default=7,
+                     help="simulate fresh with this seed when --plant is absent")
+    res.add_argument("--start-level", type=int, default=1, choices=range(1, 6))
+    res.add_argument("--fusion", default="weighted",
+                     choices=("max", "mean", "weighted", "fisher"))
+    res.add_argument("--top", type=int, default=15)
+    res.add_argument("--json", help="write full reports to this JSON file")
+    res.add_argument("--verify", action="store_true",
+                     help="cross-check reports + health byte-identity against "
+                          "a cold recompute of the full plant; exit 1 on "
+                          "mismatch")
+    res.add_argument("--log-level", default=None, metavar="LEVEL",
+                     help="emit structured JSON logs at this level to stderr")
 
     mon = sub.add_parser("monitor", help="condition/maintenance summary")
     mon.add_argument("--plant", help=".npz archive from `repro simulate`")
@@ -168,16 +205,24 @@ def _cmd_detect(args) -> int:
             ),
         )
         print(f"chaos: injected {len(chaos_events)} infrastructure fault(s)")
+    if args.chaos_kill_after > 0 and not args.checkpoint_dir:
+        print("detect: --chaos-kill-after requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     config = PipelineConfig(
         executor=args.executor,
         max_workers=args.max_workers,
         batch_scoring=args.batch_scoring,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_retain=args.checkpoint_retain,
     )
     ingest_ok = True
     if args.ingest_tail > 0:
         pipeline, reports, ingest_ok = _detect_incremental(dataset, config, args)
     else:
         pipeline = HierarchicalDetectionPipeline(dataset, config=config)
+        _arm_checkpoint(pipeline, args)
         reports = pipeline.run(
             start_level=ProductionLevel(args.start_level),
             fusion_strategy=args.fusion,
@@ -239,6 +284,36 @@ def _cmd_detect(args) -> int:
     return 0 if ingest_ok else 1
 
 
+def _arm_checkpoint(pipeline, args) -> None:
+    """Record resume metadata and the chaos kill hook on a fresh pipeline.
+
+    The killed run's chaos parameters land in every snapshot written from
+    here on, so ``repro resume`` can re-apply the identical fault
+    injection to the reloaded plant before replaying the tail.  The
+    SIGKILL hook (``--chaos-kill-after``) counts only post-build
+    snapshots: it is registered after construction, so the build snapshot
+    written inside ``__init__`` never triggers it.
+    """
+    manager = pipeline.checkpoint
+    if manager is None:
+        return
+    manager.extra_meta.update(
+        {
+            "chaos_dropout": args.chaos_dropout,
+            "chaos_seed": args.chaos_seed,
+            "ingest_tail": args.ingest_tail,
+            "start_level": args.start_level,
+            "fusion": args.fusion,
+        }
+    )
+    if args.chaos_kill_after > 0:
+        from .plant.chaos import kill_after_snapshots
+
+        manager.add_post_snapshot_hook(
+            kill_after_snapshots(args.chaos_kill_after)
+        )
+
+
 def _detect_incremental(dataset, config, args):
     """The ``detect --ingest-tail`` path: replay held-out jobs incrementally.
 
@@ -248,11 +323,14 @@ def _detect_incremental(dataset, config, args):
     a cold pipeline over the full plant.  Returns ``(pipeline, reports,
     identical)``; a mismatch turns into a nonzero exit code upstream.
     """
+    import dataclasses
+
     from .core import HierarchicalDetectionPipeline, ProductionLevel
     from .io import reports_to_json
 
     base, arrivals = dataset.split_tail(args.ingest_tail)
     pipeline = HierarchicalDetectionPipeline(base, config=config)
+    _arm_checkpoint(pipeline, args)
     latencies = []
     for machine_id, job in arrivals:
         summary = pipeline.ingest_job(machine_id, job)
@@ -261,7 +339,9 @@ def _detect_incremental(dataset, config, args):
         start_level=ProductionLevel(args.start_level), fusion_strategy=args.fusion
     )
     reports = pipeline.run(**run_kwargs)
-    cold = HierarchicalDetectionPipeline(dataset, config=config)
+    # The cold cross-check must not snapshot into the live checkpoint dir.
+    cold_config = dataclasses.replace(config, checkpoint_dir=None)
+    cold = HierarchicalDetectionPipeline(dataset, config=cold_config)
     identical = reports_to_json(reports, health=pipeline.health) == reports_to_json(
         cold.run(**run_kwargs), health=cold.health
     )
@@ -278,6 +358,89 @@ def _detect_incremental(dataset, config, args):
         + ("byte-identical" if identical else "MISMATCH")
     )
     return pipeline, reports, identical
+
+
+def _cmd_resume(args) -> int:
+    """Warm-restart detection from the newest valid checkpoint snapshot.
+
+    Reloads (or re-simulates) the *full* plant, re-applies the killed
+    run's chaos injection from the snapshot's metadata, restores the
+    pipeline state, and replays only the jobs past the ingest watermark.
+    ``--verify`` cross-checks reports + health byte-identity against a
+    cold recompute of the full plant (stats are excluded here: they
+    depend on the ingest history, and the stats-inclusive identity
+    against an uninterrupted run of the same workload is covered by the
+    crash-resume test suite).
+    """
+    import dataclasses
+
+    from .core import ProductionLevel, SnapshotStore, resume_pipeline
+    from .io import reports_to_json
+
+    if args.log_level:
+        from .obs import configure_logging
+
+        configure_logging(level=args.log_level)
+    store = SnapshotStore(args.checkpoint_dir)
+    snapshot = store.load_latest()
+    if snapshot is None:
+        print(f"resume: no usable snapshot under {args.checkpoint_dir}",
+              file=sys.stderr)
+        return 2
+    extra = snapshot.sections["meta"].get("extra", {})
+    dataset = _load_or_simulate(args)
+    chaos_rate = float(extra.get("chaos_dropout", 0.0) or 0.0)
+    if chaos_rate > 0:
+        from .plant import ChaosConfig, inject_chaos
+
+        dataset, chaos_events = inject_chaos(
+            dataset,
+            ChaosConfig(
+                seed=int(extra.get("chaos_seed", 0)),
+                sensor_dropout_rate=chaos_rate,
+            ),
+        )
+        print(f"chaos: re-applied {len(chaos_events)} infrastructure "
+              f"fault(s) recorded in the snapshot")
+    pipeline, summaries, snapshot = resume_pipeline(dataset, args.checkpoint_dir)
+    print(
+        f"resumed from {snapshot.path.name} "
+        f"(trigger={snapshot.meta.get('trigger')}): replayed "
+        f"{len(summaries)} job(s) past the watermark"
+    )
+    run_kwargs = dict(
+        start_level=ProductionLevel(args.start_level), fusion_strategy=args.fusion
+    )
+    reports = pipeline.run(**run_kwargs)
+    print(f"{len(reports)} hierarchical reports (start level "
+          f"{args.start_level}, fusion={args.fusion}); "
+          f"top {min(args.top, len(reports))}:")
+    for report in reports[: args.top]:
+        print(f"  {report.describe()}")
+    if pipeline.health.degraded:
+        print()
+        print(pipeline.health.describe())
+    identical = True
+    if args.verify:
+        from .core import HierarchicalDetectionPipeline
+
+        cold_config = dataclasses.replace(
+            pipeline.config, checkpoint_dir=None
+        )
+        cold = HierarchicalDetectionPipeline(dataset, config=cold_config)
+        identical = reports_to_json(
+            reports, health=pipeline.health
+        ) == reports_to_json(cold.run(**run_kwargs), health=cold.health)
+        print(
+            "resume vs cold recompute: "
+            + ("byte-identical" if identical else "MISMATCH")
+        )
+    if args.json:
+        reports_to_json(
+            reports, args.json, health=pipeline.health, stats=pipeline.stats()
+        )
+        print(f"full reports written to {args.json}")
+    return 0 if identical else 1
 
 
 def _cmd_trace(args) -> int:
@@ -390,6 +553,7 @@ def _cmd_lint(args) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "detect": _cmd_detect,
+    "resume": _cmd_resume,
     "monitor": _cmd_monitor,
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,

@@ -8,10 +8,24 @@ Public surface:
 * :class:`HierarchicalDetectionPipeline` — the end-to-end plant pipeline;
 * :class:`AlgorithmSelector` — ChooseAlgorithm;
 * support, score unification, cross-level fusion, and Fig.-1 outlier-type
-  classification.
+  classification;
+* :class:`SnapshotStore` / :func:`resume_pipeline` — crash-consistent
+  checkpointing and warm restart (DESIGN §11).
 """
 
 from .algorithm import HierarchyContext, calc_global_score, find_hierarchical_outliers
+from .checkpoint import (
+    SNAPSHOT_SCHEMA,
+    SNAPSHOT_VERSION,
+    CheckpointManager,
+    Snapshot,
+    SnapshotError,
+    SnapshotStore,
+    pack_detector,
+    register_migration,
+    resume_pipeline,
+    unpack_detector,
+)
 from .explain import explain_report
 from .fusion import (
     DEFAULT_LEVEL_WEIGHTS,
@@ -124,4 +138,14 @@ __all__ = [
     "repair_series",
     "robust_fallback_scores",
     "robust_matrix_scores",
+    "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotStore",
+    "CheckpointManager",
+    "resume_pipeline",
+    "register_migration",
+    "pack_detector",
+    "unpack_detector",
 ]

@@ -27,7 +27,7 @@ import time
 import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, cast
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, cast
 
 import numpy as np
 
@@ -60,6 +60,9 @@ from .resilience import (
 from .scores import unify_rank
 from .selection import AlgorithmSelector
 from .support import CorrespondenceGraph, SupportCalculator, SupportResult, window_bounds
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .checkpoint import CheckpointManager
 
 __all__ = [
     "PipelineConfig",
@@ -94,6 +97,9 @@ class PipelineConfig:
     executor: str = "serial"  # scoring DAG executor: serial | thread | process
     max_workers: Optional[int] = None  # pool size; None = auto from CPU affinity
     batch_scoring: bool = False  # batch same-length traces through one detector fit
+    checkpoint_dir: Optional[str] = None  # snapshot store directory; None = off
+    checkpoint_every: int = 1  # snapshot after every Nth refresh()
+    checkpoint_retain: int = 3  # snapshot files kept on disk
 
 
 @dataclass
@@ -712,6 +718,23 @@ class PlantHierarchyContext(HierarchyContext):
         config: Optional[PipelineConfig] = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
+        self._init_state(dataset, selector, config, telemetry)
+        self._execute("pipeline.build", self._build_task_graph())
+        self._publish_engine_metrics()
+
+    def _init_state(
+        self,
+        dataset: PlantDataset,
+        selector: Optional[AlgorithmSelector],
+        config: Optional[PipelineConfig],
+        telemetry: Optional[Telemetry],
+    ) -> None:
+        """Everything ``__init__`` sets up *before* any scoring runs.
+
+        Shared by the cold build and the checkpoint restore path
+        (:meth:`_from_snapshot_state`), which installs snapshotted task
+        outputs instead of executing the level DAG.
+        """
         self.dataset = dataset
         self.selector = selector or AlgorithmSelector()
         self.config = config or PipelineConfig()
@@ -759,8 +782,128 @@ class PlantHierarchyContext(HierarchyContext):
         self._support_cache: Dict[Tuple, SupportResult] = {}
         self._candidate_time_cache: Dict[Tuple, Optional[float]] = {}
         self._candidates_cache: Dict[ProductionLevel, List[OutlierCandidate]] = {}
-        self._execute("pipeline.build", self._build_task_graph())
+
+    # ------------------------------------------------------------------
+    # checkpoint snapshot / restore (see repro.core.checkpoint)
+    # ------------------------------------------------------------------
+    def _snapshot_task_state(self) -> Dict[str, object]:
+        """The per-task persisted outputs a snapshot must carry.
+
+        Together with the dataset (re-supplied at resume time) these
+        reconstruct every derived store through the exact
+        ``_assemble()`` / ``_rebuild_health()`` / ``_build_indexes()``
+        path a refresh already uses — the restore path runs no detector.
+        """
+        return {
+            "task_events": {k: list(v) for k, v in self._task_events.items()},
+            "phase_out": dict(self._phase_out),
+            "env_out": dict(self._env_out),
+            "job_out": self._job_out,
+            "line_out": dict(self._line_out),
+            "production_out": self._production_out,
+            "batch_group_count": self._batch_group_count,
+            "dead_metric_emitted": set(self._dead_metric_emitted),
+            "pending_detector_obs": list(self._pending_detector_obs),
+            "engine_stats": self._engine_stats,
+        }
+
+    def _snapshot_cache_state(self) -> Dict[str, object]:
+        """The confirmation/support/candidate memo tables and counters."""
+        return {
+            "confirm": dict(self._confirm_cache),
+            "support": dict(self._support_cache),
+            "candidate_time": dict(self._candidate_time_cache),
+            "candidates": dict(self._candidates_cache),
+            "stats": self._stats,
+        }
+
+    def _snapshot_incremental_state(self) -> Dict[str, object]:
+        """The executor-invariant incremental counters of ``stats()``."""
+        return {
+            "refreshes": self._incr_refreshes,
+            "dirty_jobs": self._incr_dirty_jobs,
+            "dirty_tasks": self._incr_dirty_tasks,
+            "evicted": dict(self._incr_evicted),
+            "retained": dict(self._incr_retained),
+        }
+
+    @classmethod
+    def _from_snapshot_state(
+        cls,
+        dataset: PlantDataset,
+        sections: Dict[str, object],
+        selector: Optional[AlgorithmSelector] = None,
+        config: Optional[PipelineConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "PlantHierarchyContext":
+        """Rebuild a context from snapshot sections without scoring.
+
+        ``dataset`` must be the watermark partition of the plant the
+        snapshot was taken on: the canonical task order, the assemble
+        loop, and the correspondence graph are all re-derived from it, so
+        the restored context is indistinguishable from the one that wrote
+        the snapshot — byte-identical reports, health, and stats.
+        """
+        self = cls.__new__(cls)
+        self._init_state(dataset, selector, config, telemetry)
+        tasks = cast(Dict[str, object], sections["tasks"])
+        self._task_events = {
+            k: list(v)
+            for k, v in cast(
+                Dict[str, List[Tuple[str, object]]], tasks["task_events"]
+            ).items()
+        }
+        self._phase_out = dict(cast(Dict[str, object], tasks["phase_out"]))
+        self._env_out = dict(cast(Dict[str, object], tasks["env_out"]))
+        self._job_out = tasks["job_out"]
+        self._line_out = dict(cast(Dict[str, object], tasks["line_out"]))
+        self._production_out = tasks["production_out"]
+        self._batch_group_count = cast(int, tasks["batch_group_count"])
+        self._dead_metric_emitted = set(
+            cast(set, tasks["dead_metric_emitted"])
+        )
+        self._pending_detector_obs = list(
+            cast(
+                List[Tuple[str, str, bool, float]], tasks["pending_detector_obs"]
+            )
+        )
+        self._engine_stats = cast(EngineStats, tasks["engine_stats"])
+        caches = cast(Dict[str, object], sections["caches"])
+        self._confirm_cache = dict(
+            cast(Dict[Tuple, LevelConfirmation], caches["confirm"])
+        )
+        self._support_cache = dict(
+            cast(Dict[Tuple, SupportResult], caches["support"])
+        )
+        self._candidate_time_cache = dict(
+            cast(Dict[Tuple, Optional[float]], caches["candidate_time"])
+        )
+        self._candidates_cache = dict(
+            cast(
+                Dict[ProductionLevel, List[OutlierCandidate]],
+                caches["candidates"],
+            )
+        )
+        self._stats = cast(PipelineStats, caches["stats"])
+        incremental = cast(Dict[str, object], sections["incremental"])
+        self._incr_refreshes = cast(int, incremental["refreshes"])
+        self._incr_dirty_jobs = cast(int, incremental["dirty_jobs"])
+        self._incr_dirty_tasks = cast(int, incremental["dirty_tasks"])
+        self._incr_evicted = dict(cast(Dict[str, int], incremental["evicted"]))
+        self._incr_retained = dict(cast(Dict[str, int], incremental["retained"]))
+        with self.telemetry.tracer.span("pipeline.restore"):
+            with self.telemetry.tracer.span("pipeline.index"):
+                self._assemble()
+                self._rebuild_health()
+                self._build_indexes()
+        self._support_calc = SupportCalculator(
+            self._graph,
+            self._lookup_trace,
+            tolerance=self.config.support_tolerance,
+            excluded=self.health.dead_channels,
+        )
         self._publish_engine_metrics()
+        return self
 
     def _execute(self, span_name: str, graph: TaskGraph) -> None:
         """Run one task graph and fold its results into the context.
@@ -2064,6 +2207,56 @@ class HierarchicalDetectionPipeline:
         self.context = PlantHierarchyContext(
             dataset, selector, self.config, telemetry=self.telemetry
         )
+        self.checkpoint = self._build_checkpoint_manager()
+        if self.checkpoint is not None:
+            self.checkpoint.snapshot(trigger="build")
+
+    def _build_checkpoint_manager(self) -> Optional["CheckpointManager"]:
+        """Bind a :class:`~repro.core.checkpoint.CheckpointManager` when
+        ``config.checkpoint_dir`` is set (imported lazily: the checkpoint
+        module depends on this one)."""
+        if self.config.checkpoint_dir is None:
+            return None
+        from .checkpoint import CheckpointManager, SnapshotStore
+
+        return CheckpointManager(
+            pipeline=self,
+            store=SnapshotStore(
+                self.config.checkpoint_dir,
+                retain=self.config.checkpoint_retain,
+                telemetry=self.telemetry,
+            ),
+            every=max(1, self.config.checkpoint_every),
+        )
+
+    @classmethod
+    def _resumed(
+        cls,
+        dataset: PlantDataset,
+        sections: Dict[str, object],
+        selector: Optional[AlgorithmSelector] = None,
+        config: Optional[PipelineConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "HierarchicalDetectionPipeline":
+        """Build a pipeline around a snapshot-restored context.
+
+        Used by :func:`repro.core.checkpoint.resume_pipeline`; never runs
+        the cold build and never writes a snapshot of its own until the
+        first post-restore refresh.
+        """
+        self = cls.__new__(cls)
+        self.dataset = dataset
+        self.config = config or PipelineConfig()
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(enabled=self.config.enable_telemetry)
+        )
+        self.context = PlantHierarchyContext._from_snapshot_state(
+            dataset, sections, selector, self.config, telemetry=self.telemetry
+        )
+        self.checkpoint = self._build_checkpoint_manager()
+        return self
 
     def run(
         self,
@@ -2141,11 +2334,19 @@ class HierarchicalDetectionPipeline:
         on every executor.  Returns the refresh summary dict.
         """
         self.dataset.ingest_job(machine_id, job)
-        return self.context.refresh()
+        return self.refresh()
 
     def refresh(self) -> Dict[str, object]:
-        """Consume pending dataset ingests via an incremental refresh."""
-        return self.context.refresh()
+        """Consume pending dataset ingests via an incremental refresh.
+
+        When checkpointing is enabled, every ``checkpoint_every``-th
+        non-empty refresh is followed by a snapshot — the crash-recovery
+        point the chaos harness SIGKILLs at.
+        """
+        summary = self.context.refresh()
+        if self.checkpoint is not None and summary.get("dirty_jobs"):
+            self.checkpoint.after_refresh()
+        return summary
 
     @property
     def health(self) -> RunHealth:

@@ -8,12 +8,14 @@ setup, CAQ, ground truth); reports export to JSON for dashboards.
 
 from __future__ import annotations
 
+import io
 import json
 import pathlib
 from typing import Dict, List
 
 import numpy as np
 
+from .atomic import write_atomic
 from .core import HierarchicalOutlierReport, RunHealth
 from .plant import (
     CAQResult,
@@ -36,6 +38,7 @@ __all__ = [
     "reports_to_json",
     "reports_to_rows",
     "health_to_dict",
+    "write_atomic",
 ]
 
 _FORMAT_VERSION = 1
@@ -136,11 +139,20 @@ def save_plant(dataset: PlantDataset, path) -> pathlib.Path:
                 machine_entry["jobs"].append(job_entry)
             line_entry["machines"].append(machine_entry)
         manifest["lines"].append(line_entry)
+    if dataset.dirty_jobs():
+        # ingested-but-unrefreshed jobs survive the round trip so a
+        # restored pipeline can still refresh() exactly the right tail
+        manifest["dirty_jobs"] = [
+            [machine_id, job_index] for machine_id, job_index in dataset.dirty_jobs()
+        ]
     arrays["__manifest__"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(path, **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    target = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    write_atomic(target, buffer.getvalue())
+    return target
 
 
 def load_plant(path) -> PlantDataset:
@@ -217,12 +229,15 @@ def load_plant(path) -> PlantDataset:
                     )
                 machines.append(machine)
             lines.append(LineRecord(line_entry["line_id"], machines, environment))
-        return PlantDataset(
+        dataset = PlantDataset(
             lines=lines,
             faults=[_fault_from_dict(f) for f in manifest["faults"]],
             setup_keys=tuple(manifest["setup_keys"]),
             caq_keys=tuple(manifest["caq_keys"]),
         )
+        for machine_id, job_index in manifest.get("dirty_jobs", []):
+            dataset._dirty_jobs.append((machine_id, int(job_index)))
+        return dataset
 
 
 def reports_to_rows(reports: List[HierarchicalOutlierReport]) -> List[Dict]:
@@ -289,5 +304,5 @@ def reports_to_json(
         doc["telemetry"] = telemetry
     payload = json.dumps(doc, indent=2)
     if path is not None:
-        pathlib.Path(path).write_text(payload)
+        write_atomic(pathlib.Path(path), payload)
     return payload

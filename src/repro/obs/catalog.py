@@ -178,6 +178,39 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         labels=(),
         help="Channels whose heartbeat stalled.",
     ),
+    # -- checkpointing (repro.core.checkpoint) --------------------------
+    # Registered by SnapshotStore / resume_pipeline, so only runs with a
+    # checkpoint_dir expose these families.
+    "repro_checkpoint_snapshots_total": MetricSpec(
+        kind="counter",
+        labels=("trigger",),
+        help="Snapshots written, by trigger (build / refresh / manual).",
+    ),
+    "repro_checkpoint_bytes": MetricSpec(
+        kind="gauge",
+        labels=(),
+        help="Size of the most recently written snapshot file.",
+    ),
+    "repro_checkpoint_duration_seconds": MetricSpec(
+        kind="histogram",
+        labels=(),
+        help="Wall-clock duration of one snapshot write.",
+    ),
+    "repro_checkpoint_corrupt_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Snapshots rejected at load time (CRC / schema / truncation).",
+    ),
+    "repro_checkpoint_resume_tail_jobs": MetricSpec(
+        kind="gauge",
+        labels=(),
+        help="Jobs past the watermark replayed by the last resume.",
+    ),
+    "repro_checkpoint_age_seconds": MetricSpec(
+        kind="gauge",
+        labels=(),
+        help="Age of the snapshot the last resume restored from.",
+    ),
     # -- alerting (repro.monitor.alerts) -------------------------------
     "repro_alerts_total": MetricSpec(
         kind="counter",

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 #: Anything accepted where a filesystem path is expected.
 PathLike = Union[str, pathlib.Path]
 
+from ..atomic import write_atomic
 from .metrics import Histogram, MetricsRegistry
 from .trace import Span, Tracer, validate_spans
 
@@ -128,16 +129,12 @@ def trace_to_json(tracer: Tracer, indent: Optional[int] = 2) -> str:
 
 def write_metrics(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
     """Write the Prometheus exposition of ``registry`` to ``path``."""
-    path = pathlib.Path(path)
-    path.write_text(to_prometheus(registry))
-    return path
+    return write_atomic(pathlib.Path(path), to_prometheus(registry))
 
 
 def write_trace(tracer: Tracer, path: PathLike) -> pathlib.Path:
     """Write the tracer's span list as JSON to ``path``."""
-    path = pathlib.Path(path)
-    path.write_text(trace_to_json(tracer))
-    return path
+    return write_atomic(pathlib.Path(path), trace_to_json(tracer))
 
 
 # ----------------------------------------------------------------------
@@ -269,9 +266,9 @@ def build_run_manifest(
 
 def write_run_manifest(manifest: Dict[str, object], path: PathLike) -> pathlib.Path:
     """Write a manifest built by :func:`build_run_manifest` to ``path``."""
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
-    return path
+    return write_atomic(
+        pathlib.Path(path), json.dumps(manifest, indent=2, sort_keys=False) + "\n"
+    )
 
 
 def manifest_path_for(report_path: PathLike) -> pathlib.Path:

@@ -19,9 +19,12 @@ relies on.  The input dataset is never mutated.
 
 from __future__ import annotations
 
+import os
+import pathlib
+import signal
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -40,6 +43,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosEvent",
     "inject_chaos",
+    "kill_after_snapshots",
     "RaisingDetector",
     "FlakyDetector",
     "HangingDetector",
@@ -240,6 +244,34 @@ def inject_chaos(
         caq_keys=dataset.caq_keys,
     )
     return chaotic, events
+
+
+# ----------------------------------------------------------------------
+# process-level chaos: SIGKILL at seeded snapshot boundaries
+# ----------------------------------------------------------------------
+def kill_after_snapshots(n: int) -> Callable[[pathlib.Path], None]:
+    """Post-snapshot hook that SIGKILLs this process after the *n*-th write.
+
+    Register the returned callable on a
+    :class:`~repro.core.checkpoint.CheckpointManager` (via
+    ``add_post_snapshot_hook``) and the process dies with ``SIGKILL`` —
+    no atexit, no flushing, no cleanup — immediately after the ``n``-th
+    snapshot file has been atomically renamed into place.  That ordering
+    is the crash-consistency property under test: the snapshot on disk is
+    complete, everything the process did afterwards is lost, and
+    ``repro resume`` must reconstruct a byte-identical run from it.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    remaining = n
+
+    def hook(path: pathlib.Path) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining <= 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
 
 
 # ----------------------------------------------------------------------

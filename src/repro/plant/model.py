@@ -10,7 +10,7 @@ All signal payloads are :class:`~repro.timeseries.TimeSeries` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -238,6 +238,63 @@ class PlantDataset:
                         line_id=m.line_id,
                         channels=m.channels,
                         jobs=list(keep),
+                    )
+                )
+            base_lines.append(
+                LineRecord(
+                    line_id=line.line_id,
+                    machines=machines,
+                    environment=line.environment,
+                )
+            )
+        base = PlantDataset(
+            lines=base_lines,
+            faults=list(self.faults),
+            setup_keys=self.setup_keys,
+            caq_keys=self.caq_keys,
+        )
+        arrivals.sort(key=lambda item: (item[0], item[1]))
+        return base, [(machine_id, job) for __, machine_id, job in arrivals]
+
+    def split_at_watermark(
+        self, watermark: Iterable[Tuple[str, int]]
+    ) -> Tuple["PlantDataset", List[Tuple[str, JobRecord]]]:
+        """Partition at an explicit ingest watermark (checkpoint resume).
+
+        ``watermark`` is the set of ``(machine_id, job_index)`` pairs a
+        snapshot recorded as already scored.  Returns ``(base,
+        arrivals)`` exactly like :meth:`split_tail`, except membership is
+        decided by the watermark rather than a per-machine count: ``base``
+        carries the watermarked jobs, ``arrivals`` lists everything past
+        the watermark in global start order — the tail a resumed pipeline
+        must replay through ``ingest_job``.  Raises ``ValueError`` when
+        the watermark references jobs this dataset does not contain (the
+        snapshot belongs to a different plant).
+        """
+        marked = {(machine_id, int(job_index)) for machine_id, job_index in watermark}
+        present = {
+            (m.machine_id, j.job_index) for m in self.iter_machines() for j in m.jobs
+        }
+        missing = marked - present
+        if missing:
+            raise ValueError(
+                "watermark references jobs absent from this dataset: "
+                f"{sorted(missing)[:5]}"
+            )
+        arrivals: List[Tuple[float, str, JobRecord]] = []
+        base_lines: List[LineRecord] = []
+        for line in self.lines:
+            machines: List[MachineRecord] = []
+            for m in line.machines:
+                keep = [j for j in m.jobs if (m.machine_id, j.job_index) in marked]
+                held = [j for j in m.jobs if (m.machine_id, j.job_index) not in marked]
+                arrivals.extend((j.start, m.machine_id, j) for j in held)
+                machines.append(
+                    MachineRecord(
+                        machine_id=m.machine_id,
+                        line_id=m.line_id,
+                        channels=m.channels,
+                        jobs=keep,
                     )
                 )
             base_lines.append(

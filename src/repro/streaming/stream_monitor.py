@@ -9,6 +9,7 @@ tolerance window.
 
 from __future__ import annotations
 
+import copy
 import math
 from collections import deque
 from dataclasses import dataclass, field
@@ -285,6 +286,67 @@ class StreamingSensorMonitor:
             for cid, state in sorted(self._channels.items())
             if state.n_skipped
         }
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    #: Version tag of the serialized monitor state below.
+    state_format: str = "repro.stream-state/1"
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot channel positions, events, and the shared clock.
+
+        Per-channel online-detector state is captured as a deep copy of
+        the detector's ``__dict__`` (the online detectors keep their
+        running statistics in plain attributes); :meth:`load_state_dict`
+        rebuilds each detector through the monitor's factory and
+        restores those attributes, so the restored monitor continues the
+        stream exactly where the snapshot left it.
+        """
+        return {
+            "format": self.state_format,
+            "channels": {
+                cid: {
+                    "detector_state": copy.deepcopy(state.detector.__dict__),
+                    "threshold": state.threshold,
+                    "recent_flags": list(state.recent_flags),
+                    "last_seen": state.last_seen,
+                    "n_skipped": state.n_skipped,
+                }
+                for cid, state in self._channels.items()
+            },
+            "events": list(self._events),
+            "now": self._now,
+            "stall_due": self._stall_due,
+            "reported_stalled": sorted(self._reported_stalled),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> "StreamingSensorMonitor":
+        """Restore monitor state captured by :meth:`state_dict`."""
+        if not isinstance(state, dict) or "channels" not in state:
+            raise ValueError("malformed streaming-monitor state")
+        if state.get("format") != self.state_format:
+            raise ValueError(
+                f"streaming monitor cannot load state format "
+                f"{state.get('format')!r} (expected {self.state_format!r})"
+            )
+        self._channels = {}
+        for cid, entry in state["channels"].items():
+            detector = self._factory()
+            detector.__dict__.clear()
+            detector.__dict__.update(copy.deepcopy(entry["detector_state"]))
+            self._channels[cid] = _Channel(
+                detector=detector,
+                threshold=entry["threshold"],
+                recent_flags=deque(entry["recent_flags"]),
+                last_seen=entry["last_seen"],
+                n_skipped=entry["n_skipped"],
+            )
+        self._events = list(state["events"])
+        self._now = state["now"]
+        self._stall_due = state["stall_due"]
+        self._reported_stalled = set(state["reported_stalled"])
+        return self
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,12 @@
+"""Deliberately bad module: raw write-mode file I/O (HYG003)."""
+
+import os
+import pathlib
+
+
+def torn_report(path: pathlib.Path) -> None:
+    with open(path, "w") as fh:
+        fh.write("torn on kill -9")
+    path.write_text("also torn")
+    fd = os.open(str(path), os.O_WRONLY)
+    os.fdopen(fd, mode="wb").write(b"torn too")

@@ -1,0 +1,14 @@
+"""Clean mirror of write_bad: reads are raw, writes go through the atomic helper."""
+
+import pathlib
+
+from repro.atomic import write_atomic
+
+
+def read_report(path: pathlib.Path) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+def durable_report(path: pathlib.Path, payload: str) -> pathlib.Path:
+    return write_atomic(path, payload)

@@ -44,6 +44,9 @@ EXPECTED_BAD = {
     ("TEL004", "bad/repro/obs/emit_bad.py", 7),
     ("HYG001", "bad/repro/util_bad.py", 14),
     ("HYG002", "bad/repro/util_bad.py", 22),
+    ("HYG003", "bad/repro/write_bad.py", 8),
+    ("HYG003", "bad/repro/write_bad.py", 10),
+    ("HYG003", "bad/repro/write_bad.py", 12),
 }
 
 

@@ -41,13 +41,15 @@ from ..core import Finding, LintConfig, ParsedFile, Rule
 __all__ = ["DeterminismRule"]
 
 #: Modules allowed to touch real clocks: the tracer/telemetry defaults,
-#: the sandbox's timeout machinery, and the chaos harness's hanging
-#: detector (whose whole point is to block).
+#: the sandbox's timeout machinery, the chaos harness's hanging
+#: detector (whose whole point is to block), and the snapshot store
+#: (wall-clock mtime age of on-disk checkpoint files).
 _CLOCK_INJECTION_POINTS = (
     "repro/obs/trace.py",
     "repro/obs/__init__.py",
     "repro/core/resilience.py",
     "repro/core/parallel.py",
+    "repro/core/checkpoint.py",
     "repro/plant/chaos.py",
 )
 

@@ -8,7 +8,15 @@
   tolerance (``math.isclose`` / ``np.isclose``).  Comparisons against
   ``0.0`` are exempt: exact zero is a well-defined IEEE-754 sentinel
   (e.g. Algorithm 1's "no corresponding sensor agreed" support value)
-  and the codebase uses it as such.
+  and the codebase uses it as such;
+* **HYG003** raw write-mode file I/O (``open(..., "w")`` /
+  ``os.fdopen(..., "w")`` with a ``w``/``a``/``x`` mode, or
+  ``.write_text()`` / ``.write_bytes()``) inside the ``repro`` package:
+  a ``kill -9`` mid-write leaves a torn artifact on disk.  Every
+  package writer must route through
+  :func:`repro.atomic.write_atomic` (temp file + fsync + atomic
+  rename); :mod:`repro.atomic` itself is the single exempt module.
+  Read-mode ``open`` is fine.
 """
 
 from __future__ import annotations
@@ -22,17 +30,29 @@ __all__ = ["HygieneRule"]
 
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
 
+#: The one module allowed raw write-mode file I/O (HYG003): the atomic
+#: writer itself, which stages through a temp file + fsync + rename.
+_RAW_WRITE_ALLOWED = ("repro/atomic.py",)
+
+_WRITE_METHOD_NAMES = frozenset({"write_text", "write_bytes"})
+
 
 class HygieneRule(Rule):
     name = "generic-hygiene"
-    rule_ids: Tuple[str, ...] = ("HYG001", "HYG002")
+    rule_ids: Tuple[str, ...] = ("HYG001", "HYG002", "HYG003")
 
     def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
+        posix = src.path.as_posix()
+        in_package = ("/repro/" in posix or posix.startswith("repro/")) and (
+            not src.matches(*_RAW_WRITE_ALLOWED)
+        )
         for node in ast.walk(src.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_defaults(node, src)
             elif isinstance(node, ast.Compare):
                 yield from self._check_float_eq(node, src)
+            elif in_package and isinstance(node, ast.Call):
+                yield from self._check_raw_write(node, src)
 
     def _check_defaults(self, node: ast.AST, src: ParsedFile) -> Iterator[Finding]:
         args = node.args  # type: ignore[attr-defined]
@@ -58,6 +78,48 @@ class HygieneRule(Rule):
                     f"mutable default argument ({kind}) is shared across calls",
                     hint="default to None and create the container in the body",
                 )
+
+    def _check_raw_write(self, node: ast.Call, src: ParsedFile) -> Iterator[Finding]:
+        func = node.func
+        opener = None
+        if isinstance(func, ast.Name) and func.id == "open":
+            opener = "open"
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "fdopen"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            opener = "os.fdopen"
+        if opener is not None:
+            mode = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and any(flag in mode.value for flag in "wax")
+            ):
+                yield self._finding(
+                    "HYG003",
+                    src,
+                    node,
+                    f"raw write-mode {opener}({mode.value!r}) can leave a "
+                    "torn file on crash",
+                    hint="route the write through repro.atomic.write_atomic",
+                )
+            return
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHOD_NAMES:
+            yield self._finding(
+                "HYG003",
+                src,
+                node,
+                f".{func.attr}() bypasses the crash-consistent writer",
+                hint="route the write through repro.atomic.write_atomic",
+            )
 
     def _check_float_eq(self, node: ast.Compare, src: ParsedFile) -> Iterator[Finding]:
         operands = [node.left, *node.comparators]
