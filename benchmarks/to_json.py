@@ -9,10 +9,17 @@ trackable across PRs (CI uploads the file as an artifact).  When the
 incremental-ingest bench has run, its table is parsed the same way and
 written separately as ``benchmarks/out/BENCH_incremental.json``.
 
+Every emitted document is stamped with run metadata (git SHA, CPU
+count, a hostname hash, a UTC timestamp, and the schema version) so two
+``BENCH_*.json`` files from different PRs can be compared with
+``repro perf diff``; an aggregating ``BENCH_index.json`` lists every
+artifact written by the run together with its flattened headline
+metrics.
+
 Usage::
 
     python benchmarks/to_json.py [--out PATH] [--incremental-out PATH]
-                                 [--checkpoint-out PATH]
+                                 [--checkpoint-out PATH] [--index-out PATH]
 
 Exits non-zero when no benchmark output exists yet (run the benches
 first: ``PYTHONPATH=src python -m pytest benchmarks/``).
@@ -21,18 +28,71 @@ first: ``PYTHONPATH=src python -m pytest benchmarks/``).
 from __future__ import annotations
 
 import argparse
+import datetime
+import hashlib
 import json
+import os
 import pathlib
+import socket
+import subprocess
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.atomic import write_atomic  # noqa: E402
+from repro.obs import extract_perf_metrics  # noqa: E402
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 DEFAULT_TARGET = OUT_DIR / "BENCH_parallel.json"
 DEFAULT_INCREMENTAL_TARGET = OUT_DIR / "BENCH_incremental.json"
 DEFAULT_CHECKPOINT_TARGET = OUT_DIR / "BENCH_checkpoint.json"
+DEFAULT_INDEX_TARGET = OUT_DIR / "BENCH_index.json"
+
+#: Schema tag of stamped per-bench documents.  /1 documents (no ``meta``
+#: block) remain readable by ``repro perf diff``.
+BENCH_SCHEMA = "repro.bench/2"
+
+#: Schema tag of the aggregating index document.
+INDEX_SCHEMA = "repro.bench-index/1"
+
+
+def _git_sha() -> str:
+    """The checkout's commit SHA, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parents[1],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def run_metadata() -> dict:
+    """The provenance block stamped into every emitted document.
+
+    The hostname is hashed, not recorded: enough to tell two runners
+    apart in a diff without leaking machine names into committed
+    baselines.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux: no affinity API
+        cpus = os.cpu_count() or 1
+    return {
+        "git_sha": _git_sha(),
+        "cpu_count": cpus,
+        "hostname_hash": hashlib.sha256(
+            socket.gethostname().encode("utf-8")
+        ).hexdigest()[:12],
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "schema_version": BENCH_SCHEMA,
+    }
 
 #: Columns of the parallel_speedup.txt table, in order.
 _SPEEDUP_COLUMNS = (
@@ -147,11 +207,12 @@ def parse_checkpoint_table(text: str) -> dict:
     return {"rows": rows, "identical_reports": identical, "resume_ratio": ratio}
 
 
-def collect(out_dir: pathlib.Path = OUT_DIR) -> dict:
-    """Bundle every ``*.txt`` bench report, parsing the speedup table."""
+def collect(out_dir: pathlib.Path = OUT_DIR, meta: dict | None = None) -> dict:
+    """Bundle every ``*.txt`` bench report, parsing the known tables."""
     reports = sorted(out_dir.glob("*.txt"))
     doc: dict = {
-        "schema": "repro.bench/1",
+        "schema": BENCH_SCHEMA,
+        "meta": run_metadata() if meta is None else meta,
         "benches": {},
     }
     for path in reports:
@@ -187,8 +248,14 @@ def main(argv=None) -> int:
         f"(default: {DEFAULT_CHECKPOINT_TARGET}; written only when "
         "the bench has run)",
     )
+    parser.add_argument(
+        "--index-out", type=pathlib.Path, default=DEFAULT_INDEX_TARGET,
+        help="target JSON path for the aggregating artifact index "
+        f"(default: {DEFAULT_INDEX_TARGET})",
+    )
     args = parser.parse_args(argv)
-    doc = collect()
+    meta = run_metadata()
+    doc = collect(meta=meta)
     if not doc["benches"]:
         print(
             "no benchmark output under benchmarks/out/ — run "
@@ -196,37 +263,52 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    write_atomic(args.out, json.dumps(doc, indent=2) + "\n")
-    print(
-        f"wrote {args.out} ({len(doc['benches'])} bench report(s)"
+    written: dict = {}
+
+    def emit(path: pathlib.Path, bench_doc: dict, note: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_atomic(path, json.dumps(bench_doc, indent=2) + "\n")
+        written[path.name] = {
+            "path": str(path),
+            "benches": sorted(bench_doc["benches"]),
+            "headline": extract_perf_metrics(bench_doc),
+        }
+        print(f"wrote {path} ({note})")
+
+    emit(
+        args.out,
+        doc,
+        f"{len(doc['benches'])} bench report(s)"
         + (
             ", parallel_speedup parsed"
             if "parallel_speedup" in doc["benches"]
             else ""
-        )
-        + ")"
+        ),
     )
     if "incremental" in doc["benches"]:
-        incremental_doc = {
-            "schema": "repro.bench/1",
-            "benches": {"incremental": doc["benches"]["incremental"]},
-        }
-        args.incremental_out.parent.mkdir(parents=True, exist_ok=True)
-        write_atomic(
-            args.incremental_out, json.dumps(incremental_doc, indent=2) + "\n"
+        emit(
+            args.incremental_out,
+            {
+                "schema": BENCH_SCHEMA,
+                "meta": meta,
+                "benches": {"incremental": doc["benches"]["incremental"]},
+            },
+            "incremental parsed",
         )
-        print(f"wrote {args.incremental_out} (incremental parsed)")
     if "checkpoint" in doc["benches"]:
-        checkpoint_doc = {
-            "schema": "repro.bench/1",
-            "benches": {"checkpoint": doc["benches"]["checkpoint"]},
-        }
-        args.checkpoint_out.parent.mkdir(parents=True, exist_ok=True)
-        write_atomic(
-            args.checkpoint_out, json.dumps(checkpoint_doc, indent=2) + "\n"
+        emit(
+            args.checkpoint_out,
+            {
+                "schema": BENCH_SCHEMA,
+                "meta": meta,
+                "benches": {"checkpoint": doc["benches"]["checkpoint"]},
+            },
+            "checkpoint parsed",
         )
-        print(f"wrote {args.checkpoint_out} (checkpoint parsed)")
+    index = {"schema": INDEX_SCHEMA, "meta": meta, "artifacts": written}
+    args.index_out.parent.mkdir(parents=True, exist_ok=True)
+    write_atomic(args.index_out, json.dumps(index, indent=2) + "\n")
+    print(f"wrote {args.index_out} ({len(written)} artifact(s) indexed)")
     return 0
 
 

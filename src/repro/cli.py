@@ -9,6 +9,7 @@ monitor    condition monitoring / alerts / maintenance over a plant
 table1     print the executable Table-1 capability matrix
 fig3       run the Fig.-3 corpus queries
 trace      pretty-print a span trace written by ``detect --trace-out``
+perf       performance tooling: slow-task report + perf-regression diff
 lint       run the repro-lint static contract checkers (tools.lint)
 """
 
@@ -59,6 +60,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write Prometheus text-format metrics to this file")
     det.add_argument("--trace-out", metavar="PATH",
                      help="write the span trace as JSON to this file")
+    det.add_argument("--trace-format", default="auto",
+                     choices=("auto", "repro", "chrome"),
+                     help="--trace-out format: repro span JSON or a Chrome "
+                          "trace-event file loadable in Perfetto (auto picks "
+                          "chrome when the filename ends in .trace.json)")
+    det.add_argument("--profile-out", metavar="PATH",
+                     help="sample the detection run with the wall-clock "
+                          "profiler and write collapsed stacks (flamegraph "
+                          "input) to this file")
+    det.add_argument("--profile-interval-ms", type=float, default=5.0,
+                     metavar="MS",
+                     help="sampling interval of --profile-out in milliseconds")
+    det.add_argument("--perf-alloc", action="store_true",
+                     help="capture each scoring task's peak tracemalloc "
+                          "allocation (slow; surfaces in `repro perf report` "
+                          "and the repro_perf_task_peak_alloc_bytes metric)")
     det.add_argument("--log-level", default=None, metavar="LEVEL",
                      help="emit structured JSON logs at this level "
                           "(DEBUG/INFO/WARNING/...) to stderr")
@@ -131,6 +148,39 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("trace_file", help="span-trace JSON file")
     trace.add_argument("--max-depth", type=int, default=None,
                        help="truncate the rendered tree at this depth")
+
+    perf = sub.add_parser(
+        "perf", help="performance tooling (see docs/PERFORMANCE.md)"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_report = perf_sub.add_parser(
+        "report", help="top-K slowest scoring tasks of one run"
+    )
+    perf_report.add_argument(
+        "artifact",
+        help="run manifest (detect --json writes one next to the report) "
+             "or span-trace JSON (detect --trace-out)",
+    )
+    perf_report.add_argument("--top", type=int, default=10, metavar="K",
+                             help="number of tasks to list")
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="compare two perf artifacts (run manifests or BENCH_*.json); "
+             "exit 1 when any metric regresses past the threshold",
+    )
+    perf_diff.add_argument("old", help="baseline artifact")
+    perf_diff.add_argument("new", help="candidate artifact")
+    perf_diff.add_argument("--max-ratio", type=float, default=1.5,
+                           metavar="R",
+                           help="a metric regresses when new > old * R")
+    perf_diff.add_argument("--min-value", type=float, default=0.0,
+                           metavar="V",
+                           help="ignore regressions whose new value is below "
+                                "this noise floor")
+    perf_diff.add_argument("--threshold", action="append", default=[],
+                           metavar="PREFIX=R",
+                           help="per-metric ratio override by key prefix "
+                                "(repeatable; longest matching prefix wins)")
 
     lint = sub.add_parser(
         "lint",
@@ -216,17 +266,36 @@ def _cmd_detect(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         checkpoint_retain=args.checkpoint_retain,
+        perf_alloc=args.perf_alloc,
     )
-    ingest_ok = True
-    if args.ingest_tail > 0:
-        pipeline, reports, ingest_ok = _detect_incremental(dataset, config, args)
-    else:
-        pipeline = HierarchicalDetectionPipeline(dataset, config=config)
-        _arm_checkpoint(pipeline, args)
-        reports = pipeline.run(
-            start_level=ProductionLevel(args.start_level),
-            fusion_strategy=args.fusion,
-        )
+    profiler = None
+    if args.profile_out:
+        from .obs import SamplingProfiler
+
+        profiler = SamplingProfiler(
+            interval=args.profile_interval_ms / 1e3
+        ).start()
+    try:
+        ingest_ok = True
+        if args.ingest_tail > 0:
+            pipeline, reports, ingest_ok = _detect_incremental(
+                dataset, config, args
+            )
+        else:
+            pipeline = HierarchicalDetectionPipeline(dataset, config=config)
+            _arm_checkpoint(pipeline, args)
+            reports = pipeline.run(
+                start_level=ProductionLevel(args.start_level),
+                fusion_strategy=args.fusion,
+            )
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    if profiler is not None:
+        pipeline.telemetry.metrics.counter(
+            "repro_perf_profile_samples_total",
+            "Stack samples captured by the opt-in sampling profiler.",
+        ).inc(profiler.samples)
     engine = pipeline.context.engine_stats()
     if args.executor != "serial" and not args.ingest_tail:
         print(
@@ -261,11 +330,30 @@ def _cmd_detect(args) -> int:
         artifacts["metrics"] = str(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     if args.trace_out:
-        from .obs import write_trace
+        fmt = args.trace_format
+        if fmt == "auto":
+            fmt = "chrome" if str(args.trace_out).endswith(".trace.json") else "repro"
+        if fmt == "chrome":
+            from .obs import write_chrome_trace
 
-        write_trace(pipeline.telemetry.tracer, args.trace_out)
+            write_chrome_trace(pipeline.telemetry.tracer, args.trace_out)
+            print(f"Chrome trace written to {args.trace_out} "
+                  "(open in Perfetto / chrome://tracing)")
+        else:
+            from .obs import write_trace
+
+            write_trace(pipeline.telemetry.tracer, args.trace_out)
+            print(f"span trace written to {args.trace_out}")
         artifacts["trace"] = str(args.trace_out)
-        print(f"span trace written to {args.trace_out}")
+    if profiler is not None:
+        profiler.write_collapsed(args.profile_out)
+        artifacts["profile"] = str(args.profile_out)
+        hot = next(iter(profiler.self_time_by_function()), "n/a")
+        print(
+            f"profile: {profiler.samples} samples "
+            f"({profiler.total_seconds():.2f}s attributed, hottest {hot}) "
+            f"-> {args.profile_out}"
+        )
     if args.json:
         from .obs import build_run_manifest, manifest_path_for, write_run_manifest
 
@@ -464,6 +552,101 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _load_json(path: str):
+    import json
+
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _cmd_perf(args) -> int:
+    return _cmd_perf_report(args) if args.perf_command == "report" else _cmd_perf_diff(args)
+
+
+def _cmd_perf_report(args) -> int:
+    """Top-K slow-task table from a run manifest or span-trace file."""
+    from .obs import perf_report_rows
+
+    try:
+        rows = perf_report_rows(_load_json(args.artifact), top=args.top)
+    except (OSError, ValueError) as exc:
+        print(f"perf report: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print("perf report: no task timings in artifact")
+        return 0
+    has_cpu = any("cpu_seconds" in r for r in rows)
+    has_alloc = any("peak_alloc_bytes" in r for r in rows)
+    header = f"{'task':32s} {'kind':12s} {'wall_ms':>10s}"
+    if has_cpu:
+        header += f" {'cpu_ms':>10s}"
+    if has_alloc:
+        header += f" {'peak_kb':>10s}"
+    print(header)
+    for row in rows:
+        line = (
+            f"{str(row['task']):32s} {str(row['kind']):12s} "
+            f"{float(row['wall_seconds']) * 1e3:10.3f}"
+        )
+        if has_cpu:
+            cpu = row.get("cpu_seconds")
+            line += f" {float(cpu) * 1e3:10.3f}" if cpu is not None else f" {'-':>10s}"
+        if has_alloc:
+            alloc = row.get("peak_alloc_bytes")
+            line += (
+                f" {float(alloc) / 1024:10.1f}" if alloc is not None else f" {'-':>10s}"
+            )
+        print(line)
+    return 0
+
+
+def _cmd_perf_diff(args) -> int:
+    """Threshold-gated regression comparison of two perf artifacts."""
+    from .obs import diff_perf_metrics, extract_perf_metrics, iter_regressions
+
+    thresholds = {}
+    for spec in args.threshold:
+        prefix, sep, ratio = spec.partition("=")
+        if not sep or not prefix:
+            print(f"perf diff: bad --threshold {spec!r} (want PREFIX=RATIO)",
+                  file=sys.stderr)
+            return 2
+        try:
+            thresholds[prefix] = float(ratio)
+        except ValueError:
+            print(f"perf diff: bad --threshold ratio in {spec!r}", file=sys.stderr)
+            return 2
+    try:
+        old = extract_perf_metrics(_load_json(args.old))
+        new = extract_perf_metrics(_load_json(args.new))
+    except (OSError, ValueError) as exc:
+        print(f"perf diff: {exc}", file=sys.stderr)
+        return 2
+    deltas = diff_perf_metrics(
+        old, new, max_ratio=args.max_ratio, min_value=args.min_value,
+        thresholds=thresholds,
+    )
+    if not deltas:
+        print("perf diff: no comparable metrics between the two artifacts",
+              file=sys.stderr)
+        return 2
+    print(f"{'metric':44s} {'old':>12s} {'new':>12s} {'ratio':>8s}")
+    for d in deltas:
+        flag = "  REGRESSED" if d.regressed else ""
+        print(f"{d.metric:44s} {d.old:12.6f} {d.new:12.6f} {d.ratio:8.3f}{flag}")
+    for key in sorted(set(new) - set(old)):
+        print(f"{key:44s} {'(new)':>12s} {new[key]:12.6f}")
+    for key in sorted(set(old) - set(new)):
+        print(f"{key:44s} {old[key]:12.6f} {'(gone)':>12s}")
+    regressions = iter_regressions(deltas)
+    if regressions:
+        print(f"perf diff: {len(regressions)} metric(s) regressed past "
+              f"threshold (default x{args.max_ratio})")
+        return 1
+    print(f"perf diff: ok — {len(deltas)} metric(s) within threshold")
+    return 0
+
+
 def _cmd_monitor(args) -> int:
     from .core import HierarchicalDetectionPipeline
     from .monitor import AlertManager, ConditionMonitor, MaintenanceAdvisor, Severity
@@ -558,6 +741,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "fig3": _cmd_fig3,
     "trace": _cmd_trace,
+    "perf": _cmd_perf,
     "lint": _cmd_lint,
 }
 

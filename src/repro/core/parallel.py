@@ -175,7 +175,18 @@ class TaskGraph:
 
 @dataclass
 class EngineStats:
-    """What one engine run cost, and how parallel it actually was."""
+    """What one engine run cost, and how parallel it actually was.
+
+    Besides wall latency the engine attributes per-task CPU seconds
+    (``time.thread_time`` where available, else ``time.process_time``)
+    and — when allocation capture is on — the peak ``tracemalloc``
+    allocation inside each task.  All of it is measured *inside* the
+    worker, so IPC and queue wait never pollute the attribution.
+
+    Instances travel inside checkpoint snapshots; accessors tolerate
+    unpickled instances from snapshots taken before the CPU/allocation
+    fields existed.
+    """
 
     executor: str
     workers: int
@@ -183,6 +194,8 @@ class EngineStats:
     wall_seconds: float = 0.0
     task_seconds: Dict[str, float] = field(default_factory=dict)
     max_queue_depth: int = 0
+    task_cpu_seconds: Dict[str, float] = field(default_factory=dict)
+    task_peak_alloc: Dict[str, int] = field(default_factory=dict)
 
     @property
     def compute_seconds(self) -> float:
@@ -196,6 +209,42 @@ class EngineStats:
             return 0.0
         return self.compute_seconds / self.wall_seconds
 
+    @property
+    def cpu_seconds(self) -> float:
+        """Summed in-worker CPU seconds across all tasks."""
+        return float(sum(getattr(self, "task_cpu_seconds", {}).values()))
+
+    @property
+    def cpu_utilization(self) -> float:
+        """CPU seconds per wall second (an executor-efficiency signal)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cpu_seconds / self.wall_seconds
+
+    def top_tasks(self, k: int = 10) -> List[Dict[str, object]]:
+        """Top-``k`` tasks by wall latency, with CPU/alloc attribution.
+
+        The rows behind ``repro perf report``: task key, level kind,
+        wall seconds, plus ``cpu_seconds`` / ``peak_alloc_bytes`` where
+        captured.
+        """
+        cpu = getattr(self, "task_cpu_seconds", {})
+        alloc = getattr(self, "task_peak_alloc", {})
+        ordered = sorted(self.task_seconds.items(), key=lambda kv: (-kv[1], kv[0]))
+        rows: List[Dict[str, object]] = []
+        for key, wall in ordered[: max(0, int(k))]:
+            row: Dict[str, object] = {
+                "task": key,
+                "kind": key.split("/", 1)[0],
+                "wall_seconds": wall,
+            }
+            if key in cpu:
+                row["cpu_seconds"] = cpu[key]
+            if key in alloc:
+                row["peak_alloc_bytes"] = int(alloc[key])
+            rows.append(row)
+        return rows
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-safe summary for run manifests."""
         return {
@@ -206,20 +255,52 @@ class EngineStats:
             "compute_seconds": self.compute_seconds,
             "speedup": self.speedup,
             "max_queue_depth": self.max_queue_depth,
+            "cpu_seconds": self.cpu_seconds,
+            "cpu_utilization": self.cpu_utilization,
+            "alloc_tracked": bool(getattr(self, "task_peak_alloc", {})),
+            "top_tasks": self.top_tasks(),
         }
 
 
+#: In-worker CPU clock: per-thread where the platform has one, so thread
+#: pools attribute CPU to the right task; process workers are effectively
+#: single-threaded so the process-wide fallback is equivalent there.
+_cpu_clock: Callable[[], float] = getattr(time, "thread_time", time.process_time)
+
+
 def _timed_call(
-    worker: Callable[[object], object], payload: object
-) -> Tuple[object, float]:
+    worker: Callable[[object], object], payload: object, capture_alloc: bool = False
+) -> Tuple[object, float, float, int]:
     """Run one task in the worker, timing it locally.
 
     Module-level so it pickles for the process executor; timing inside
     the worker keeps IPC/queue wait out of the compute-seconds estimate.
+    Returns ``(result, wall_seconds, cpu_seconds, peak_alloc_bytes)``;
+    peak allocation is ``-1`` unless ``capture_alloc`` asked tracemalloc
+    to watch the call (opt-in — tracing every allocation is far too slow
+    to leave on by default).
     """
+    peak = -1
+    tracing_already = False
+    if capture_alloc:
+        import tracemalloc
+
+        tracing_already = tracemalloc.is_tracing()
+        if not tracing_already:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+    started_cpu = _cpu_clock()
     started = time.perf_counter()
     result = worker(payload)
-    return result, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    cpu = _cpu_clock() - started_cpu
+    if capture_alloc:
+        import tracemalloc
+
+        peak = tracemalloc.get_traced_memory()[1]
+        if not tracing_already:
+            tracemalloc.stop()
+    return result, elapsed, cpu, peak
 
 
 class ParallelEngine:
@@ -228,6 +309,8 @@ class ParallelEngine:
     ``executor`` is one of :data:`EXECUTORS`; ``max_workers`` caps the
     pool (default: auto-sized, see :func:`resolve_workers`).  ``clock``
     measures engine wall time and is injectable for tests.
+    ``capture_alloc`` additionally records each task's peak tracemalloc
+    allocation (opt-in: tracing allocations is expensive).
 
     :meth:`run` returns ``(results, stats)`` where ``results`` maps task
     key to worker return value **in graph insertion order** regardless of
@@ -239,6 +322,7 @@ class ParallelEngine:
         executor: str = "serial",
         max_workers: Optional[int] = None,
         clock: Callable[[], float] = time.perf_counter,
+        capture_alloc: bool = False,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(
@@ -247,6 +331,7 @@ class ParallelEngine:
         self.executor = executor
         self.workers = resolve_workers(executor, max_workers)
         self._clock = clock
+        self.capture_alloc = bool(capture_alloc)
 
     def run(
         self, graph: TaskGraph, worker: Callable[[object], object]
@@ -281,9 +366,14 @@ class ParallelEngine:
                 raise RuntimeError(
                     f"task {task.key!r} ran before its dependencies"
                 )
-            value, elapsed = _timed_call(worker, task.payload)
+            value, elapsed, cpu, peak = _timed_call(
+                worker, task.payload, self.capture_alloc
+            )
             results[task.key] = value
             stats.task_seconds[task.key] = elapsed
+            stats.task_cpu_seconds[task.key] = cpu
+            if peak >= 0:
+                stats.task_peak_alloc[task.key] = peak
             for deps in pending.values():
                 deps.discard(task.key)
         return results
@@ -327,7 +417,9 @@ class ParallelEngine:
                 )
                 for key in ready:
                     del pending[key]
-                    future = pool.submit(_timed_call, worker, tasks[key].payload)
+                    future = pool.submit(
+                        _timed_call, worker, tasks[key].payload, self.capture_alloc
+                    )
                     in_flight[future] = key
                 if not in_flight:
                     raise RuntimeError(
@@ -336,9 +428,13 @@ class ParallelEngine:
                 done, __ = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in done:
                     key = in_flight.pop(future)
-                    value, elapsed = future.result()  # propagates worker errors
+                    # propagates worker errors
+                    value, elapsed, cpu, peak = future.result()
                     results[key] = value
                     stats.task_seconds[key] = elapsed
+                    stats.task_cpu_seconds[key] = cpu
+                    if peak >= 0:
+                        stats.task_peak_alloc[key] = peak
                     for deps in pending.values():
                         deps.discard(key)
         finally:

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..detectors import make_detector
 from ..obs import Telemetry
-from ..obs.metrics import UNIT_BUCKETS
+from ..obs.metrics import BYTE_BUCKETS, UNIT_BUCKETS
 from ..obs.trace import Tracer
 from ..plant import JobRecord, LineRecord, PlantDataset
 from ..timeseries import TimeSeries
@@ -100,6 +100,7 @@ class PipelineConfig:
     checkpoint_dir: Optional[str] = None  # snapshot store directory; None = off
     checkpoint_every: int = 1  # snapshot after every Nth refresh()
     checkpoint_retain: int = 3  # snapshot files kept on disk
+    perf_alloc: bool = False  # per-task tracemalloc peak capture (slow; opt-in)
 
 
 @dataclass
@@ -916,7 +917,11 @@ class PlantHierarchyContext(HierarchyContext):
         """
         tracer = self.telemetry.tracer
         with tracer.span(span_name, executor=self.config.executor) as outer_span:
-            engine = ParallelEngine(self.config.executor, self.config.max_workers)
+            engine = ParallelEngine(
+                self.config.executor,
+                self.config.max_workers,
+                capture_alloc=self.config.perf_alloc,
+            )
             if self.config.executor == "process":
                 # worker clocks are not comparable with an injected
                 # main-process clock: ship the bare worker and graft the
@@ -1368,6 +1373,25 @@ class PlantHierarchyContext(HierarchyContext):
         self._m_parallel_workers.set(float(es.workers), executor=es.executor)
         if math.isfinite(es.speedup):
             self._m_parallel_speedup.set(es.speedup)
+        # perf attribution (snapshot-tolerant: pre-perf EngineStats pickles
+        # carry neither dict)
+        cpu_by_kind: Dict[str, List[float]] = {}
+        for key, seconds in getattr(es, "task_cpu_seconds", {}).items():
+            cpu_by_kind.setdefault(key.split("/", 1)[0], []).append(
+                max(0.0, seconds)
+            )
+        for kind in sorted(cpu_by_kind):
+            self._m_perf_cpu.observe_many(cpu_by_kind[kind], kind=kind)
+        alloc_by_kind: Dict[str, List[float]] = {}
+        for key, peak in getattr(es, "task_peak_alloc", {}).items():
+            alloc_by_kind.setdefault(key.split("/", 1)[0], []).append(
+                float(max(0, peak))
+            )
+        for kind in sorted(alloc_by_kind):
+            self._m_perf_alloc.observe_many(alloc_by_kind[kind], kind=kind)
+        utilization = es.cpu_utilization if hasattr(es, "task_cpu_seconds") else 0.0
+        if math.isfinite(utilization):
+            self._m_perf_utilization.set(utilization)
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -1433,6 +1457,22 @@ class PlantHierarchyContext(HierarchyContext):
         self._m_parallel_speedup = m.gauge(
             "repro_parallel_speedup",
             "Compute-seconds over wall-seconds of the scoring task graph.",
+        )
+        self._m_perf_cpu = m.histogram(
+            "repro_perf_task_cpu_seconds",
+            "In-worker CPU seconds of one scoring task.",
+            labelnames=("kind",),
+        )
+        self._m_perf_alloc = m.histogram(
+            "repro_perf_task_peak_alloc_bytes",
+            "Peak tracemalloc allocation inside one scoring task "
+            "(populated only when allocation capture is enabled).",
+            labelnames=("kind",),
+            buckets=BYTE_BUCKETS,
+        )
+        self._m_perf_utilization = m.gauge(
+            "repro_perf_cpu_utilization",
+            "CPU seconds per wall second of the scoring task graph.",
         )
 
     def stats(self) -> Dict[str, object]:

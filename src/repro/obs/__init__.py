@@ -12,7 +12,12 @@ A stdlib-only observability subsystem threaded through every layer:
 * :mod:`repro.obs.export` — Prometheus text exposition, structured
   JSON, a span-tree renderer, and per-run manifests;
 * :mod:`repro.obs.logging` — a JSON log formatter and the ``repro.*``
-  logger hierarchy replacing previously silent degradation paths.
+  logger hierarchy replacing previously silent degradation paths;
+* :mod:`repro.obs.perf` — the performance plane: a Chrome trace-event
+  (Perfetto-loadable) exporter with per-worker pid/tid lanes and
+  cross-process flow events, an opt-in sampling profiler with
+  collapsed-stack output, and the report/diff helpers behind
+  ``repro perf``.
 
 :class:`Telemetry` bundles one tracer, one metrics registry, and one
 logger; the pipeline creates an enabled bundle by default
@@ -35,12 +40,26 @@ from .catalog import (
 )
 from .logging import JsonLogFormatter, configure_logging, get_logger
 from .metrics import (
+    BYTE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     UNIT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .perf import (
+    CHROME_TRACE_SCHEMA,
+    PerfDelta,
+    SamplingProfiler,
+    chrome_trace_to_json,
+    diff_perf_metrics,
+    extract_perf_metrics,
+    iter_regressions,
+    perf_report_rows,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
 )
 from .trace import Span, TickClock, Tracer, spans_from_dicts, validate_spans
 from .export import (
@@ -71,6 +90,18 @@ __all__ = [
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
     "UNIT_BUCKETS",
+    "BYTE_BUCKETS",
+    "CHROME_TRACE_SCHEMA",
+    "to_chrome_trace",
+    "chrome_trace_to_json",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "SamplingProfiler",
+    "perf_report_rows",
+    "extract_perf_metrics",
+    "diff_perf_metrics",
+    "iter_regressions",
+    "PerfDelta",
     "MetricSpec",
     "METRIC_CATALOG",
     "DYNAMIC_METRIC_PREFIXES",

@@ -211,6 +211,28 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         labels=(),
         help="Age of the snapshot the last resume restored from.",
     ),
+    # -- performance observability (repro.obs.perf + pipeline capture) --
+    "repro_perf_task_cpu_seconds": MetricSpec(
+        kind="histogram",
+        labels=("kind",),
+        help="In-worker CPU seconds of one scoring task.",
+    ),
+    "repro_perf_task_peak_alloc_bytes": MetricSpec(
+        kind="histogram",
+        labels=("kind",),
+        help="Peak tracemalloc allocation inside one scoring task "
+        "(populated only when allocation capture is enabled).",
+    ),
+    "repro_perf_cpu_utilization": MetricSpec(
+        kind="gauge",
+        labels=(),
+        help="CPU seconds per wall second of the scoring task graph.",
+    ),
+    "repro_perf_profile_samples_total": MetricSpec(
+        kind="counter",
+        labels=(),
+        help="Stack samples captured by the opt-in sampling profiler.",
+    ),
     # -- alerting (repro.monitor.alerts) -------------------------------
     "repro_alerts_total": MetricSpec(
         kind="counter",

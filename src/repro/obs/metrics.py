@@ -28,6 +28,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "UNIT_BUCKETS",
+    "BYTE_BUCKETS",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -43,6 +44,13 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Buckets for quantities living in [0, 1] (support, hit ratios).
 UNIT_BUCKETS: Tuple[float, ...] = (
     0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0
+)
+
+#: Buckets for byte quantities (peak per-task allocation): 4 KiB pages up
+#: to gigabyte-scale panels, decade-ish spacing.
+BYTE_BUCKETS: Tuple[float, ...] = (
+    4096.0, 65536.0, 262144.0, 1048576.0, 4194304.0, 16777216.0,
+    67108864.0, 268435456.0, 1073741824.0,
 )
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -177,21 +185,28 @@ class Histogram(_Metric):
         Bulk twin of :meth:`observe` for deferred recording: the label
         key, bucket list, and finiteness checks are paid once per batch
         instead of once per sample.
+
+        The batch is all-or-nothing: every value is validated and binned
+        before any state mutates, so a non-finite value mid-batch raises
+        without leaving bucket counts and ``_sum`` inconsistent.
         """
-        key = _label_key(self.labelnames, labels)
-        counts = self._counts.get(key)
-        if counts is None:
-            counts = [0] * (len(self.buckets) + 1)
-            self._counts[key] = counts
-            self._sums[key] = 0.0
         buckets = self.buckets
+        binned: List[int] = []
         total = 0.0
         for value in values:
             value = float(value)
             if not math.isfinite(value):
                 raise ValueError(f"{self.name}: non-finite value {value!r}")
-            counts[bisect_left(buckets, value)] += 1
+            binned.append(bisect_left(buckets, value))
             total += value
+        key = _label_key(self.labelnames, labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * (len(buckets) + 1)
+            self._counts[key] = counts
+            self._sums[key] = 0.0
+        for slot in binned:
+            counts[slot] += 1
         self._sums[key] += total
 
     def count(self, **labels: object) -> int:

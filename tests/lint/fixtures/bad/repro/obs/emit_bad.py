@@ -6,5 +6,6 @@ def emit(registry, tracer, dynamic_name):
     registry.gauge("fixture_runs_total", "Kind drift.", ("stage",))
     registry.counter("fixture_runs_total", "Label drift.", labelnames=("other",))
     registry.counter(dynamic_name, "Dynamic family name.")
+    registry.counter("repro_perf_bogus_total", "Unregistered perf metric.")
     span = tracer.span("dangling")
     return span

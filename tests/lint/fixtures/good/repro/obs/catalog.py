@@ -13,6 +13,9 @@ METRIC_CATALOG = {
         kind="counter", labels=("stage",), help="Fixture run counter."
     ),
     "fixture_depth": MetricSpec(kind="gauge", labels=(), help="Fixture depth."),
+    "repro_perf_fixture_cpu_seconds": MetricSpec(
+        kind="histogram", labels=("kind",), help="Registered perf metric."
+    ),
 }
 
 DYNAMIC_METRIC_PREFIXES = ("fixture_dyn_",)

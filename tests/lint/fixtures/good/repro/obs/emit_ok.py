@@ -5,5 +5,9 @@ def emit(registry, tracer):
     registry.counter("fixture_runs_total", "Fixture run counter.", ("stage",))
     registry.gauge("fixture_depth", "Fixture depth.")
     registry.counter("fixture_dyn_widgets", "Dynamic-prefix family.")
+    registry.histogram(
+        "repro_perf_fixture_cpu_seconds", "Registered perf metric.",
+        labelnames=("kind",),
+    )
     with tracer.span("tick") as span:
         span.set(ok=True)

@@ -38,7 +38,8 @@ EXPECTED_BAD = {
     ("DET005", "bad/repro/util_bad.py", 32),
     ("DET006", "bad/repro/util_bad.py", 36),
     ("TEL001", "bad/repro/obs/emit_bad.py", 5),
-    ("TEL002", "bad/repro/obs/emit_bad.py", 9),
+    ("TEL001", "bad/repro/obs/emit_bad.py", 9),
+    ("TEL002", "bad/repro/obs/emit_bad.py", 10),
     ("TEL003", "bad/repro/obs/emit_bad.py", 8),
     ("TEL004", "bad/repro/obs/emit_bad.py", 6),
     ("TEL004", "bad/repro/obs/emit_bad.py", 7),

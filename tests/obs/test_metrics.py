@@ -78,6 +78,27 @@ class TestHistogram:
         h.observe(1.0)  # le="1.0" is inclusive
         assert h.cumulative()[0] == (1.0, 1)
 
+    def test_observe_many_matches_observe(self):
+        h1 = Histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+        h2 = Histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+        values = (0.5, 1.0, 1.5, 3.0, 99.0)
+        h1.observe_many(values)
+        for v in values:
+            h2.observe(v)
+        assert h1.cumulative() == h2.cumulative()
+        assert h1.sum() == pytest.approx(h2.sum())
+
+    def test_observe_many_partial_batch_is_all_or_nothing(self):
+        # regression: a non-finite value mid-batch used to leave the
+        # earlier values' bucket counts incremented with _sum unchanged
+        h = Histogram("h", "help", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        with pytest.raises(ValueError, match="non-finite"):
+            h.observe_many([0.1, 0.2, math.nan, 0.3])
+        assert h.count() == 1
+        assert h.sum() == pytest.approx(0.5)
+        assert h.cumulative() == [(1.0, 1), (2.0, 1), (math.inf, 1)]
+
     def test_labeled_series_are_independent(self):
         h = Histogram("h", "help", buckets=UNIT_BUCKETS, labelnames=("level",))
         h.observe(0.5, level="PHASE")

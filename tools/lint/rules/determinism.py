@@ -42,11 +42,13 @@ __all__ = ["DeterminismRule"]
 
 #: Modules allowed to touch real clocks: the tracer/telemetry defaults,
 #: the sandbox's timeout machinery, the chaos harness's hanging
-#: detector (whose whole point is to block), and the snapshot store
-#: (wall-clock mtime age of on-disk checkpoint files).
+#: detector (whose whole point is to block), the snapshot store
+#: (wall-clock mtime age of on-disk checkpoint files), and the sampling
+#: profiler (observation-only; its measurements never enter reports).
 _CLOCK_INJECTION_POINTS = (
     "repro/obs/trace.py",
     "repro/obs/__init__.py",
+    "repro/obs/perf.py",
     "repro/core/resilience.py",
     "repro/core/parallel.py",
     "repro/core/checkpoint.py",
