@@ -11,6 +11,7 @@ fig3       run the Fig.-3 corpus queries
 trace      pretty-print a span trace written by ``detect --trace-out``
 perf       performance tooling: slow-task report + perf-regression diff
 lint       run the repro-lint static contract checkers (tools.lint)
+sanitize   runtime determinism & concurrency sanitizer (repro.sanitize)
 """
 
 from __future__ import annotations
@@ -189,12 +190,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to check (default: src)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
     lint.add_argument("--manifest", default=None, metavar="PATH",
                       help="Table-1 capability manifest JSON")
     lint.add_argument("--select", default=None, metavar="RULES",
                       help="comma-separated rule-id prefixes to run")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="suppression baseline "
+                           "(default: ./lint-baseline.json when it exists)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline, report every finding")
+    lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                      help="write current findings as a baseline and exit 0")
+
+    san = sub.add_parser(
+        "sanitize",
+        help="runtime determinism & concurrency sanitizer: RNG traps, "
+        "worker shared-write tracking, hash-seed replay, executor matrix "
+        "(see docs/STATIC_ANALYSIS.md)",
+    )
+    san.add_argument("--plant", help=".npz archive from `repro simulate`")
+    san.add_argument("--seed", type=int, default=7,
+                     help="simulate fresh with this seed when --plant is absent")
+    san.add_argument("--executor", default="thread",
+                     choices=("serial", "thread", "process"),
+                     help="executor for the traced run (default: thread — "
+                          "the shared-write tracker sees thread workers)")
+    san.add_argument("--max-workers", type=int, default=None)
+    san.add_argument("--chaos-dropout", type=float, default=0.0, metavar="RATE",
+                     help="inject sensor-dropout chaos before every check")
+    san.add_argument("--chaos-seed", type=int, default=0)
+    san.add_argument("--format", choices=("text", "json", "sarif"),
+                     default="text")
+    san.add_argument("--skip-replay", action="store_true",
+                     help="skip the dual-PYTHONHASHSEED subprocess replay")
+    san.add_argument("--skip-matrix", action="store_true",
+                     help="skip the serial/thread/process executor matrix")
+    san.add_argument("--metrics-out", metavar="PATH",
+                     help="write Prometheus text-format metrics to this file")
+    san.add_argument("--baseline", default=None, metavar="PATH",
+                     help="suppression baseline "
+                          "(default: ./lint-baseline.json when it exists)")
+    san.add_argument("--no-baseline", action="store_true")
+    san.add_argument("--replay-child", action="store_true",
+                     help=argparse.SUPPRESS)
 
     return parser
 
@@ -730,7 +771,150 @@ def _cmd_lint(args) -> int:
         argv += ["--select", args.select]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
     return run(argv)
+
+
+def _sanitize_dataset(args) -> "object":
+    """Load/simulate the target plant, applying the chaos flags if set."""
+    dataset = _load_or_simulate(args)
+    if args.chaos_dropout > 0:
+        from .plant import ChaosConfig, inject_chaos
+
+        dataset, __ = inject_chaos(
+            dataset,
+            ChaosConfig(
+                seed=args.chaos_seed, sensor_dropout_rate=args.chaos_dropout
+            ),
+        )
+    return dataset
+
+
+def _cmd_sanitize(args) -> int:
+    import os
+    from pathlib import Path
+
+    from . import sanitize as san
+
+    if args.replay_child:
+        # internal mode used by hash_seed_replay: print the canonical
+        # report bytes (reports + health, no timing-bearing stats) so the
+        # parent can diff two PYTHONHASHSEED universes byte-for-byte
+        dataset = _load_or_simulate(args)
+        sys.stdout.buffer.write(
+            san.canonical_report_bytes(
+                dataset,
+                executor=args.executor,
+                chaos_dropout=args.chaos_dropout,
+                chaos_seed=args.chaos_seed,
+            )
+        )
+        return 0
+
+    from .core import HierarchicalDetectionPipeline, PipelineConfig
+
+    findings = []
+    checks = {}
+
+    # 1. traced run: unseeded-RNG trap + worker shared-write tracker
+    #    around one full detection under the requested executor
+    pipeline = HierarchicalDetectionPipeline(
+        _sanitize_dataset(args),
+        config=PipelineConfig(
+            executor=args.executor, max_workers=args.max_workers
+        ),
+    )
+    previous = os.environ.get("REPRO_SANITIZE")
+    os.environ["REPRO_SANITIZE"] = "1"
+    tracker = san.SharedWriteTracker()
+    try:
+        with san.RngTrap() as trap:
+            tracker.start()
+            try:
+                pipeline.run()
+            finally:
+                tracker.stop()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SANITIZE", None)
+        else:
+            os.environ["REPRO_SANITIZE"] = previous
+    traced = list(trap.findings) + list(tracker.findings)
+    findings += traced
+    checks["traced-run"] = "fail" if traced else "pass"
+
+    # 2. executor matrix: byte-identical reports across executors
+    if not args.skip_matrix:
+        matrix = san.executor_matrix(
+            lambda: _load_or_simulate(args),
+            chaos_dropout=args.chaos_dropout,
+            chaos_seed=args.chaos_seed,
+        )
+        findings += matrix
+        checks["executor-matrix"] = "fail" if matrix else "pass"
+
+    # 3. dual-PYTHONHASHSEED subprocess replay
+    if not args.skip_replay:
+        child = ["sanitize", "--replay-child", "--executor", "serial",
+                 "--seed", str(args.seed)]
+        if args.plant:
+            child += ["--plant", str(args.plant)]
+        if args.chaos_dropout > 0:
+            child += ["--chaos-dropout", str(args.chaos_dropout),
+                      "--chaos-seed", str(args.chaos_seed)]
+        replay = san.hash_seed_replay(child)
+        findings += replay
+        checks["hash-seed-replay"] = "fail" if replay else "pass"
+
+    m_checks = pipeline.telemetry.metrics.counter(
+        "repro_sanitize_checks_total",
+        "Sanitizer checks executed, by check name and pass/fail outcome.",
+        labelnames=("check", "outcome"),
+    )
+    for check, outcome in checks.items():
+        m_checks.inc(check=check, outcome=outcome)
+    m_findings = pipeline.telemetry.metrics.counter(
+        "repro_sanitize_findings_total",
+        "Runtime sanitizer findings, by SAN1xx rule id.",
+        labelnames=("rule",),
+    )
+    for finding in findings:
+        m_findings.inc(rule=finding.rule)
+    if args.metrics_out:
+        from .obs import write_metrics
+
+        write_metrics(pipeline.telemetry.metrics, args.metrics_out)
+
+    suppressed = 0
+    baseline_path = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        elif Path("lint-baseline.json").is_file():
+            baseline_path = Path("lint-baseline.json")
+    if baseline_path is not None:
+        if not baseline_path.is_file():
+            print(f"repro sanitize: no such baseline: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        try:
+            findings, suppressed = san.apply_baseline(
+                findings, san.load_baseline(baseline_path)
+            )
+        except (ValueError, KeyError) as exc:
+            print(f"repro sanitize: bad baseline: {exc}", file=sys.stderr)
+            return 2
+    print(
+        san.format_findings(
+            findings, args.format, checked=len(checks), suppressed=suppressed
+        )
+    )
+    return 1 if findings else 0
 
 
 _COMMANDS = {
@@ -743,6 +927,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "perf": _cmd_perf,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
 }
 
 

@@ -336,6 +336,13 @@ class ParallelEngine:
     def run(
         self, graph: TaskGraph, worker: Callable[[object], object]
     ) -> Tuple[Dict[str, object], EngineStats]:
+        if os.environ.get("REPRO_SANITIZE"):
+            # tag each task's key into the sanitizer's context so shared-write
+            # findings attribute to the task that made them; the wrapper is
+            # a module-level partial and stays picklable for process pools
+            from .. import sanitize
+
+            worker = sanitize.wrap_worker(worker)
         stats = EngineStats(
             executor=self.executor, workers=self.workers, n_tasks=len(graph)
         )

@@ -239,6 +239,17 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         labels=("severity",),
         help="Alerts newly opened, re-opened, or escalated, by severity.",
     ),
+    # -- runtime sanitizer (repro.sanitize via the CLI) -----------------
+    "repro_sanitize_checks_total": MetricSpec(
+        kind="counter",
+        labels=("check", "outcome"),
+        help="Sanitizer checks executed, by check name and pass/fail outcome.",
+    ),
+    "repro_sanitize_findings_total": MetricSpec(
+        kind="counter",
+        labels=("rule",),
+        help="Runtime sanitizer findings, by SAN1xx rule id.",
+    ),
 }
 
 #: Prefixes of metric families created dynamically (one gauge per numeric

@@ -309,7 +309,12 @@ def _simulate_job(
     line_idx: int,
     process_fault: Optional[dict],
     sensor_fault: Optional[dict],
-):
+) -> Tuple[
+    List[PhaseRecord],
+    Dict[str, np.ndarray],
+    List[FaultEvent],
+    List[Tuple[str, float, OutlierType, float]],
+]:
     """Simulate the five phases of one job; returns phases, the printing
     process signals, the fault events, and environment injection requests."""
     phases: List[PhaseRecord] = []

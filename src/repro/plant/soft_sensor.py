@@ -15,11 +15,14 @@ support, exactly like a physical twin would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
 
 from ..timeseries import TimeSeries
+
+if TYPE_CHECKING:
+    from .model import PlantDataset
 
 __all__ = ["SoftSensor", "build_soft_sensors", "SOFT_SUFFIX"]
 
@@ -80,7 +83,7 @@ class SoftSensor:
 
 
 def build_soft_sensors(
-    dataset,
+    dataset: "PlantDataset",
     phase_name: str = "printing",
     min_quality: float = 0.3,
 ) -> Dict[str, SoftSensor]:

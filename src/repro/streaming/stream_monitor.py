@@ -364,9 +364,11 @@ class StreamingSensorMonitor:
         hindsight (both directions of the tolerance window), which the
         batch pipeline gets for free.
         """
+        # sorted: set iteration is hash-seeded; without it the flags
+        # dict's insertion order would vary per process (DET103)
         flags: Mapping[str, List[float]] = {
             cid: [e.time for e in self._events if e.channel_id == cid]
-            for cid in {e.channel_id for e in self._events}
+            for cid in sorted({e.channel_id for e in self._events})
         }
         revised: List[StreamEvent] = []
         for event in self._events:

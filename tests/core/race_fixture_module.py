@@ -1,0 +1,21 @@
+"""Deliberately racy worker module — the runtime sanitizer's seeded prey.
+
+``racy_worker`` mutates a module global from inside engine tasks, the
+exact cross-task shared-state pattern static rule DET101 bans in
+worker-reachable code; ``tests/core/test_sanitize.py`` runs it under
+:class:`repro.sanitize.SharedWriteTracker` and asserts the write is
+reported as SAN103.  ``pure_worker`` is the clean control.
+
+Not imported by anything else — keep it out of production graphs.
+"""
+
+_RESULTS = {}  # shared mutable module state: the bug under test
+
+
+def racy_worker(payload):
+    _RESULTS[payload.key] = payload.value  # cross-task shared write
+    return payload.value
+
+
+def pure_worker(payload):
+    return payload.value * 2

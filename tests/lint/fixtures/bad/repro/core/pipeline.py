@@ -1,0 +1,22 @@
+"""Worker fixtures: every DET10x rule fires where the tests assert."""
+
+import threading
+
+from .tasks import helper_task
+
+_SHARED_CACHE = {}
+
+
+def _run_score_task(state, data):
+    global _MODE
+    _SHARED_CACHE["last"] = data
+    callbacks = []
+    for name in data:
+        callbacks.append(lambda: name)
+    lock = threading.Lock()
+    return helper_task(state, callbacks, lock)
+
+
+_TASK_RUNNERS = {
+    "score": _run_score_task,
+}

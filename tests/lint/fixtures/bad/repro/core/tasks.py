@@ -1,0 +1,8 @@
+"""Cross-file worker helper: reached from pipeline._TASK_RUNNERS."""
+
+_COUNTS = []
+
+
+def helper_task(state, callbacks, lock):
+    _COUNTS.append(len(callbacks))
+    return state, callbacks, lock

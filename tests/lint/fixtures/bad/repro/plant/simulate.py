@@ -1,0 +1,9 @@
+"""Planted PR-5 regression: set() dedup consumes the RNG in hash order."""
+
+
+def _anomalize_setup(rng, setup):
+    keys = [str(k) for k in rng.choice(sorted(setup), size=2, replace=False)]
+    values = {}
+    for key in set(keys):
+        values[key] = float(rng.normal())
+    return values

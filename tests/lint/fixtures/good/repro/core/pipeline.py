@@ -1,0 +1,16 @@
+"""Clean worker fixtures: pure tasks, default-bound closures, sorted order."""
+
+from .tasks import helper_task
+
+
+def _run_score_task(state, data):
+    callbacks = []
+    for name in data:
+        callbacks.append(lambda name=name: name)
+    ordered = [key for key in sorted(set(data))]
+    return helper_task(state, callbacks, ordered)
+
+
+_TASK_RUNNERS = {
+    "score": _run_score_task,
+}

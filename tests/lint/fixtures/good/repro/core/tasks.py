@@ -1,0 +1,5 @@
+"""Clean cross-file helper: no module state, plain data in and out."""
+
+
+def helper_task(state, callbacks, ordered):
+    return state, [cb() for cb in callbacks], ordered

@@ -1,0 +1,9 @@
+"""The documented PR-5 idiom: first-occurrence dedup without set order."""
+
+
+def _anomalize_setup(rng, setup):
+    keys = [str(k) for k in rng.choice(sorted(setup), size=2, replace=False)]
+    values = {}
+    for key in dict.fromkeys(keys):
+        values[key] = float(rng.normal())
+    return values

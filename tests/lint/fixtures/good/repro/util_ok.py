@@ -5,8 +5,14 @@ import time
 
 import numpy as np
 
-RNG = np.random.default_rng(7)
-SAMPLES = RNG.normal(0.0, 1.0, 8)
+
+def make_rng(seed=7):
+    # constructed per call from an explicit seed: nothing module-level
+    # to share (DET104) and nothing unseeded (DET004)
+    return np.random.default_rng(seed)
+
+
+SAMPLES = make_rng().normal(0.0, 1.0, 8)
 STARTED = time.monotonic()  # repro-lint: disable=DET003
 
 

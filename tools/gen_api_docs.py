@@ -124,6 +124,7 @@ SUBPACKAGES = [
     "repro.monitor",
     "repro.streaming",
     "repro.io",
+    "repro.sanitize",
     "repro.cli",
 ]
 

@@ -17,6 +17,12 @@ reviewer-enforced:
 * **DET0xx** — determinism discipline: all randomness flows through
   seeded ``numpy.random.Generator`` objects, all clocks through the
   injection points;
+* **DET1xx** — worker purity and ordering determinism: a project-wide
+  dataflow pass (``tools.lint.dataflow``) computes the set of functions
+  reachable from the parallel-engine task entry points and bans
+  module-global mutation and unpicklable/late-binding captures there,
+  plus package-wide hash-order-sensitive set iteration and module-level
+  RNG state;
 * **TEL0xx** — telemetry discipline: every metric name appears in the
   central catalog (``repro.obs.catalog``), spans are only opened as
   context managers;
@@ -36,9 +42,13 @@ from .core import (
     LintConfig,
     ParsedFile,
     Rule,
+    apply_baseline,
+    baseline_document,
     collect_files,
     format_findings,
+    load_baseline,
     run_lint,
+    sarif_document,
 )
 from .rules import ALL_RULES, rules_by_id
 
@@ -48,11 +58,15 @@ __all__ = [
     "LintConfig",
     "ParsedFile",
     "Rule",
+    "apply_baseline",
+    "baseline_document",
     "collect_files",
     "format_findings",
+    "load_baseline",
     "main",
     "run_lint",
     "rules_by_id",
+    "sarif_document",
 ]
 
 

@@ -10,8 +10,21 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .core import LintConfig, collect_files, format_findings, run_lint
+import json
+
+from .core import (
+    LintConfig,
+    apply_baseline,
+    baseline_document,
+    collect_files,
+    format_findings,
+    load_baseline,
+    run_lint,
+)
 from .rules import make_rules
+
+#: Baseline picked up automatically when present in the working directory.
+DEFAULT_BASELINE = Path("lint-baseline.json")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,9 +42,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="suppression baseline to subtract from the findings "
+        "(default: ./lint-baseline.json when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current findings as a suppression baseline and exit 0",
     )
     parser.add_argument(
         "--manifest",
@@ -88,7 +119,42 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     if args.manifest:
         config.manifest_path = Path(args.manifest)
     findings = run_lint(paths, rules, config)
-    print(format_findings(findings, args.format, checked=len(collect_files(paths))))
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            json.dumps(baseline_document(findings), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"repro-lint: wrote baseline with {len(findings)} suppression "
+            f"budget(s) to {args.write_baseline}"
+        )
+        return 0
+    suppressed = 0
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        elif DEFAULT_BASELINE.is_file():
+            baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None:
+        if not baseline_path.is_file():
+            print(f"repro-lint: no such baseline: {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            findings, suppressed = apply_baseline(
+                findings, load_baseline(baseline_path)
+            )
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+    print(
+        format_findings(
+            findings,
+            args.format,
+            checked=len(collect_files(paths)),
+            suppressed=suppressed,
+        )
+    )
     return 1 if findings else 0
 
 

@@ -33,10 +33,17 @@ __all__ = [
     "ParsedFile",
     "ProjectRule",
     "Rule",
+    "apply_baseline",
+    "baseline_document",
     "collect_files",
     "format_findings",
+    "load_baseline",
     "run_lint",
+    "sarif_document",
 ]
+
+#: Schema tag of the suppression-baseline file format.
+BASELINE_SCHEMA = "repro.lint-baseline/1"
 
 #: Rule id of the pseudo-finding emitted for files that fail to parse.
 PARSE_ERROR_RULE = "LNT000"
@@ -248,28 +255,154 @@ def run_lint(
 
 
 def format_findings(
-    findings: Iterable[Finding], fmt: str = "text", checked: int = 0
+    findings: Iterable[Finding],
+    fmt: str = "text",
+    checked: int = 0,
+    tool: str = "repro-lint",
+    suppressed: int = 0,
 ) -> str:
-    """Render findings as human text or a JSON document."""
+    """Render findings as human text, a JSON document, or SARIF 2.1.0."""
     findings = list(findings)
     if fmt == "json":
         return json.dumps(
             {
-                "tool": "repro-lint",
+                "tool": tool,
                 "checked_files": checked,
                 "findings": [f.as_dict() for f in findings],
                 "summary": _summary(findings),
             },
             indent=2,
         )
+    if fmt == "sarif":
+        return json.dumps(sarif_document(findings, tool=tool), indent=2)
     lines = [f.render() for f in findings]
     counts = _summary(findings)
+    note = f" ({suppressed} baselined)" if suppressed else ""
     if findings:
         per_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
-        lines.append(f"repro-lint: {len(findings)} finding(s) in {checked} file(s): {per_rule}")
+        lines.append(
+            f"{tool}: {len(findings)} finding(s) in {checked} file(s){note}: {per_rule}"
+        )
     else:
-        lines.append(f"repro-lint: clean ({checked} file(s) checked)")
+        lines.append(f"{tool}: clean ({checked} file(s) checked){note}")
     return "\n".join(lines)
+
+
+def sarif_document(
+    findings: Sequence[Finding], tool: str = "repro-lint"
+) -> Dict[str, object]:
+    """Minimal SARIF 2.1.0 log: one run, one result per finding.
+
+    The rule table is derived from the findings themselves (first
+    message per rule id), which keeps this renderer independent of the
+    rule registry — the runtime sanitizer mirrors the same shape.
+    """
+    rule_ids: List[str] = []
+    first_message: Dict[str, str] = {}
+    for finding in findings:
+        if finding.rule not in first_message:
+            rule_ids.append(finding.rule)
+            first_message[finding.rule] = finding.message
+    results = []
+    for finding in findings:
+        text = finding.message
+        if finding.hint:
+            text += f" [fix: {finding.hint}]"
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": text},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {"startLine": finding.line},
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool,
+                        "rules": [
+                            {
+                                "id": rid,
+                                "shortDescription": {"text": first_message[rid]},
+                            }
+                            for rid in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def load_baseline(path: Path) -> Dict[Tuple[str, str], int]:
+    """Read a suppression baseline: ``(rule, path) -> allowed count``.
+
+    Raises ``ValueError`` on a wrong schema tag or malformed entries so a
+    stale or hand-mangled baseline fails loudly instead of silently
+    suppressing everything.
+    """
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BASELINE_SCHEMA} baseline "
+            f"(schema={doc.get('schema')!r})"
+        )
+    out: Dict[Tuple[str, str], int] = {}
+    for entry in doc.get("suppressions", []):
+        rule, fpath, count = entry["rule"], entry["path"], int(entry["count"])
+        if count < 1:
+            raise ValueError(f"{path}: non-positive count for {rule} @ {fpath}")
+        out[(str(rule), str(fpath))] = count
+    return out
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[Tuple[str, str], int]
+) -> Tuple[List[Finding], int]:
+    """Drop up to ``count`` findings per baselined ``(rule, path)``.
+
+    Findings arrive sorted by (path, line, rule), so the *lowest* lines
+    are the ones suppressed — moving a baselined violation around a file
+    does not grow the budget.  Returns (kept, suppressed_count).
+    """
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = (finding.rule, finding.path)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def baseline_document(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Render current findings as a baseline suppression document."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for finding in findings:
+        key = (finding.rule, finding.path)
+        counts[key] = counts.get(key, 0) + 1
+    return {
+        "schema": BASELINE_SCHEMA,
+        "suppressions": [
+            {"rule": rule, "path": path, "count": count}
+            for (rule, path), count in sorted(counts.items())
+        ],
+    }
 
 
 def _summary(findings: Sequence[Finding]) -> Dict[str, int]:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..core import Rule
+from .concurrency import ConcurrencyRule
 from .determinism import DeterminismRule
 from .exceptions import ExceptionDisciplineRule
 from .hygiene import HygieneRule
@@ -20,6 +21,7 @@ def make_rules() -> List[Rule]:
         RegistryCompletenessRule(),
         ExceptionDisciplineRule(),
         DeterminismRule(),
+        ConcurrencyRule(),
         TelemetryDisciplineRule(),
         HygieneRule(),
     ]
