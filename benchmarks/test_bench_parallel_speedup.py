@@ -73,6 +73,14 @@ def _format(rows, cores: int, identical: bool) -> str:
             f"{wall:8.3f} {engine.speedup:8.2f} {ratio:9.2f}"
         )
     lines.append("")
+    process_engine = rows["process"][1]
+    lines.append(
+        "process transport: "
+        f"bytes_pickled={process_engine.bytes_pickled} "
+        f"bytes_shared={process_engine.bytes_shared} "
+        f"encode_s={process_engine.transport_encode_seconds:.4f} "
+        f"decode_s={process_engine.transport_decode_seconds:.4f}"
+    )
     lines.append(f"reports byte-identical across executors: {identical}")
     return "\n".join(lines)
 
@@ -87,19 +95,29 @@ def test_bench_parallel_speedup(emit):
         rows[executor] = (wall, engine)
         docs[executor] = doc
 
+    # one speedup definition everywhere: stamp the serial leg's measured
+    # in-worker task time onto the parallel legs, so `engine.speedup` in
+    # this table and in the run manifest divide the same baseline
+    serial_baseline = rows["serial"][1].compute_seconds
+    for executor in ("thread", "process"):
+        rows[executor][1].serial_baseline_seconds = serial_baseline
+
     identical = docs["serial"] == docs["thread"] == docs["process"]
     emit("parallel_speedup", _format(rows, cores, identical))
 
     # the determinism contract holds on every machine, parallel or not
     assert identical, "executors disagreed on the serialized reports"
 
-    # wall-clock speedup is only provable with real parallel hardware
+    # wall-clock speedup is only provable with real parallel hardware;
+    # the gate is on the *process* executor specifically — with batched
+    # kernels and the shared-memory transport it must beat serial on its
+    # own, not ride on the thread pool's result
     if cores >= 2:
         threshold = float(os.environ.get("REPRO_BENCH_SPEEDUP_MIN", "1.5"))
         serial_wall = rows["serial"][0]
-        best_wall = min(rows["thread"][0], rows["process"][0])
-        achieved = serial_wall / best_wall
+        process_wall = rows["process"][0]
+        achieved = serial_wall / process_wall if process_wall > 0 else 0.0
         assert achieved >= threshold, (
-            f"best parallel executor achieved {achieved:.2f}x over serial "
+            f"process executor achieved {achieved:.2f}x over serial "
             f"on {cores} cores; expected >= {threshold}x"
         )

@@ -104,14 +104,27 @@ def parse_speedup_table(text: str) -> dict:
     """Parse ``parallel_speedup.txt`` into per-executor rows.
 
     Returns ``{"rows": [{executor, workers, tasks, wall_s, speedup,
-    vs_serial}], "identical_reports": bool}``; tolerant of the header
-    and trailing prose lines.
+    vs_serial}], "identical_reports": bool, "transport": dict | None}``;
+    tolerant of the header and trailing prose lines.
     """
     rows = []
     identical = None
+    transport = None
     for line in text.splitlines():
         parts = line.split()
-        if len(parts) == len(_SPEEDUP_COLUMNS) and parts[0] in (
+        if line.startswith("process transport:"):
+            fields = dict(
+                pair.split("=", 1)
+                for pair in line.split(":", 1)[1].split()
+                if "=" in pair
+            )
+            transport = {
+                "bytes_pickled": int(fields.get("bytes_pickled", 0)),
+                "bytes_shared": int(fields.get("bytes_shared", 0)),
+                "encode_s": float(fields.get("encode_s", 0.0)),
+                "decode_s": float(fields.get("decode_s", 0.0)),
+            }
+        elif len(parts) == len(_SPEEDUP_COLUMNS) and parts[0] in (
             "serial", "thread", "process"
         ):
             rows.append(
@@ -126,7 +139,41 @@ def parse_speedup_table(text: str) -> dict:
             )
         elif line.startswith("reports byte-identical"):
             identical = line.rsplit(":", 1)[1].strip() == "True"
-    return {"rows": rows, "identical_reports": identical}
+    return {"rows": rows, "identical_reports": identical, "transport": transport}
+
+
+#: Columns of the detector_batch.txt table, in order.
+_DETECTOR_BATCH_COLUMNS = ("detector", "family", "scalar_ms", "batch_ms", "speedup")
+
+
+def parse_detector_batch_table(text: str) -> dict:
+    """Parse ``detector_batch.txt`` into per-detector rows.
+
+    Returns ``{"rows": [{detector, family, scalar_ms, batch_ms,
+    speedup}], "max_abs_delta": float | None}``; tolerant of the header
+    and trailing prose lines.
+    """
+    rows = []
+    max_delta = None
+    for line in text.splitlines():
+        parts = line.split()
+        if (
+            len(parts) == len(_DETECTOR_BATCH_COLUMNS)
+            and not line.startswith("detector")
+            and all(p.replace(".", "", 1).isdigit() for p in parts[2:])
+        ):
+            rows.append(
+                {
+                    "detector": parts[0],
+                    "family": parts[1],
+                    "scalar_ms": float(parts[2]),
+                    "batch_ms": float(parts[3]),
+                    "speedup": float(parts[4]),
+                }
+            )
+        elif line.startswith("max |batched - scalar|"):
+            max_delta = float(line.rsplit(":", 1)[1])
+    return {"rows": rows, "max_abs_delta": max_delta}
 
 
 #: Columns of the incremental.txt table, in order.
@@ -224,6 +271,8 @@ def collect(out_dir: pathlib.Path = OUT_DIR, meta: dict | None = None) -> dict:
             entry["parsed"] = parse_incremental_table(text)
         elif path.stem == "checkpoint":
             entry["parsed"] = parse_checkpoint_table(text)
+        elif path.stem == "detector_batch":
+            entry["parsed"] = parse_detector_batch_table(text)
         doc["benches"][path.stem] = entry
     return doc
 

@@ -196,6 +196,18 @@ class EngineStats:
     max_queue_depth: int = 0
     task_cpu_seconds: Dict[str, float] = field(default_factory=dict)
     task_peak_alloc: Dict[str, int] = field(default_factory=dict)
+    #: Measured task time of a same-run serial baseline, when one exists
+    #: (the speedup benchmark runs serial first and stamps it onto the
+    #: parallel legs).  Unset, the engine's own summed in-worker task
+    #: seconds serve as the measured serial-equivalent.
+    serial_baseline_seconds: Optional[float] = None
+    #: Transport accounting (process executor): payload bytes that crossed
+    #: the pickle boundary vs. bytes served via the shared-memory arena,
+    #: plus the encode (publish) and per-task decode (attach+read) costs.
+    bytes_pickled: int = 0
+    bytes_shared: int = 0
+    transport_encode_seconds: float = 0.0
+    task_transport_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def compute_seconds(self) -> float:
@@ -204,10 +216,25 @@ class EngineStats:
 
     @property
     def speedup(self) -> float:
-        """Compute/wall ratio: ~1.0 serial, > 1 under effective parallelism."""
+        """Measured serial baseline over wall: > 1 under effective parallelism.
+
+        One definition everywhere: the baseline is a *measured* serial
+        task time from the same run — ``serial_baseline_seconds`` when a
+        caller recorded one (BENCH_parallel stamps the serial leg's task
+        time onto the parallel legs), else this run's own summed
+        in-worker task seconds.  Never a wall-clock heuristic.
+        """
         if self.wall_seconds <= 0.0:
             return 0.0
-        return self.compute_seconds / self.wall_seconds
+        baseline = getattr(self, "serial_baseline_seconds", None)
+        if baseline is None:
+            baseline = self.compute_seconds
+        return float(baseline) / self.wall_seconds
+
+    @property
+    def transport_decode_seconds(self) -> float:
+        """Summed per-task shared-memory decode cost (0.0 off the shm path)."""
+        return float(sum(getattr(self, "task_transport_seconds", {}).values()))
 
     @property
     def cpu_seconds(self) -> float:
@@ -247,6 +274,7 @@ class EngineStats:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-safe summary for run manifests."""
+        baseline = getattr(self, "serial_baseline_seconds", None)
         return {
             "executor": self.executor,
             "workers": self.workers,
@@ -254,10 +282,18 @@ class EngineStats:
             "wall_seconds": self.wall_seconds,
             "compute_seconds": self.compute_seconds,
             "speedup": self.speedup,
+            "serial_baseline_seconds": None if baseline is None else float(baseline),
             "max_queue_depth": self.max_queue_depth,
             "cpu_seconds": self.cpu_seconds,
             "cpu_utilization": self.cpu_utilization,
             "alloc_tracked": bool(getattr(self, "task_peak_alloc", {})),
+            "transport": {
+                "mode": "shm" if getattr(self, "bytes_shared", 0) else "pickle",
+                "bytes_pickled": int(getattr(self, "bytes_pickled", 0)),
+                "bytes_shared": int(getattr(self, "bytes_shared", 0)),
+                "encode_seconds": float(getattr(self, "transport_encode_seconds", 0.0)),
+                "decode_seconds": self.transport_decode_seconds,
+            },
             "top_tasks": self.top_tasks(),
         }
 

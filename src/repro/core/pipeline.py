@@ -22,11 +22,12 @@ from __future__ import annotations
 import functools
 import math
 import os
+import pickle
 import threading
 import time
 import warnings
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, cast
 
 import numpy as np
@@ -45,6 +46,7 @@ from .outlier import (
     OutlierCandidate,
     rank_reports,
 )
+from . import shm
 from .parallel import EngineStats, ParallelEngine, Task, TaskGraph, derive_task_seed
 from .resilience import (
     DetectorSandbox,
@@ -97,6 +99,7 @@ class PipelineConfig:
     executor: str = "serial"  # scoring DAG executor: serial | thread | process
     max_workers: Optional[int] = None  # pool size; None = auto from CPU affinity
     batch_scoring: bool = False  # batch same-length traces through one detector fit
+    shm_transport: bool = True  # process executor: trace arrays via shared memory
     checkpoint_dir: Optional[str] = None  # snapshot store directory; None = off
     checkpoint_every: int = 1  # snapshot after every Nth refresh()
     checkpoint_retain: int = 3  # snapshot files kept on disk
@@ -266,7 +269,9 @@ class _ScoreTask:
     seed: int
     telemetry_enabled: bool
     executor: str
-    data: Tuple[object, ...]
+    #: Tuple of level inputs, or an ``shm.ShmPayload`` wrapping that tuple
+    #: when the shared-memory transport is active.
+    data: object
 
 
 @dataclass
@@ -279,6 +284,9 @@ class _TaskResult:
     spans: List[Dict[str, object]]
     output: object
     batch_groups: int = 0
+    #: Seconds this task spent attaching/reading shared-memory payloads
+    #: (0.0 on the pickle path).
+    transport_seconds: float = 0.0
 
 
 @dataclass
@@ -677,8 +685,11 @@ def _run_scoring_task(
     Serial and thread executors inject the run's shared telemetry clock;
     process workers fall back to ``time.monotonic`` and their span trees
     are grafted as roots (worker clocks are not comparable with an
-    injected main-process clock).
+    injected main-process clock).  Shared-memory payloads are resolved
+    here, per task — no worker-global attachment cache — and the decode
+    cost ships back on the result for transport attribution.
     """
+    data, transport_seconds, __ = shm.resolve_payload(task.data)
     tracer = Tracer(
         clock=clock if clock is not None else time.monotonic,
         enabled=task.telemetry_enabled,
@@ -698,7 +709,7 @@ def _run_scoring_task(
         executor=task.executor,
         worker=_worker_label(task.executor),
     ):
-        output = _TASK_RUNNERS[task.kind](state, task.data)
+        output = _TASK_RUNNERS[task.kind](state, cast(Tuple[object, ...], data))
     return _TaskResult(
         key=task.key,
         kind=task.kind,
@@ -706,7 +717,33 @@ def _run_scoring_task(
         spans=[s.as_dict() for s in tracer.spans],
         output=output,
         batch_groups=state.batch_groups,
+        transport_seconds=transport_seconds,
     )
+
+
+def _publish_graph_to_shm(graph: TaskGraph) -> Tuple[shm.ShmArena, TaskGraph]:
+    """Swap every task's trace arrays for shared-memory descriptors.
+
+    Publishes one arena for the whole graph and rebuilds the graph (same
+    keys, same deps, same insertion order) with descriptor payloads, so
+    only descriptors cross the process pool's pickle boundary.
+    """
+    payloads: Dict[str, object] = {}
+    for task in graph:
+        score_task = cast(_ScoreTask, task.payload)
+        payloads[task.key] = score_task.data
+    arena, encoded = shm.ShmArena.publish(payloads)
+    out = TaskGraph()
+    for task in graph:
+        score_task = cast(_ScoreTask, task.payload)
+        out.add(
+            Task(
+                key=task.key,
+                payload=replace(score_task, data=encoded[task.key]),
+                deps=task.deps,
+            )
+        )
+    return arena, out
 
 
 class PlantHierarchyContext(HierarchyContext):
@@ -936,7 +973,25 @@ class PlantHierarchyContext(HierarchyContext):
                     functools.partial(_run_scoring_task, clock=self.telemetry.clock),
                 )
                 parent_id = outer_span.span_id if tracer.enabled else None
-            results, engine_stats = engine.run(graph, worker)
+            arena: Optional[shm.ShmArena] = None
+            run_graph = graph
+            if self.config.executor == "process" and self.config.shm_transport:
+                arena, run_graph = _publish_graph_to_shm(graph)
+            try:
+                results, engine_stats = engine.run(run_graph, worker)
+            finally:
+                if arena is not None:
+                    arena.dispose()
+            if arena is not None:
+                engine_stats.bytes_shared = arena.total_bytes
+                engine_stats.transport_encode_seconds = arena.encode_seconds
+            if self.config.executor == "process":
+                # what actually crossed the pickle boundary (descriptors
+                # only under shm transport; full trace arrays without it)
+                engine_stats.bytes_pickled = sum(
+                    len(pickle.dumps(task.payload, protocol=pickle.HIGHEST_PROTOCOL))
+                    for task in run_graph
+                )
             self._engine_stats = engine_stats
             self._merge_results(results, parent_id)
             with tracer.span("pipeline.index"):
@@ -1137,6 +1192,10 @@ class PlantHierarchyContext(HierarchyContext):
             for event_kind, payload in result.events:
                 self._apply_event(event_kind, payload, health=False)
             self._batch_group_count += result.batch_groups
+            if result.transport_seconds:
+                self._engine_stats.task_transport_seconds[result.key] = (
+                    result.transport_seconds
+                )
             output = result.output
             if result.kind == "phase":
                 self._phase_out[result.key.split("/", 1)[1]] = output
@@ -1392,6 +1451,19 @@ class PlantHierarchyContext(HierarchyContext):
         utilization = es.cpu_utilization if hasattr(es, "task_cpu_seconds") else 0.0
         if math.isfinite(utilization):
             self._m_perf_utilization.set(utilization)
+        # transport attribution (snapshot-tolerant like the perf dicts)
+        self._m_transport_bytes.set(
+            float(getattr(es, "bytes_pickled", 0)), mode="pickled"
+        )
+        self._m_transport_bytes.set(
+            float(getattr(es, "bytes_shared", 0)), mode="shared"
+        )
+        self._m_transport_overhead.set(
+            float(getattr(es, "transport_encode_seconds", 0.0)), stage="encode"
+        )
+        self._m_transport_overhead.set(
+            float(getattr(es, "transport_decode_seconds", 0.0)), stage="decode"
+        )
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -1473,6 +1545,19 @@ class PlantHierarchyContext(HierarchyContext):
         self._m_perf_utilization = m.gauge(
             "repro_perf_cpu_utilization",
             "CPU seconds per wall second of the scoring task graph.",
+        )
+        self._m_transport_bytes = m.gauge(
+            "repro_transport_bytes",
+            "Task-payload bytes moved per engine run, by transport mode "
+            "(pickled = crossed the pickle boundary, shared = read from the "
+            "shared-memory arena).",
+            labelnames=("mode",),
+        )
+        self._m_transport_overhead = m.gauge(
+            "repro_transport_overhead_seconds",
+            "Transport overhead per engine run: arena publish (encode) "
+            "and summed worker-side payload rebuilds (decode).",
+            labelnames=("stage",),
         )
 
     def stats(self) -> Dict[str, object]:

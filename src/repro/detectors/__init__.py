@@ -15,6 +15,7 @@ from .base import (
     SymbolDetector,
     VectorDetector,
     coerce_items,
+    has_batch_kernel,
 )
 from .baselines import (
     KNNDetector,
@@ -79,6 +80,7 @@ __all__ = [
     "Family",
     "Detection",
     "coerce_items",
+    "has_batch_kernel",
     "DetectorError",
     "NotFittedError",
     "ShapeUnsupportedError",

@@ -1,12 +1,30 @@
-"""Small numeric helpers shared across detector implementations."""
+"""Small numeric helpers shared across detector implementations.
+
+The ``batch_*`` family operates on stacks of per-series matrices at once
+(shape ``(n_series, ...)``) and mirrors the scalar helpers element-for-
+element: every clamp, floor, and tie-break matches, so a batched kernel
+built from these primitives scores identically to the scalar path.
+"""
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["pairwise_sq_dists", "kth_neighbor_dists", "neighbor_indices", "kmeans"]
+__all__ = [
+    "pairwise_sq_dists",
+    "kth_neighbor_dists",
+    "neighbor_indices",
+    "kmeans",
+    "batch_sliding_windows",
+    "batch_pairwise_sq_dists",
+    "batch_kth_neighbor_dists",
+    "batch_neighbor_indices",
+    "batch_robust_scale",
+    "batch_window_scores_to_point_scores",
+]
 
 
 def pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -57,6 +75,137 @@ def neighbor_indices(
     dists = np.sqrt(d2[rows, idx])
     order = np.argsort(dists, axis=1)
     return idx[rows, order], dists[rows, order]
+
+
+def batch_sliding_windows(
+    values_list: Sequence[np.ndarray], width: int, stride: int = 1
+) -> np.ndarray:
+    """Sliding windows for a stack of equal-length series at once.
+
+    Batched twin of :func:`repro.timeseries.windows.sliding_window_matrix`:
+    returns a ``(n_series, n_windows, width)`` tensor whose slice ``[i]``
+    equals ``sliding_window_matrix(values_list[i], width, stride)``.
+    """
+    if width < 1 or stride < 1:
+        raise ValueError("width and stride must be >= 1")
+    stacked = np.stack([np.asarray(v, dtype=np.float64) for v in values_list])
+    n = (stacked.shape[1] - width) // stride + 1
+    if n <= 0:
+        return np.empty((stacked.shape[0], 0, width))
+    view = sliding_window_view(stacked, width, axis=1)[:, ::stride]
+    return np.array(view[:, :n])
+
+
+def batch_pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Per-slice squared Euclidean distances for ``(n, a, d)`` × ``(n, b, d)``.
+
+    Slice ``[i]`` equals ``pairwise_sq_dists(A[i], B[i])`` — the same
+    ``|a|^2 - 2 a·b + |b|^2`` expansion with the same negative clipping.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    a2 = (A * A).sum(axis=2)[:, :, None]
+    b2 = (B * B).sum(axis=2)[:, None, :]
+    d2 = a2 - 2.0 * (A @ B.transpose(0, 2, 1)) + b2
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def batch_kth_neighbor_dists(X: np.ndarray, k: int, exclude_self: bool) -> np.ndarray:
+    """In-series k-th neighbour distances for a ``(n, w, d)`` window stack.
+
+    Slice ``[i]`` equals ``kth_neighbor_dists(X[i], X[i], k, exclude_self)``;
+    the clamps (``k_eff``, inf-to-zero for degenerate slices) are identical.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    d2 = batch_pairwise_sq_dists(X, X)
+    w = d2.shape[1]
+    if exclude_self:
+        ii = np.arange(w)
+        d2[:, ii, ii] = np.inf
+    k_eff = max(1, min(k, w - (1 if exclude_self else 0)))
+    part = np.partition(d2, k_eff - 1, axis=2)[:, :, k_eff - 1]
+    part = np.where(np.isinf(part), 0.0, part)
+    return np.sqrt(part)
+
+
+def batch_neighbor_indices(
+    X: np.ndarray, k: int, exclude_self: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """In-series nearest-neighbour indices/distances for a window stack.
+
+    Slice ``[i]`` equals ``neighbor_indices(X[i], X[i], k, exclude_self)``:
+    the same argpartition/argsort pipeline runs along the last axis, so
+    per-row tie-breaks match the scalar helper exactly.
+    """
+    d2 = batch_pairwise_sq_dists(X, X)
+    w = d2.shape[1]
+    if exclude_self:
+        ii = np.arange(w)
+        d2[:, ii, ii] = np.inf
+    k_eff = max(1, min(k, w - (1 if exclude_self else 0)))
+    idx = np.argpartition(d2, k_eff - 1, axis=2)[:, :, :k_eff]
+    dists = np.sqrt(np.take_along_axis(d2, idx, axis=2))
+    order = np.argsort(dists, axis=2)
+    return np.take_along_axis(idx, order, axis=2), np.take_along_axis(dists, order, axis=2)
+
+
+def batch_robust_scale(X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-series median / floored MAD scale for a ``(n, w, d)`` stack.
+
+    Returns ``(center, scale)`` with the same 1.4826 consistency constant
+    and the same degenerate-scale floor the MAD baseline applies: where
+    the MAD is at or below ``1e-9 * max(1, |median|)`` the scale is 1.0.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    center = np.median(X, axis=1)
+    mad = np.median(np.abs(X - center[:, None, :]), axis=1) * 1.4826
+    floor = 1e-9 * np.maximum(1.0, np.abs(center))
+    scale = np.where(mad <= floor, 1.0, mad)
+    return center, scale
+
+
+def batch_window_scores_to_point_scores(
+    window_scores: np.ndarray,
+    n_points: int,
+    width: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """Spread a ``(n_series, n_windows)`` score block onto the sample axis.
+
+    Batched twin of
+    :func:`repro.timeseries.windows.window_scores_to_point_scores` with the
+    default max reduction: each sample takes the max over covering windows,
+    uncovered samples inherit the nearest covered sample (first-occurrence
+    tie-break, identical to the scalar helper).  Window scores must be
+    finite — NaN scores change the scalar helper's coverage semantics, so
+    callers with possibly-NaN scores must use the scalar path.
+    """
+    ws = np.asarray(window_scores, dtype=np.float64)
+    n_series, n_windows = ws.shape
+    if n_points <= 0:
+        return np.empty((n_series, 0))
+    out = np.full((n_series, n_points), np.nan)
+    covered_mask = np.zeros(n_points, dtype=bool)
+    w_idx = np.arange(n_windows)
+    for off in range(width):
+        pos = w_idx * stride + off
+        keep = pos < n_points
+        if not keep.any():
+            continue
+        p = pos[keep]
+        # window starts are distinct, so positions are unique per offset
+        out[:, p] = np.fmax(out[:, p], ws[:, keep])
+        covered_mask[p] = True
+    if not covered_mask.all():
+        covered = np.where(covered_mask)[0]
+        if covered.size == 0:
+            return np.zeros((n_series, n_points))
+        idx = np.arange(n_points)
+        nearest = covered[np.argmin(np.abs(idx[:, None] - covered[None, :]), axis=1)]
+        out = out[:, nearest]
+    return out
 
 
 def kmeans(

@@ -34,6 +34,7 @@ from ..timeseries import (
     sliding_window_matrix,
     window_scores_to_point_scores,
 )
+from ._math import batch_sliding_windows, batch_window_scores_to_point_scores
 from .encoders import NGramVectorizer, SeriesFeaturizer, SeriesSymbolizer
 from .errors import DataQualityError, DetectorError, NotFittedError, ShapeUnsupportedError
 
@@ -45,6 +46,7 @@ __all__ = [
     "VectorDetector",
     "SymbolDetector",
     "coerce_items",
+    "has_batch_kernel",
 ]
 
 
@@ -152,6 +154,15 @@ class BaseDetector(abc.ABC):
     #: Subclasses that cannot honor the contract must set this to False
     #: (no in-tree detector does).
     deterministic_refit: bool = True
+    #: Batch-kernel capability flag: True iff this detector ships a
+    #: vectorized ``fit_score_series_batch`` kernel (either a direct
+    #: override or a :class:`VectorDetector` ``_batch_score_windows``
+    #: hook).  The flag and the kernel must move together —
+    #: :func:`has_batch_kernel` checks the override structurally and the
+    #: test suite asserts the two agree, so coverage cannot silently
+    #: drift.  Kernels must be numerically equal to the scalar
+    #: ``fit_score_series`` path (the pipeline's 1e-9 batch contract).
+    supports_batch: bool = False
 
     def __init__(self) -> None:
         self._fitted = False
@@ -427,6 +438,54 @@ class VectorDetector(BaseDetector):
             window_scores, len(series), width, stride
         )
 
+    # -- batched series localization ----------------------------------
+    def _batch_score_windows(self, windows: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorized kernel hook: score a ``(n_series, n_windows, width)``
+        stack in one shot, returning per-window scores ``(n_series,
+        n_windows)`` or None to fall back to the scalar loop.
+
+        Slice ``[i]`` must reproduce ``_fit_matrix(windows[i])`` followed
+        by ``_score_matrix(windows[i])`` — the fit-score-own-windows path —
+        to within the pipeline's 1e-9 batch tolerance.  Detectors
+        implementing this set ``supports_batch = True``.
+        """
+        return None
+
+    def fit_score_series_batch(self, series_list: Sequence[TimeSeries],
+                               width: int = 16, stride: int = 1) -> List[np.ndarray]:
+        """Batch scoring via the ``_batch_score_windows`` kernel when possible.
+
+        The kernel path requires same-length series (one window stack) and
+        at least one full window per series; ragged groups, single-series
+        calls, and detectors without a kernel fall back to the scalar loop.
+        """
+        series_list = list(series_list)
+        if type(self).supports_batch and len(series_list) > 1:
+            lengths = {len(s.values) for s in series_list}
+            if len(lengths) == 1:
+                n_points = lengths.pop()
+                windows = batch_sliding_windows(
+                    [s.values for s in series_list], width, stride
+                )
+                if windows.shape[1] > 0:
+                    windows = np.nan_to_num(windows, nan=0.0)
+                    window_scores = self._run_hook(
+                        "fit_score_series_batch", self._batch_score_windows, windows
+                    )
+                    if window_scores is not None:
+                        window_scores = np.asarray(window_scores, dtype=np.float64)
+                        if np.isnan(window_scores).any():
+                            # NaN window scores flip the scalar helper's
+                            # coverage semantics; only the loop gets those right
+                            return super().fit_score_series_batch(
+                                series_list, width=width, stride=stride
+                            )
+                        point_scores = batch_window_scores_to_point_scores(
+                            window_scores, n_points, width, stride
+                        )
+                        return [self._sanitize(row) for row in point_scores]
+        return super().fit_score_series_batch(series_list, width=width, stride=stride)
+
 
 class SymbolDetector(BaseDetector):
     """Base class for detectors whose native domain is label sequences.
@@ -505,3 +564,20 @@ class SymbolDetector(BaseDetector):
         return window_scores_to_point_scores(
             word_scores, len(series), width, stride
         )
+
+
+def has_batch_kernel(detector_cls: type) -> bool:
+    """True iff ``detector_cls`` ships a vectorized batch kernel.
+
+    Structural twin of the ``supports_batch`` flag: a detector has a
+    kernel when it overrides ``fit_score_series_batch`` beyond the generic
+    loop/orchestrator implementations, or (for :class:`VectorDetector`
+    subclasses) overrides the ``_batch_score_windows`` hook.  The test
+    suite asserts ``has_batch_kernel(cls) == cls.supports_batch`` for
+    every registry detector, so the flag cannot drift from the code.
+    """
+    generic = {BaseDetector.fit_score_series_batch, VectorDetector.fit_score_series_batch}
+    if detector_cls.fit_score_series_batch not in generic:
+        return True
+    hook = getattr(detector_cls, "_batch_score_windows", None)
+    return hook is not None and hook is not VectorDetector._batch_score_windows

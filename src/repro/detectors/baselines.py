@@ -10,7 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ._math import kth_neighbor_dists, neighbor_indices, pairwise_sq_dists
+from ._math import (
+    batch_kth_neighbor_dists,
+    batch_neighbor_indices,
+    batch_pairwise_sq_dists,
+    batch_robust_scale,
+    kth_neighbor_dists,
+    neighbor_indices,
+    pairwise_sq_dists,
+)
 from .base import DataShape, Family, VectorDetector
 
 __all__ = [
@@ -35,6 +43,7 @@ class ZScoreDetector(VectorDetector):
     family = Family.BASELINE
     supports = _ALL_SHAPES
     citation = "classical"
+    supports_batch = True
 
     def _fit_matrix(self, X: np.ndarray) -> None:
         self._mean = X.mean(axis=0)
@@ -46,6 +55,14 @@ class ZScoreDetector(VectorDetector):
         z = np.abs((X - self._mean) / self._std)
         return z.max(axis=1)
 
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        mean = windows.mean(axis=1)
+        std = windows.std(axis=1)
+        floor = 1e-9 * np.maximum(1.0, np.abs(mean))
+        std = np.where(std <= floor, 1.0, std)
+        z = np.abs((windows - mean[:, None, :]) / std[:, None, :])
+        return z.max(axis=2)
+
 
 class MADDetector(VectorDetector):
     """Robust z-score using median / MAD, immune to outlier-inflated scale."""
@@ -54,6 +71,7 @@ class MADDetector(VectorDetector):
     family = Family.BASELINE
     supports = _ALL_SHAPES
     citation = "classical"
+    supports_batch = True
 
     def _fit_matrix(self, X: np.ndarray) -> None:
         self._median = np.median(X, axis=0)
@@ -66,6 +84,11 @@ class MADDetector(VectorDetector):
         z = np.abs((X - self._median) / self._scale)
         return z.max(axis=1)
 
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        center, scale = batch_robust_scale(windows)
+        z = np.abs((windows - center[:, None, :]) / scale[:, None, :])
+        return z.max(axis=2)
+
 
 class KNNDetector(VectorDetector):
     """Distance to the k-th nearest neighbour (Angiulli & Pizzuti 2002)."""
@@ -74,6 +97,7 @@ class KNNDetector(VectorDetector):
     family = Family.BASELINE
     supports = _ALL_SHAPES
     citation = "Angiulli & Pizzuti 2002 [1]"
+    supports_batch = True
 
     def __init__(self, k: int = 5) -> None:
         super().__init__()
@@ -88,6 +112,10 @@ class KNNDetector(VectorDetector):
         exclude = X.shape == self._train.shape and np.array_equal(X, self._train)
         return kth_neighbor_dists(X, self._train, self.k, exclude_self=exclude)
 
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        # fit-score-own-windows: score set == train set, so exclude_self holds
+        return batch_kth_neighbor_dists(windows, self.k, exclude_self=True)
+
 
 class LOFDetector(VectorDetector):
     """Local outlier factor: density relative to the k-neighbourhood.
@@ -99,6 +127,7 @@ class LOFDetector(VectorDetector):
     family = Family.BASELINE
     supports = frozenset({DataShape.POINTS, DataShape.SUBSEQUENCES})
     citation = "Breunig et al. 2000 (discussed in Section 5)"
+    supports_batch = True
 
     def __init__(self, k: int = 10) -> None:
         super().__init__()
@@ -127,6 +156,21 @@ class LOFDetector(VectorDetector):
         lrd = 1.0 / mean_reach
         return self._train_lrd[idx].mean(axis=1) / lrd
 
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        # fit-score-own-windows: the scalar path fits and scores on the
+        # same window set, so both neighbour queries are self-excluding
+        # and identical — one batched query covers both.
+        n_series, n_windows, _ = windows.shape
+        k = min(self.k, max(1, n_windows - 1))
+        idx, dists = batch_neighbor_indices(windows, k, exclude_self=True)
+        kdist = dists[:, :, -1]
+        series_ix = np.arange(n_series)[:, None, None]
+        reach = np.maximum(dists, kdist[series_ix, idx])
+        mean_reach = reach.mean(axis=2)
+        mean_reach[mean_reach <= 1e-12] = 1e-12
+        lrd = 1.0 / mean_reach
+        return lrd[series_ix, idx].mean(axis=2) / lrd
+
 
 class ReverseKNNDetector(VectorDetector):
     """Antihub score: points appearing in few reverse-kNN lists are outliers.
@@ -140,6 +184,7 @@ class ReverseKNNDetector(VectorDetector):
     family = Family.BASELINE
     supports = frozenset({DataShape.POINTS})
     citation = "Radovanović et al. 2015 [34]"
+    supports_batch = True
 
     def __init__(self, k: int = 10) -> None:
         super().__init__()
@@ -164,6 +209,22 @@ class ReverseKNNDetector(VectorDetector):
             counts[row] += 1
         return 1.0 / (1.0 + counts)
 
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        n_series, n_windows, _ = windows.shape
+        k = min(self.k, max(1, n_windows - 1))
+        d2 = batch_pairwise_sq_dists(windows, windows)
+        ii = np.arange(n_windows)
+        d2[:, ii, ii] = np.inf
+        k_eff = min(k, n_windows)
+        nearest = np.argpartition(d2, k_eff - 1, axis=2)[:, :, :k_eff]
+        # per-row neighbour indices are distinct, so the scalar loop's
+        # fancy-index increments equal a flat bincount with series offsets
+        offsets = (np.arange(n_series) * n_windows)[:, None, None]
+        counts = np.bincount(
+            (nearest + offsets).ravel(), minlength=n_series * n_windows
+        ).reshape(n_series, n_windows).astype(np.float64)
+        return 1.0 / (1.0 + counts)
+
 
 class PCALeverageDetector(VectorDetector):
     """PCA leverage (Mejia et al. 2017): influence of a point on the PCA fit.
@@ -177,6 +238,7 @@ class PCALeverageDetector(VectorDetector):
     family = Family.BASELINE
     supports = frozenset({DataShape.POINTS, DataShape.SERIES})
     citation = "Mejia et al. 2017 [26]"
+    supports_batch = True
 
     def __init__(self, variance_kept: float = 0.9) -> None:
         super().__init__()
@@ -203,6 +265,26 @@ class PCALeverageDetector(VectorDetector):
     def _score_matrix(self, X: np.ndarray) -> np.ndarray:
         proj = (X - self._mean) @ self._components.T
         return (proj**2 / self._var).sum(axis=1)
+
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        n_series, n_windows, _ = windows.shape
+        centered = windows - windows.mean(axis=1, keepdims=True)
+        __, s, vt = np.linalg.svd(centered, full_matrices=False)
+        var = s**2
+        n_components = var.shape[1]
+        total = var.sum(axis=1)
+        degenerate = total <= 1e-12
+        ratio = np.cumsum(var, axis=1) / np.where(degenerate, 1.0, total)[:, None]
+        # (ratio < kept).sum() == searchsorted(ratio, kept): ratio is
+        # nondecreasing, so both count the elements strictly below kept
+        n_keep = np.where(degenerate, 1, (ratio < self.variance_kept).sum(axis=1) + 1)
+        scaled_var = var / max(1, n_windows - 1)
+        scaled_var[scaled_var <= 1e-12] = 1e-12
+        # the degenerate scalar path keeps one component with unit variance
+        scaled_var = np.where(degenerate[:, None], 1.0, scaled_var)
+        proj = centered @ vt.transpose(0, 2, 1)
+        keep_mask = np.arange(n_components)[None, :] < n_keep[:, None]
+        return ((proj**2 / scaled_var[:, None, :]) * keep_mask[:, None, :]).sum(axis=2)
 
 
 class RandomDetector(VectorDetector):

@@ -38,6 +38,7 @@ class DynamicClusteringDetector(VectorDetector):
     family = Family.DISCRIMINATIVE
     supports = frozenset({DataShape.SUBSEQUENCES, DataShape.SERIES})
     citation = "Sequeira & Zaki 2002 [37]"
+    supports_batch = True
 
     def __init__(self, radius: float | None = None,
                  min_cluster_fraction: float = 0.1) -> None:
@@ -86,3 +87,25 @@ class DynamicClusteringDetector(VectorDetector):
         dists = np.sqrt((diffs * diffs).sum(axis=2)).min(axis=1)
         scale = self._radius if self._radius > 0 else 1.0
         return dists / scale
+
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        # The leader pass is order-dependent by construction, so the fit
+        # stays the scalar loop per series (including its seeded radius
+        # sampling); the centroid-distance scoring is batched.
+        n_series, n_windows, width = windows.shape
+        centroid_sets = []
+        scales = np.empty(n_series)
+        for i in range(n_series):
+            self._fit_matrix(windows[i])
+            centroid_sets.append(np.vstack([c.centroid for c in self._large]))
+            scales[i] = self._radius if self._radius > 0 else 1.0
+        # pad ragged centroid sets by repeating the first centroid —
+        # duplicates cannot change the min distance
+        n_cent = max(c.shape[0] for c in centroid_sets)
+        padded = np.empty((n_series, n_cent, width))
+        for i, cents in enumerate(centroid_sets):
+            padded[i, : cents.shape[0]] = cents
+            padded[i, cents.shape[0]:] = cents[0]
+        diffs = windows[:, :, None, :] - padded[:, None, :, :]
+        dists = np.sqrt((diffs * diffs).sum(axis=3)).min(axis=2)
+        return dists / scales[:, None]

@@ -22,6 +22,7 @@ class PCASpaceDetector(VectorDetector):
     family = Family.DISCRIMINATIVE
     supports = frozenset({DataShape.POINTS})
     citation = "Gupta & Singh 2013 [13]"
+    supports_batch = True
 
     def __init__(self, variance_kept: float = 0.9) -> None:
         super().__init__()
@@ -52,3 +53,25 @@ class PCASpaceDetector(VectorDetector):
         recon = proj @ self._components
         residual = Z - recon
         return np.sqrt((residual * residual).sum(axis=1))
+
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        n_series, n_windows, _ = windows.shape
+        mean = windows.mean(axis=1, keepdims=True)
+        std = windows.std(axis=1, keepdims=True)
+        std[std <= 1e-12] = 1.0
+        Z = (windows - mean) / std
+        __, s, vt = np.linalg.svd(Z, full_matrices=False)
+        var = s**2
+        n_components = var.shape[1]
+        total = var.sum(axis=1)
+        degenerate = total <= 1e-12
+        ratio = np.cumsum(var, axis=1) / np.where(degenerate, 1.0, total)[:, None]
+        # counting ratios strictly below the target equals the scalar
+        # searchsorted on the nondecreasing cumulative-variance ratio
+        n_keep = np.minimum((ratio < self.variance_kept).sum(axis=1) + 1, n_components)
+        n_keep = np.where(degenerate, 1, n_keep)
+        keep_mask = np.arange(n_components)[None, :] < n_keep[:, None]
+        proj = Z @ vt.transpose(0, 2, 1)
+        recon = (proj * keep_mask[:, None, :]) @ vt
+        residual = Z - recon
+        return np.sqrt((residual * residual).sum(axis=2))

@@ -14,7 +14,7 @@ import numpy as np
 from scipy.cluster.hierarchy import fcluster, linkage
 from scipy.spatial.distance import pdist
 
-from .._math import pairwise_sq_dists
+from .._math import batch_pairwise_sq_dists, pairwise_sq_dists
 from ..base import DataShape, Family, VectorDetector
 
 __all__ = ["SingleLinkageDetector"]
@@ -29,6 +29,7 @@ class SingleLinkageDetector(VectorDetector):
         {DataShape.POINTS, DataShape.SUBSEQUENCES, DataShape.SERIES}
     )
     citation = "Portnoy et al. 2001 [32]"
+    supports_batch = True
 
     def __init__(self, width_quantile: float = 0.3,
                  big_cluster_fraction: float = 0.15) -> None:
@@ -64,3 +65,25 @@ class SingleLinkageDetector(VectorDetector):
     def _score_matrix(self, X: np.ndarray) -> np.ndarray:
         d2 = pairwise_sq_dists(X, self._big_points)
         return np.sqrt(d2.min(axis=1)) / self._scale
+
+    def _batch_score_windows(self, windows: np.ndarray) -> np.ndarray:
+        # The dendrogram cut stays the scalar scipy path per series
+        # (re-deriving linkage thresholds vectorized risks flipping cluster
+        # membership at fp ties); only the distance-to-big-cluster scoring
+        # — the O(windows x members x width) part — is batched.
+        n_series, n_windows, width = windows.shape
+        big_points = []
+        scales = np.empty(n_series)
+        for i in range(n_series):
+            self._fit_matrix(windows[i])
+            big_points.append(self._big_points)
+            scales[i] = self._scale
+        # pad ragged member sets by repeating the first member: duplicate
+        # columns cannot change the min distance, so scores are unchanged
+        n_big = max(b.shape[0] for b in big_points)
+        padded = np.empty((n_series, n_big, width))
+        for i, big in enumerate(big_points):
+            padded[i, : big.shape[0]] = big
+            padded[i, big.shape[0]:] = big[0]
+        d2 = batch_pairwise_sq_dists(windows, padded)
+        return np.sqrt(d2.min(axis=2)) / scales[:, None]

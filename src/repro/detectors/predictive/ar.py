@@ -54,6 +54,7 @@ class ARDetector(VectorDetector):
     family = Family.PREDICTIVE
     supports = frozenset({DataShape.POINTS, DataShape.SUBSEQUENCES})
     citation = "Hill & Minsker 2010 [15]"
+    supports_batch = True
 
     def __init__(self, order: int = 3) -> None:
         super().__init__()

@@ -233,6 +233,20 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         labels=(),
         help="Stack samples captured by the opt-in sampling profiler.",
     ),
+    # -- zero-copy transport (repro.core.shm + process executor) --------
+    "repro_transport_bytes": MetricSpec(
+        kind="gauge",
+        labels=("mode",),
+        help="Task-payload bytes moved per engine run, by transport mode "
+        "(pickled = crossed the pickle boundary, shared = read from the "
+        "shared-memory arena).",
+    ),
+    "repro_transport_overhead_seconds": MetricSpec(
+        kind="gauge",
+        labels=("stage",),
+        help="Transport overhead per engine run: arena publish (encode) "
+        "and summed worker-side payload rebuilds (decode).",
+    ),
     # -- alerting (repro.monitor.alerts) -------------------------------
     "repro_alerts_total": MetricSpec(
         kind="counter",

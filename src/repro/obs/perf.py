@@ -541,6 +541,10 @@ def _bench_metrics(benches: Mapping[str, object]) -> Dict[str, float]:
                 put(f"checkpoint/{key}/resume_ms", row.get("resume_ms"))
                 put(f"checkpoint/{key}/snapshot_ms", row.get("snapshot_ms"))
                 put(f"checkpoint/{key}/cold_s", row.get("cold_s"))
+            elif bench_name == "detector_batch":
+                key = str(row.get("detector"))
+                put(f"batch/{key}/scalar_ms", row.get("scalar_ms"))
+                put(f"batch/{key}/batch_ms", row.get("batch_ms"))
     return out
 
 

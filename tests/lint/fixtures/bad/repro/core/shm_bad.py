@@ -1,0 +1,10 @@
+"""Deliberately bad module: SharedMemory outside the arena (HYG004)."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_block(payload: bytes):
+    block = SharedMemory(create=True, size=len(payload))
+    block.buf[: len(payload)] = payload
+    return shared_memory.SharedMemory(name=block.name)

@@ -1,0 +1,7 @@
+"""Good fixture: the arena module may construct SharedMemory (HYG004 exempt)."""
+
+from multiprocessing import shared_memory
+
+
+def make_block(size: int):
+    return shared_memory.SharedMemory(create=True, size=max(1, size))

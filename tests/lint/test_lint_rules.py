@@ -55,6 +55,10 @@ EXPECTED_BAD = {
     ("HYG003", "bad/repro/write_bad.py", 8),
     ("HYG003", "bad/repro/write_bad.py", 10),
     ("HYG003", "bad/repro/write_bad.py", 12),
+    ("HYG004", "bad/repro/core/shm_bad.py", 3),
+    ("HYG004", "bad/repro/core/shm_bad.py", 4),
+    ("HYG004", "bad/repro/core/shm_bad.py", 8),
+    ("HYG004", "bad/repro/core/shm_bad.py", 10),
 }
 
 

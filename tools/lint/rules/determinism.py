@@ -43,8 +43,10 @@ __all__ = ["DeterminismRule"]
 #: Modules allowed to touch real clocks: the tracer/telemetry defaults,
 #: the sandbox's timeout machinery, the chaos harness's hanging
 #: detector (whose whole point is to block), the snapshot store
-#: (wall-clock mtime age of on-disk checkpoint files), and the sampling
-#: profiler (observation-only; its measurements never enter reports).
+#: (wall-clock mtime age of on-disk checkpoint files), the sampling
+#: profiler (observation-only; its measurements never enter reports),
+#: and the shared-memory transport (encode/decode overhead timing —
+#: observability-only, never part of a report).
 _CLOCK_INJECTION_POINTS = (
     "repro/obs/trace.py",
     "repro/obs/__init__.py",
@@ -52,6 +54,7 @@ _CLOCK_INJECTION_POINTS = (
     "repro/core/resilience.py",
     "repro/core/parallel.py",
     "repro/core/checkpoint.py",
+    "repro/core/shm.py",
     "repro/plant/chaos.py",
 )
 

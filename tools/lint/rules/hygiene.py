@@ -16,7 +16,14 @@
   package writer must route through
   :func:`repro.atomic.write_atomic` (temp file + fsync + atomic
   rename); :mod:`repro.atomic` itself is the single exempt module.
-  Read-mode ``open`` is fine.
+  Read-mode ``open`` is fine;
+* **HYG004** ``SharedMemory`` construction (or a
+  ``multiprocessing.shared_memory`` import) outside
+  ``repro/core/shm.py``: shared-memory segments are OS-level resources
+  whose leak/cleanup story (deterministic naming, creator-unlinks,
+  resource-tracker SIGKILL coverage) only holds when every block goes
+  through the arena.  Mirrors the DET005 single-pool-construction-site
+  rule — lifecycle bugs stay findable in one file.
 """
 
 from __future__ import annotations
@@ -34,18 +41,23 @@ _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "
 #: writer itself, which stages through a temp file + fsync + rename.
 _RAW_WRITE_ALLOWED = ("repro/atomic.py",)
 
+#: The one module allowed to construct SharedMemory blocks (HYG004):
+#: the arena, which owns naming, unlinking, and SIGKILL cleanup.
+_SHM_ALLOWED = ("repro/core/shm.py",)
+
 _WRITE_METHOD_NAMES = frozenset({"write_text", "write_bytes"})
 
 
 class HygieneRule(Rule):
     name = "generic-hygiene"
-    rule_ids: Tuple[str, ...] = ("HYG001", "HYG002", "HYG003")
+    rule_ids: Tuple[str, ...] = ("HYG001", "HYG002", "HYG003", "HYG004")
 
     def check(self, src: ParsedFile, config: LintConfig) -> Iterator[Finding]:
         posix = src.path.as_posix()
         in_package = ("/repro/" in posix or posix.startswith("repro/")) and (
             not src.matches(*_RAW_WRITE_ALLOWED)
         )
+        shm_ok = src.matches(*_SHM_ALLOWED)
         for node in ast.walk(src.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_defaults(node, src)
@@ -53,6 +65,8 @@ class HygieneRule(Rule):
                 yield from self._check_float_eq(node, src)
             elif in_package and isinstance(node, ast.Call):
                 yield from self._check_raw_write(node, src)
+            if not shm_ok:
+                yield from self._check_shared_memory(node, src)
 
     def _check_defaults(self, node: ast.AST, src: ParsedFile) -> Iterator[Finding]:
         args = node.args  # type: ignore[attr-defined]
@@ -120,6 +134,50 @@ class HygieneRule(Rule):
                 f".{func.attr}() bypasses the crash-consistent writer",
                 hint="route the write through repro.atomic.write_atomic",
             )
+
+    def _check_shared_memory(self, node: ast.AST, src: ParsedFile) -> Iterator[Finding]:
+        hint = (
+            "publish arrays through repro.core.shm.ShmArena / "
+            "resolve_payload, the single audited SharedMemory "
+            "construction site"
+        )
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "multiprocessing.shared_memory" or (
+                node.module == "multiprocessing"
+                and any(alias.name == "shared_memory" for alias in node.names)
+            ):
+                yield self._finding(
+                    "HYG004",
+                    src,
+                    node,
+                    "multiprocessing.shared_memory import outside repro.core.shm",
+                    hint=hint,
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("multiprocessing.shared_memory"):
+                    yield self._finding(
+                        "HYG004",
+                        src,
+                        node,
+                        "multiprocessing.shared_memory import outside repro.core.shm",
+                        hint=hint,
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "SharedMemory":
+                yield self._finding(
+                    "HYG004",
+                    src,
+                    node,
+                    "direct SharedMemory construction outside repro.core.shm",
+                    hint=hint,
+                )
 
     def _check_float_eq(self, node: ast.Compare, src: ParsedFile) -> Iterator[Finding]:
         operands = [node.left, *node.comparators]
